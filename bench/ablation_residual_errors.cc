@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Section 3.4.1 ablation — residual-error composition after
+ * reconstruction: what fraction of the remaining errors are
+ * deletions, substitutions, insertions, per algorithm and dataset.
+ *
+ * Expected shape (paper): the most common errors after Iterative
+ * reconstruction are deletions (~90% of the total).
+ */
+
+#include <iostream>
+
+#include "analysis/residual.hh"
+#include "bench_common.hh"
+#include "core/ids_model.hh"
+#include "reconstruct/bma.hh"
+#include "reconstruct/iterative.hh"
+#include "reconstruct/majority.hh"
+
+using namespace dnasim;
+
+int
+main(int argc, char **argv)
+{
+    std::cout << "=== Ablation (section 3.4.1): residual error "
+                 "composition ===\n\n";
+    BenchEnv env = makeBenchEnv(argc, argv, 500);
+    const size_t len = env.wetlab_config.strand_length;
+
+    ErrorProfile uniform = ErrorProfile::uniform(0.15, len);
+    IdsChannelModel uniform_model = IdsChannelModel::naive(uniform);
+
+    struct DataRow
+    {
+        std::string label;
+        Dataset data;
+    };
+    std::vector<DataRow> datasets;
+    datasets.push_back({"real N=5", realAtCoverage(env, 5)});
+    datasets.push_back({"uniform p=0.15 N=5",
+                        modelDataset(env, uniform_model, 5, 0xae1)});
+
+    BmaLookahead bma;
+    Iterative iterative;
+    IterativeOptions raw_options;
+    raw_options.enforce_length = false;
+    Iterative iterative_raw(raw_options);
+    MajorityVote majority;
+
+    TextTable table("residual error mix: del% / sub% / ins%");
+    table.setHeader({"data", "Iterative", "Iterative-raw", "BMA",
+                     "Majority"});
+    for (const auto &row : datasets) {
+        std::vector<std::string> cells = {row.label};
+        for (const Reconstructor *algo :
+             {static_cast<const Reconstructor *>(&iterative),
+              static_cast<const Reconstructor *>(&iterative_raw),
+              static_cast<const Reconstructor *>(&bma),
+              static_cast<const Reconstructor *>(&majority)}) {
+            Rng rng = env.rng(0xae2);
+            auto estimates = reconstructAll(row.data, *algo, rng);
+            ResidualErrorStats stats =
+                residualErrors(row.data, estimates);
+            cells.push_back(fmtPercent(stats.delShare()) + " / " +
+                            fmtPercent(stats.subShare()) + " / " +
+                            fmtPercent(stats.insShare()));
+        }
+        table.addRow(cells);
+    }
+    table.print(std::cout);
+    std::cout << "shape check: deletions should dominate the "
+                 "Iterative-raw residuals (paper: ~90% — the "
+                 "original algorithm emits variable-length "
+                 "estimates; length enforcement balances del/ins "
+                 "counts by construction).\n";
+    return 0;
+}

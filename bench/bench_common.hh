@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Shared setup for the experiment harnesses: one synthetic wetlab
+ * dataset (the paper's Nanopore data stand-in), its calibrated
+ * error profile, and row-printing helpers that show the paper's
+ * reported value next to the measured one.
+ *
+ * Every harness accepts:
+ *   --clusters N   dataset size (default kDefaultClusters; the paper
+ *                  used 10,000 — smaller keeps the suite fast, and
+ *                  shapes are stable well below that)
+ *   --seed S       master seed
+ * or the environment variable DNASIM_BENCH_CLUSTERS.
+ */
+
+#ifndef DNASIM_BENCH_BENCH_COMMON_HH
+#define DNASIM_BENCH_BENCH_COMMON_HH
+
+#include <string>
+
+#include "analysis/accuracy.hh"
+#include "analysis/error_positions.hh"
+#include "base/table.hh"
+#include "cli/args.hh"
+#include "core/channel_simulator.hh"
+#include "core/coverage.hh"
+#include "core/error_model.hh"
+#include "core/error_profile.hh"
+#include "core/profiler.hh"
+#include "core/wetlab.hh"
+#include "data/dataset.hh"
+
+namespace dnasim
+{
+
+/** Default cluster count for harness runs. */
+inline constexpr size_t kDefaultClusters = 800;
+
+/** Shared harness environment. */
+struct BenchEnv
+{
+    size_t clusters = kDefaultClusters;
+    uint64_t seed = 0xbe9c;
+    WetlabConfig wetlab_config;
+    Dataset wetlab;       ///< the "real" dataset
+    ErrorProfile profile; ///< calibrated from the wetlab dataset
+
+    /** Fresh Rng stream salted by @p salt. */
+    Rng
+    rng(uint64_t salt) const
+    {
+        return Rng(seed).fork(salt);
+    }
+};
+
+/**
+ * Parse the harness command line, generate the wetlab dataset and
+ * calibrate its profile. Prints a one-line description to stdout.
+ */
+BenchEnv makeBenchEnv(int argc, char **argv,
+                      size_t default_clusters = kDefaultClusters);
+
+/**
+ * "paper X / measured Y" cell content, used so every harness prints
+ * reproduction targets inline.
+ */
+std::string paperVsMeasured(double paper_percent,
+                            double measured_ratio);
+
+/**
+ * The paper's fixed-coverage protocol (section 3.2): shuffle copies
+ * within each cluster (deterministically, so the prefix at coverage
+ * n is contained in the prefix at n+1), drop clusters with fewer
+ * than 10 copies, and keep the first @p n copies of the rest.
+ */
+Dataset realAtCoverage(const BenchEnv &env, size_t n);
+
+/** The wetlab references (one per cluster, in order). */
+std::vector<Strand> wetlabReferences(const BenchEnv &env);
+
+/**
+ * Simulate a dataset with @p model at fixed coverage @p n over the
+ * wetlab references. @p salt decorrelates datasets of different
+ * models.
+ */
+Dataset modelDataset(const BenchEnv &env, const ErrorModel &model,
+                     size_t n, uint64_t salt);
+
+/**
+ * The paper's progressive simulator ladder (Tables 3.1/3.2):
+ * expected per-strand/per-char percentages for one coverage.
+ */
+struct ProgressiveRow
+{
+    std::string label;
+    double paper_bma_strand;
+    double paper_bma_char;
+    double paper_iter_strand;
+    double paper_iter_char;
+};
+
+/** Shared driver for Table 3.1 (n = 5) and Table 3.2 (n = 6). */
+int runProgressiveTable(int argc, char **argv, size_t coverage,
+                        const std::vector<ProgressiveRow> &rows);
+
+/** Print a positional profile as a bucketed table. */
+void printProfile(const Histogram &profile, size_t positions,
+                  const std::string &title, size_t buckets = 11);
+
+} // namespace dnasim
+
+#endif // DNASIM_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Fig. 3.10 + section 3.4.2 — BMA on A-shaped vs V-shaped spatial
+ * error distributions at p = 0.15, N = 5.
+ *
+ * Expected shape (paper): BMA is *more* accurate on the A-shaped
+ * data — its two-way execution propagates errors to the middle
+ * anyway, and the accurate terminal regions anchor both passes; the
+ * residual profiles stay symmetric. On V-shaped data the terminal
+ * regions are noisy, both passes start badly, accuracy drops, and
+ * the residual profiles lose their symmetry.
+ */
+
+#include <iostream>
+
+#include "analysis/error_positions.hh"
+#include "bench_common.hh"
+#include "core/ids_model.hh"
+#include "reconstruct/bma.hh"
+#include "reconstruct/iterative.hh"
+
+using namespace dnasim;
+
+int
+main(int argc, char **argv)
+{
+    std::cout << "=== Fig 3.10: BMA on A-shaped vs V-shaped data "
+                 "(p = 0.15, N = 5) ===\n\n";
+    BenchEnv env = makeBenchEnv(argc, argv);
+    const size_t len = env.wetlab_config.strand_length;
+
+    BmaLookahead bma;
+    Iterative iterative;
+
+    struct Row
+    {
+        const char *label;
+        PositionProfile spatial;
+    };
+    const std::vector<Row> rows = {
+        {"A-shaped", PositionProfile::aShaped(len)},
+        {"V-shaped", PositionProfile::vShaped(len)},
+    };
+
+    TextTable table("accuracy % at p = 0.15, N = 5");
+    table.setHeader({"distribution", "BMA strand", "BMA char",
+                     "Iter strand", "Iter char"});
+    std::vector<double> bma_strand, bma_char;
+    for (const auto &row : rows) {
+        ErrorProfile profile =
+            ErrorProfile::uniform(0.15, len).withSpatial(row.spatial);
+        IdsChannelModel model = IdsChannelModel::skew(profile);
+        Dataset data = modelDataset(env, model, 5, 0x3a0);
+
+        Rng r1 = env.rng(0x3a1), r2 = env.rng(0x3a2);
+        AccuracyResult a_bma = evaluateAccuracy(data, bma, r1);
+        AccuracyResult a_iter = evaluateAccuracy(data, iterative, r2);
+        bma_strand.push_back(a_bma.perStrand());
+        bma_char.push_back(a_bma.perChar());
+        table.addRow({row.label, fmtPercent(a_bma.perStrand()),
+                      fmtPercent(a_bma.perChar()),
+                      fmtPercent(a_iter.perStrand()),
+                      fmtPercent(a_iter.perChar())});
+
+        Rng r3 = env.rng(0x3a3);
+        auto estimates = reconstructAll(data, bma, r3);
+        Histogram hamming = hammingProfilePost(data, estimates);
+        printProfile(hamming, len,
+                     std::string(row.label) +
+                         ": post-BMA Hamming errors");
+        auto thirds = bucketProfile(hamming, len, 3);
+        std::cout << "  first/middle/last third: "
+                  << fmtPercent(thirds[0].share) << "% / "
+                  << fmtPercent(thirds[1].share) << "% / "
+                  << fmtPercent(thirds[2].share) << "%\n\n";
+    }
+    table.print(std::cout);
+    std::cout << "shape check: BMA should be more accurate on "
+                 "A-shaped than V-shaped data (paper: terminal "
+                 "errors break both BMA passes)\n"
+              << "measured per-char: A " << fmtPercent(bma_char[0])
+              << "% vs V " << fmtPercent(bma_char[1])
+              << "%; per-strand: A " << fmtPercent(bma_strand[0])
+              << "% vs V " << fmtPercent(bma_strand[1]) << "%\n";
+    return 0;
+}

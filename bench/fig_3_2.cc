@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fig. 3.2 — pre-reconstruction noise analysis of the real (wetlab)
+ * dataset: positional Hamming errors (a) and gestalt-aligned errors
+ * (b) of every noisy copy against its reference.
+ *
+ * Expected shapes (paper):
+ *  (a) Hamming: linear growth up to position 110 (an early error
+ *      corrupts all later positions), then a sharp drop (few copies
+ *      are longer than the design length);
+ *  (b) gestalt-aligned: most errors at the terminal positions, with
+ *      the end of the strand carrying about twice the errors of the
+ *      beginning.
+ */
+
+#include <iostream>
+
+#include "analysis/error_positions.hh"
+#include "bench_common.hh"
+
+using namespace dnasim;
+
+int
+main(int argc, char **argv)
+{
+    std::cout << "=== Fig 3.2: pre-reconstruction noise in the "
+                 "wetlab dataset ===\n\n";
+    BenchEnv env = makeBenchEnv(argc, argv);
+    const size_t len = env.wetlab_config.strand_length;
+
+    Histogram hamming = hammingProfilePre(env.wetlab);
+    printProfile(hamming, len + 10,
+                 "(a) Hamming error positions over all copies", 12);
+    std::cout << "  shape over 0.." << len - 1 << ": "
+              << profileShapeName(classifyShape(hamming, len))
+              << " (paper: rising/linear up to the design length)\n"
+              << "  beyond-design-length errors: "
+              << hamming.total() -
+                     [&] {
+                         uint64_t in_range = 0;
+                         for (size_t p = 0; p < len; ++p)
+                             in_range += hamming.count(p);
+                         return in_range;
+                     }()
+              << " (paper: small tail past position 110)\n\n";
+
+    Histogram gestalt = gestaltProfilePre(env.wetlab);
+    printProfile(gestalt, len,
+                 "(b) gestalt-aligned error positions", 12);
+
+    // Terminal concentration: first two positions, last position.
+    uint64_t head = gestalt.count(0) + gestalt.count(1);
+    uint64_t tail = gestalt.count(len - 1) + gestalt.count(len - 2);
+    double interior = 0.0;
+    for (size_t p = 2; p + 2 < len; ++p)
+        interior += static_cast<double>(gestalt.count(p));
+    interior /= static_cast<double>(len - 4);
+    std::cout << "  head (pos 0-1) errors: " << head
+              << ", tail (last 2) errors: " << tail
+              << ", interior mean/position: "
+              << fmtDouble(interior) << "\n"
+              << "  tail/head ratio: "
+              << fmtDouble(static_cast<double>(tail) /
+                           std::max<uint64_t>(head, 1))
+              << " (paper: end has ~2x the beginning)\n";
+    return 0;
+}

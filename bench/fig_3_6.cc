@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fig. 3.6 — second-order error census of the real (wetlab) dataset
+ * before reconstruction: the most common specific errors (deletion /
+ * substitution / insertion of particular bases), their share of all
+ * errors, and the spatial skew of each.
+ *
+ * Expected shape (paper): the 10 most common second-order errors are
+ * all single-base events and together cover ~56% of all errors; the
+ * common ones carry a spatial skew with significantly more errors at
+ * one of the terminal positions.
+ */
+
+#include <iostream>
+
+#include "analysis/second_order.hh"
+#include "bench_common.hh"
+
+using namespace dnasim;
+
+int
+main(int argc, char **argv)
+{
+    std::cout << "=== Fig 3.6: second-order errors in the wetlab "
+                 "dataset ===\n\n";
+    BenchEnv env = makeBenchEnv(argc, argv);
+    const size_t len = env.wetlab_config.strand_length;
+
+    SecondOrderCensus census = secondOrderCensus(env.wetlab);
+
+    // Terminal concentration per error: share of the first two and
+    // last two strand positions vs the uniform expectation
+    // (4 / len).
+    auto terminal_share = [&](const Histogram &positions) {
+        uint64_t total = positions.total();
+        if (total == 0)
+            return 0.0;
+        uint64_t terminal = positions.count(0) + positions.count(1) +
+                            positions.count(len - 2) +
+                            positions.count(len - 1);
+        return static_cast<double>(terminal) /
+               static_cast<double>(total);
+    };
+    const double uniform_terminal =
+        4.0 / static_cast<double>(len);
+
+    TextTable table("top second-order errors (pre-reconstruction)");
+    table.setHeader({"error", "count", "share%", "terminal%",
+                     "terminal-vs-uniform"});
+    size_t skewed = 0;
+    for (size_t i = 0; i < std::min<size_t>(10, census.entries.size());
+         ++i) {
+        const auto &e = census.entries[i];
+        double ts = terminal_share(e.positions);
+        double factor = ts / uniform_terminal;
+        if (factor > 2.0)
+            ++skewed;
+        table.addRow({e.key.str(), std::to_string(e.count),
+                      fmtPercent(e.share), fmtPercent(ts),
+                      fmtDouble(factor) + "x"});
+    }
+    table.print(std::cout);
+
+    std::cout << "top-10 cover " << fmtPercent(census.topShare(10))
+              << "% of all errors (paper: 56%)\n";
+    std::cout << skewed << "/10 top errors have terminal positions "
+              << "at >2x their uniform share (paper: common errors "
+                 "skew to a terminal position)\n";
+    return 0;
+}

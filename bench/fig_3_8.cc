@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fig. 3.8 — post-BMA gestalt-aligned residual profiles of uniform
+ * p = 0.15 data at coverages N = 5, 6 and 10.
+ *
+ * Expected shape (paper): as coverage grows, residual misalignment
+ * sources concentrate toward the *middle* of the strand — the extra
+ * copies fix the terminal regions first, while two-way execution
+ * keeps pushing unresolved drift to the mid-strand junction.
+ */
+
+#include <iostream>
+
+#include "analysis/error_positions.hh"
+#include "bench_common.hh"
+#include "core/ids_model.hh"
+#include "reconstruct/bma.hh"
+
+using namespace dnasim;
+
+int
+main(int argc, char **argv)
+{
+    std::cout << "=== Fig 3.8: post-BMA gestalt residuals of p=0.15 "
+                 "data at N = 5, 6, 10 ===\n\n";
+    BenchEnv env = makeBenchEnv(argc, argv, 500);
+    const size_t len = env.wetlab_config.strand_length;
+
+    ErrorProfile profile = ErrorProfile::uniform(0.15, len);
+    IdsChannelModel model = IdsChannelModel::naive(profile);
+    BmaLookahead bma;
+
+    for (size_t n : {size_t(5), size_t(6), size_t(10)}) {
+        Dataset data = modelDataset(env, model, n, 0x380 + n);
+        Rng rng = env.rng(0x385 + n);
+        auto estimates = reconstructAll(data, bma, rng);
+        Histogram gestalt = gestaltProfilePost(data, estimates);
+        printProfile(gestalt, len,
+                     "N=" + std::to_string(n) +
+                         " BMA gestalt-aligned errors");
+        auto thirds = bucketProfile(gestalt, len, 3);
+        std::cout << "  middle-third share: "
+                  << fmtPercent(thirds[1].share)
+                  << "% (paper: grows with coverage — residuals "
+                     "skew to the middle)\n\n";
+    }
+    return 0;
+}

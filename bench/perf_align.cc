@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Microbenchmarks of the alignment substrate: Levenshtein distance,
+ * edit-operation backtraces, gestalt matching, Hamming profiling.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "align/edit_distance.hh"
+#include "align/gestalt.hh"
+#include "align/hamming.hh"
+#include "core/ids_model.hh"
+#include "data/strand_factory.hh"
+
+using namespace dnasim;
+
+namespace
+{
+
+struct Fixture
+{
+    Strand ref;
+    Strand copy;
+
+    explicit Fixture(size_t len, double error_rate)
+    {
+        Rng rng(0xbe5e);
+        StrandFactory factory;
+        ref = factory.make(len, rng);
+        ErrorProfile profile = ErrorProfile::uniform(error_rate, len);
+        IdsChannelModel model = IdsChannelModel::naive(profile);
+        copy = model.transmit(ref, rng);
+    }
+};
+
+void
+BM_Levenshtein(benchmark::State &state)
+{
+    Fixture f(static_cast<size_t>(state.range(0)), 0.06);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(levenshtein(f.ref, f.copy));
+}
+
+void
+BM_EditOps(benchmark::State &state)
+{
+    Fixture f(static_cast<size_t>(state.range(0)), 0.06);
+    Rng rng(7);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(editOps(f.ref, f.copy, &rng));
+}
+
+void
+BM_GestaltScore(benchmark::State &state)
+{
+    Fixture f(static_cast<size_t>(state.range(0)), 0.06);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gestaltScore(f.ref, f.copy));
+}
+
+void
+BM_GestaltErrorPositions(benchmark::State &state)
+{
+    Fixture f(static_cast<size_t>(state.range(0)), 0.06);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            gestaltErrorPositions(f.ref, f.copy));
+}
+
+void
+BM_HammingErrorPositions(benchmark::State &state)
+{
+    Fixture f(static_cast<size_t>(state.range(0)), 0.06);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            hammingErrorPositions(f.ref, f.copy));
+}
+
+} // anonymous namespace
+
+BENCHMARK(BM_Levenshtein)->Arg(110)->Arg(220);
+BENCHMARK(BM_EditOps)->Arg(110)->Arg(220);
+BENCHMARK(BM_GestaltScore)->Arg(110)->Arg(220);
+BENCHMARK(BM_GestaltErrorPositions)->Arg(110);
+BENCHMARK(BM_HammingErrorPositions)->Arg(110);

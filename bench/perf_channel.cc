@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Microbenchmarks of the channel: transmission throughput per model
+ * variant, wetlab generation, and profile calibration.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/channel_simulator.hh"
+#include "core/coverage.hh"
+#include "core/dnasimulator_model.hh"
+#include "core/ids_model.hh"
+#include "core/profiler.hh"
+#include "core/wetlab.hh"
+#include "data/strand_factory.hh"
+
+using namespace dnasim;
+
+namespace
+{
+
+ErrorProfile
+calibratedProfile()
+{
+    WetlabConfig config;
+    config.num_clusters = 50;
+    NanoporeDatasetGenerator generator(config);
+    Rng rng(0x9e4);
+    Dataset data = generator.generate(rng);
+    ErrorProfiler profiler;
+    return profiler.calibrate(data);
+}
+
+const ErrorProfile &
+profile()
+{
+    static const ErrorProfile p = calibratedProfile();
+    return p;
+}
+
+void
+transmitLoop(benchmark::State &state, const ErrorModel &model)
+{
+    Rng rng(0x77);
+    StrandFactory factory;
+    Strand ref = factory.make(110, rng);
+    size_t bases = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(model.transmit(ref, rng));
+        bases += ref.size();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(bases));
+}
+
+void
+BM_TransmitNaive(benchmark::State &state)
+{
+    IdsChannelModel model = IdsChannelModel::naive(profile());
+    transmitLoop(state, model);
+}
+
+void
+BM_TransmitConditional(benchmark::State &state)
+{
+    IdsChannelModel model = IdsChannelModel::conditional(profile());
+    transmitLoop(state, model);
+}
+
+void
+BM_TransmitSecondOrder(benchmark::State &state)
+{
+    IdsChannelModel model = IdsChannelModel::secondOrder(profile());
+    transmitLoop(state, model);
+}
+
+void
+BM_TransmitDnaSimulator(benchmark::State &state)
+{
+    DnaSimulatorModel model =
+        DnaSimulatorModel::fromProfile(profile());
+    transmitLoop(state, model);
+}
+
+void
+BM_SimulateCluster(benchmark::State &state)
+{
+    IdsChannelModel model = IdsChannelModel::secondOrder(profile());
+    ChannelSimulator sim(model);
+    Rng rng(0x78);
+    StrandFactory factory;
+    Strand ref = factory.make(110, rng);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sim.simulateCluster(
+            ref, static_cast<size_t>(state.range(0)), rng));
+    }
+}
+
+void
+BM_Calibrate(benchmark::State &state)
+{
+    WetlabConfig config;
+    config.num_clusters = static_cast<size_t>(state.range(0));
+    NanoporeDatasetGenerator generator(config);
+    Rng rng(0x9e5);
+    Dataset data = generator.generate(rng);
+    ErrorProfiler profiler;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(profiler.calibrate(data));
+}
+
+} // anonymous namespace
+
+BENCHMARK(BM_TransmitNaive);
+BENCHMARK(BM_TransmitConditional);
+BENCHMARK(BM_TransmitSecondOrder);
+BENCHMARK(BM_TransmitDnaSimulator);
+BENCHMARK(BM_SimulateCluster)->Arg(5)->Arg(27);
+BENCHMARK(BM_Calibrate)->Arg(20)->Unit(benchmark::kMillisecond);

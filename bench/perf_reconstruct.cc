@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Microbenchmarks of the trace-reconstruction algorithms at
+ * realistic cluster sizes.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/ids_model.hh"
+#include "data/strand_factory.hh"
+#include "reconstruct/bma.hh"
+#include "reconstruct/divider_bma.hh"
+#include "reconstruct/iterative.hh"
+#include "reconstruct/majority.hh"
+#include "reconstruct/twoway_iterative.hh"
+
+using namespace dnasim;
+
+namespace
+{
+
+std::vector<Strand>
+makeCluster(size_t coverage, double error_rate, Rng &rng)
+{
+    StrandFactory factory;
+    Strand ref = factory.make(110, rng);
+    ErrorProfile profile = ErrorProfile::uniform(error_rate, 110);
+    IdsChannelModel model = IdsChannelModel::naive(profile);
+    std::vector<Strand> copies;
+    copies.reserve(coverage);
+    for (size_t i = 0; i < coverage; ++i)
+        copies.push_back(model.transmit(ref, rng));
+    return copies;
+}
+
+void
+reconstructLoop(benchmark::State &state, const Reconstructor &algo)
+{
+    Rng rng(0x4ec);
+    auto copies = makeCluster(static_cast<size_t>(state.range(0)),
+                              0.06, rng);
+    for (auto _ : state) {
+        Rng r(42);
+        benchmark::DoNotOptimize(algo.reconstruct(copies, 110, r));
+    }
+}
+
+void
+BM_Majority(benchmark::State &state)
+{
+    MajorityVote algo;
+    reconstructLoop(state, algo);
+}
+
+void
+BM_Bma(benchmark::State &state)
+{
+    BmaLookahead algo;
+    reconstructLoop(state, algo);
+}
+
+void
+BM_DividerBma(benchmark::State &state)
+{
+    DividerBma algo;
+    reconstructLoop(state, algo);
+}
+
+void
+BM_Iterative(benchmark::State &state)
+{
+    Iterative algo;
+    reconstructLoop(state, algo);
+}
+
+void
+BM_TwoWayIterative(benchmark::State &state)
+{
+    TwoWayIterative algo;
+    reconstructLoop(state, algo);
+}
+
+} // anonymous namespace
+
+BENCHMARK(BM_Majority)->Arg(5)->Arg(27);
+BENCHMARK(BM_Bma)->Arg(5)->Arg(27);
+BENCHMARK(BM_DividerBma)->Arg(5)->Arg(27);
+BENCHMARK(BM_Iterative)->Arg(5)->Arg(27)
+    ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_TwoWayIterative)->Arg(5)->Arg(27)
+    ->Unit(benchmark::kMicrosecond);

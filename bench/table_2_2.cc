@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Table 2.2 — per-strand and per-character accuracy of BMA and
+ * Iterative at fixed coverages 5 and 6: real (wetlab) data vs
+ * DNASimulator.
+ *
+ * Paper values:
+ *   Nanopore      5  BMA 29.04 / 87.74   Iterative 66.70 / 90.32
+ *   DNASimulator  5  BMA 68.21 / 93.45   Iterative 90.60 / 99.31
+ *   Nanopore      6  BMA 36.88 / 89.26   Iterative 78.88 / 94.48
+ *   DNASimulator  6  BMA 81.09 / 95.55   Iterative 98.04 / 99.87
+ *
+ * Expected shape: even after controlling for coverage, simulated
+ * data stays substantially easier to reconstruct than real data —
+ * static error profiling is not adequate (section 2.2.2).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "core/dnasimulator_model.hh"
+#include "reconstruct/bma.hh"
+#include "reconstruct/iterative.hh"
+
+using namespace dnasim;
+
+int
+main(int argc, char **argv)
+{
+    std::cout << "=== Table 2.2: fixed-coverage comparison, real vs "
+                 "DNASimulator ===\n\n";
+    BenchEnv env = makeBenchEnv(argc, argv, 500);
+
+    DnaSimulatorModel ds = DnaSimulatorModel::fromProfile(env.profile);
+
+    struct Row
+    {
+        std::string label;
+        Dataset data;
+        double p_bma_strand, p_bma_char, p_iter_strand, p_iter_char;
+    };
+    std::vector<Row> rows;
+    rows.push_back({"Real (wetlab)  5", realAtCoverage(env, 5), 29.04,
+                    87.74, 66.70, 90.32});
+    rows.push_back({"DNASimulator   5", modelDataset(env, ds, 5, 0x15),
+                    68.21, 93.45, 90.60, 99.31});
+    rows.push_back({"Real (wetlab)  6", realAtCoverage(env, 6), 36.88,
+                    89.26, 78.88, 94.48});
+    rows.push_back({"DNASimulator   6", modelDataset(env, ds, 6, 0x16),
+                    81.09, 95.55, 98.04, 99.87});
+
+    BmaLookahead bma;
+    Iterative iterative;
+
+    TextTable table("accuracy % (measured, paper in parentheses)");
+    table.setHeader({"data/coverage", "BMA strand", "BMA char",
+                     "Iter strand", "Iter char"});
+    for (auto &row : rows) {
+        Rng r1 = env.rng(0x701), r2 = env.rng(0x702);
+        AccuracyResult a_bma = evaluateAccuracy(row.data, bma, r1);
+        AccuracyResult a_iter =
+            evaluateAccuracy(row.data, iterative, r2);
+        table.addRow({row.label,
+                      paperVsMeasured(row.p_bma_strand,
+                                      a_bma.perStrand()),
+                      paperVsMeasured(row.p_bma_char, a_bma.perChar()),
+                      paperVsMeasured(row.p_iter_strand,
+                                      a_iter.perStrand()),
+                      paperVsMeasured(row.p_iter_char,
+                                      a_iter.perChar())});
+    }
+    table.print(std::cout);
+
+    std::cout << "shape checks: DNASimulator rows should beat the "
+                 "real rows on every metric;\nIterative should beat "
+                 "BMA per-strand at these low coverages.\n";
+    return 0;
+}

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * End-to-end archival storage (the paper's Fig. 1.1 pipeline): a
+ * file is encoded into addressable strands with Reed-Solomon
+ * logical redundancy, pushed through a realistic noisy channel at
+ * several physical redundancies (coverages), reconstructed, and
+ * decoded — reporting when retrieval succeeds and what the
+ * redundancy machinery had to repair.
+ */
+
+#include <iostream>
+#include <string>
+
+#include "base/table.hh"
+#include "core/coverage.hh"
+#include "core/ids_model.hh"
+#include "core/wetlab.hh"
+#include "pipeline/archival_pipeline.hh"
+#include "reconstruct/iterative.hh"
+
+using namespace dnasim;
+
+int
+main()
+{
+    // The payload: a short document.
+    std::string text =
+        "DNA data storage writes information into synthesized "
+        "oligonucleotides and reads it back by sequencing. "
+        "Because both directions are noisy, an archival system "
+        "combines physical redundancy (multiple molecule copies "
+        "per strand) with logical redundancy (error-correcting "
+        "codes across strands). This file exists to be stored.";
+    Bytes file(text.begin(), text.end());
+
+    PipelineConfig config;
+    config.payload_bytes = 18;
+    config.redundancy = RedundancyScheme::ReedSolomon;
+    config.rs_stripe_data = 16;
+    config.rs_parity = 6;
+    ArchivalPipeline pipeline(config);
+
+    StoredObject object = pipeline.store(file);
+    std::cout << "encoded " << file.size() << " bytes into "
+              << object.strands.size() << " strands of length "
+              << pipeline.strandLength() << " ("
+              << object.num_data_frames << " data + "
+              << object.num_total_frames - object.num_data_frames
+              << " parity frames)\n\n";
+
+    // A Nanopore-like channel calibrated at 4% aggregate error with
+    // terminal skew.
+    ErrorProfile channel_profile =
+        NanoporeDatasetGenerator::groundTruthProfile(
+            pipeline.strandLength(), 0.04);
+    IdsChannelModel channel =
+        IdsChannelModel::full(channel_profile, "nanopore-like");
+    Iterative algo;
+
+    TextTable table("retrieval vs physical redundancy (coverage)");
+    table.setHeader({"coverage", "success", "erasures",
+                     "crc-rejects", "frames-recovered",
+                     "payload intact"});
+    for (size_t coverage : {1, 2, 4, 6, 10}) {
+        FixedCoverage cov(coverage);
+        Rng rng(1000 + coverage);
+        RetrievedObject result =
+            pipeline.roundTrip(file, channel, cov, algo, rng);
+        table.addRow(
+            {std::to_string(coverage),
+             result.success ? "yes" : "NO",
+             std::to_string(result.stats.erasure_clusters),
+             std::to_string(result.stats.crc_failures +
+                            result.stats.undecodable_strands),
+             std::to_string(result.stats.frames_recovered),
+             result.data == file ? "yes" : "NO"});
+    }
+    table.print(std::cout);
+
+    std::cout << "higher coverage buys cleaner reconstructions; the "
+                 "RS stripes absorb what reconstruction gets "
+                 "wrong.\n";
+    return 0;
+}

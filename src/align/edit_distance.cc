@@ -1,0 +1,230 @@
+#include "align/edit_distance.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "base/logging.hh"
+
+namespace dnasim
+{
+
+const char *
+editOpTypeName(EditOpType t)
+{
+    switch (t) {
+      case EditOpType::Equal: return "equal";
+      case EditOpType::Substitute: return "sub";
+      case EditOpType::Delete: return "del";
+      case EditOpType::Insert: return "ins";
+    }
+    return "?";
+}
+
+namespace
+{
+
+constexpr size_t kInf = std::numeric_limits<size_t>::max() / 2;
+
+/**
+ * Banded Levenshtein: only cells with |i - j| <= band are computed.
+ * The result equals the true distance whenever the true distance is
+ * at most @p band (any optimal alignment path then stays inside the
+ * band); otherwise it is an overestimate the caller must reject.
+ */
+size_t
+levenshteinBanded(std::string_view a, std::string_view b, size_t band)
+{
+    const size_t n = a.size(), m = b.size();
+    // Reused scratch rows: this function runs millions of times per
+    // experiment, so per-call allocation would dominate. Each row
+    // pass writes every cell the next pass reads, so stale contents
+    // are harmless once the first row is initialized below.
+    thread_local std::vector<size_t> prev, cur;
+    prev.resize(m + 1);
+    cur.resize(m + 1);
+    for (size_t j = 0; j <= std::min(m, band); ++j)
+        prev[j] = j;
+    if (band + 1 <= m)
+        prev[band + 1] = kInf;
+    for (size_t i = 1; i <= n; ++i) {
+        size_t lo = i > band ? i - band : 1;
+        size_t hi = std::min(m, i + band);
+        if (lo > hi)
+            return kInf;
+        // Only the band neighbourhood needs resetting: the next
+        // row never reads outside [lo - 1, hi + 1].
+        for (size_t j = lo > 0 ? lo - 1 : 0;
+             j <= std::min(m, hi + 1); ++j) {
+            cur[j] = kInf;
+        }
+        if (lo == 1 && i <= band)
+            cur[0] = i;
+        for (size_t j = lo; j <= hi; ++j) {
+            size_t diag =
+                prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            size_t up = prev[j] < kInf ? prev[j] + 1 : kInf;
+            size_t left = cur[j - 1] < kInf ? cur[j - 1] + 1 : kInf;
+            cur[j] = std::min({diag, up, left});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[m];
+}
+
+} // anonymous namespace
+
+size_t
+levenshtein(std::string_view a, std::string_view b)
+{
+    const size_t n = a.size(), m = b.size();
+    if (n == 0)
+        return m;
+    if (m == 0)
+        return n;
+
+    // DNA-storage pairs are usually close (a few percent edit
+    // distance); try a narrow band first and widen until the result
+    // is certified (distance <= band means the optimal path fits).
+    size_t diff = n > m ? n - m : m - n;
+    size_t band = std::max<size_t>(8, diff + 4);
+    const size_t limit = std::max(n, m);
+    for (;;) {
+        size_t d = levenshteinBanded(a, b, band);
+        if (d <= band)
+            return d;
+        if (band >= limit)
+            return d; // full matrix already covered
+        band = std::min(limit, band * 2);
+    }
+}
+
+std::vector<EditOp>
+editOps(std::string_view ref, std::string_view copy, Rng *rng)
+{
+    const size_t n = ref.size(), m = copy.size();
+
+    // dist[i][j]: edit distance between ref[:i] and copy[:j].
+    std::vector<std::vector<uint32_t>> dist(
+        n + 1, std::vector<uint32_t>(m + 1, 0));
+    for (size_t i = 0; i <= n; ++i)
+        dist[i][0] = static_cast<uint32_t>(i);
+    for (size_t j = 0; j <= m; ++j)
+        dist[0][j] = static_cast<uint32_t>(j);
+    for (size_t i = 1; i <= n; ++i) {
+        for (size_t j = 1; j <= m; ++j) {
+            uint32_t diag =
+                dist[i - 1][j - 1] + (ref[i - 1] == copy[j - 1] ? 0 : 1);
+            dist[i][j] = std::min({diag, dist[i - 1][j] + 1,
+                                   dist[i][j - 1] + 1});
+        }
+    }
+
+    // Backtrace from (n, m), choosing among minimum-cost predecessors
+    // either at random (Appendix B's ChooseRandomAndInsertOp) or with
+    // a fixed diagonal > delete > insert preference.
+    std::vector<EditOp> rev;
+    rev.reserve(n + m);
+    size_t i = n, j = m;
+    while (i > 0 || j > 0) {
+        // Candidate moves encoded as 0 = diagonal, 1 = delete (up),
+        // 2 = insert (left).
+        uint8_t candidates[3];
+        size_t num = 0;
+        if (i > 0 && j > 0) {
+            uint32_t cost = ref[i - 1] == copy[j - 1] ? 0 : 1;
+            if (dist[i][j] == dist[i - 1][j - 1] + cost)
+                candidates[num++] = 0;
+        }
+        if (i > 0 && dist[i][j] == dist[i - 1][j] + 1)
+            candidates[num++] = 1;
+        if (j > 0 && dist[i][j] == dist[i][j - 1] + 1)
+            candidates[num++] = 2;
+        DNASIM_ASSERT(num > 0, "edit backtrace stuck at (", i, ",", j, ")");
+
+        uint8_t move = candidates[0];
+        if (rng && num > 1)
+            move = candidates[rng->index(num)];
+
+        switch (move) {
+          case 0:
+            --i;
+            --j;
+            rev.push_back({ref[i] == copy[j] ? EditOpType::Equal
+                                             : EditOpType::Substitute,
+                           i, ref[i], copy[j]});
+            break;
+          case 1:
+            --i;
+            rev.push_back({EditOpType::Delete, i, ref[i], '\0'});
+            break;
+          default:
+            --j;
+            rev.push_back({EditOpType::Insert, i, '\0', copy[j]});
+            break;
+        }
+    }
+    std::reverse(rev.begin(), rev.end());
+    return rev;
+}
+
+size_t
+numErrors(const std::vector<EditOp> &ops)
+{
+    size_t n = 0;
+    for (const auto &op : ops)
+        if (op.type != EditOpType::Equal)
+            ++n;
+    return n;
+}
+
+Strand
+applyEditOps(std::string_view ref, const std::vector<EditOp> &ops)
+{
+    Strand out;
+    out.reserve(ref.size() + ops.size());
+    size_t consumed = 0;
+    for (const auto &op : ops) {
+        switch (op.type) {
+          case EditOpType::Equal:
+          case EditOpType::Substitute:
+            DNASIM_ASSERT(op.ref_pos == consumed && consumed < ref.size(),
+                          "edit script out of order");
+            out.push_back(op.copy_base);
+            ++consumed;
+            break;
+          case EditOpType::Delete:
+            DNASIM_ASSERT(op.ref_pos == consumed && consumed < ref.size(),
+                          "edit script out of order");
+            ++consumed;
+            break;
+          case EditOpType::Insert:
+            DNASIM_ASSERT(op.ref_pos == consumed,
+                          "edit script out of order");
+            out.push_back(op.copy_base);
+            break;
+        }
+    }
+    DNASIM_ASSERT(consumed == ref.size(),
+                  "edit script did not consume full reference");
+    return out;
+}
+
+std::vector<DeletionRun>
+deletionRuns(const std::vector<EditOp> &ops)
+{
+    std::vector<DeletionRun> runs;
+    for (size_t k = 0; k < ops.size(); ++k) {
+        if (ops[k].type != EditOpType::Delete)
+            continue;
+        DeletionRun run{ops[k].ref_pos, 1};
+        while (k + 1 < ops.size() &&
+               ops[k + 1].type == EditOpType::Delete) {
+            ++k;
+            ++run.length;
+        }
+        runs.push_back(run);
+    }
+    return runs;
+}
+
+} // namespace dnasim

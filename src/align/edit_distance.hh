@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Levenshtein distance and edit-operation backtraces.
+ *
+ * The paper's Appendix B algorithm recovers, for a reference strand
+ * and one of its noisy copies, the sequence of channel error
+ * operations (insertions, deletions, substitutions) with maximum
+ * likelihood, using minimum edit distance as the proxy and breaking
+ * ties uniformly at random (the paper's ChooseRandomAndInsertOp).
+ *
+ * The paper presents the recursion directly (exponential); we
+ * implement the equivalent O(|a|*|b|) dynamic program with a
+ * backtrace. The recovered operations drive the data-driven
+ * calibration of every error-model parameter (core/profiler.hh).
+ */
+
+#ifndef DNASIM_ALIGN_EDIT_DISTANCE_HH
+#define DNASIM_ALIGN_EDIT_DISTANCE_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "base/dna.hh"
+#include "base/rng.hh"
+
+namespace dnasim
+{
+
+/** The kind of a single edit operation transforming reference->copy. */
+enum class EditOpType : uint8_t
+{
+    Equal,      ///< reference base copied through unchanged
+    Substitute, ///< reference base replaced by a different base
+    Delete,     ///< reference base missing from the copy
+    Insert,     ///< extra base present in the copy
+};
+
+/** Printable name of an EditOpType. */
+const char *editOpTypeName(EditOpType t);
+
+/**
+ * One edit operation, anchored to a reference position.
+ *
+ * For Equal/Substitute/Delete, @c ref_pos is the index of the
+ * affected reference base and @c ref_base its value. For Insert,
+ * @c ref_pos is the reference index *before which* the extra base
+ * appears (== reference length for an append) and @c ref_base is 0.
+ * @c copy_base is the base observed in the copy (0 for Delete).
+ */
+struct EditOp
+{
+    EditOpType type = EditOpType::Equal;
+    size_t ref_pos = 0;
+    char ref_base = '\0';
+    char copy_base = '\0';
+
+    bool operator==(const EditOp &) const = default;
+};
+
+/** Plain Levenshtein distance (unit costs). */
+size_t levenshtein(std::string_view a, std::string_view b);
+
+/**
+ * Recover a minimum-cost edit script transforming @p ref into
+ * @p copy.
+ *
+ * When multiple scripts achieve the minimum cost, @p rng (if
+ * non-null) selects uniformly among the locally optimal predecessors
+ * at each backtrace step, matching Appendix B; with a null @p rng the
+ * choice is deterministic (diagonal first, then deletion, then
+ * insertion — the paper's worked example prefers the deletion
+ * explanation for AGCG -> AGG).
+ *
+ * The returned script lists operations in reference order and always
+ * includes Equal ops, so its Equal/Substitute/Delete entries cover
+ * every reference position exactly once.
+ */
+std::vector<EditOp> editOps(std::string_view ref, std::string_view copy,
+                            Rng *rng = nullptr);
+
+/** Number of non-Equal operations in a script. */
+size_t numErrors(const std::vector<EditOp> &ops);
+
+/** Apply an edit script to @p ref, reproducing the copy. */
+Strand applyEditOps(std::string_view ref, const std::vector<EditOp> &ops);
+
+/**
+ * A maximal run of consecutive deletions within a script.
+ * Long deletions (length >= 2) are a calibrated model parameter.
+ */
+struct DeletionRun
+{
+    size_t ref_pos = 0; ///< first deleted reference position
+    size_t length = 0;  ///< number of consecutive deleted bases
+};
+
+/** Extract maximal runs of consecutive Delete ops from a script. */
+std::vector<DeletionRun> deletionRuns(const std::vector<EditOp> &ops);
+
+} // namespace dnasim
+
+#endif // DNASIM_ALIGN_EDIT_DISTANCE_HH

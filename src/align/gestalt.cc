@@ -1,0 +1,136 @@
+#include "align/gestalt.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace dnasim
+{
+
+namespace
+{
+
+/**
+ * Longest common substring of a[a_lo, a_hi) and b[b_lo, b_hi),
+ * earliest occurrence on ties (difflib semantics, modulo its junk
+ * heuristics, which do not apply to a 4-letter alphabet).
+ */
+MatchBlock
+longestMatch(std::string_view a, std::string_view b, size_t a_lo,
+             size_t a_hi, size_t b_lo, size_t b_hi)
+{
+    MatchBlock best{a_lo, b_lo, 0};
+    if (a_lo >= a_hi || b_lo >= b_hi)
+        return best;
+
+    // lengths[j]: length of the common suffix ending at (i, j).
+    std::vector<size_t> prev(b_hi - b_lo + 1, 0), cur(b_hi - b_lo + 1, 0);
+    for (size_t i = a_lo; i < a_hi; ++i) {
+        for (size_t j = b_lo; j < b_hi; ++j) {
+            size_t jj = j - b_lo + 1;
+            if (a[i] == b[j]) {
+                cur[jj] = prev[jj - 1] + 1;
+                if (cur[jj] > best.len) {
+                    best.len = cur[jj];
+                    best.a_pos = i + 1 - cur[jj];
+                    best.b_pos = j + 1 - cur[jj];
+                }
+            } else {
+                cur[jj] = 0;
+            }
+        }
+        std::swap(prev, cur);
+        std::fill(cur.begin(), cur.end(), 0);
+    }
+    return best;
+}
+
+void
+recurse(std::string_view a, std::string_view b, size_t a_lo, size_t a_hi,
+        size_t b_lo, size_t b_hi, std::vector<MatchBlock> &out)
+{
+    MatchBlock m = longestMatch(a, b, a_lo, a_hi, b_lo, b_hi);
+    if (m.len == 0)
+        return;
+    recurse(a, b, a_lo, m.a_pos, b_lo, m.b_pos, out);
+    out.push_back(m);
+    recurse(a, b, m.a_pos + m.len, a_hi, m.b_pos + m.len, b_hi, out);
+}
+
+} // anonymous namespace
+
+std::vector<MatchBlock>
+matchingBlocks(std::string_view a, std::string_view b)
+{
+    std::vector<MatchBlock> blocks;
+    recurse(a, b, 0, a.size(), 0, b.size(), blocks);
+    blocks.push_back({a.size(), b.size(), 0}); // terminating sentinel
+    return blocks;
+}
+
+double
+gestaltScore(std::string_view a, std::string_view b)
+{
+    if (a.empty() && b.empty())
+        return 1.0;
+    size_t matched = 0;
+    for (const auto &blk : matchingBlocks(a, b))
+        matched += blk.len;
+    return 2.0 * static_cast<double>(matched) /
+           static_cast<double>(a.size() + b.size());
+}
+
+std::vector<AlignedGap>
+alignedGaps(std::string_view a, std::string_view b)
+{
+    std::vector<AlignedGap> gaps;
+    size_t a_cur = 0, b_cur = 0;
+    for (const auto &blk : matchingBlocks(a, b)) {
+        size_t a_len = blk.a_pos - a_cur;
+        size_t b_len = blk.b_pos - b_cur;
+        if (a_len > 0 || b_len > 0) {
+            AlignedGap gap;
+            gap.a_pos = a_cur;
+            gap.a_len = a_len;
+            gap.b_pos = b_cur;
+            gap.b_len = b_len;
+            if (a_len > 0 && b_len > 0)
+                gap.type = GapType::Substitution;
+            else if (a_len > 0)
+                gap.type = GapType::Deletion;
+            else
+                gap.type = GapType::Insertion;
+            gaps.push_back(gap);
+        }
+        a_cur = blk.a_pos + blk.len;
+        b_cur = blk.b_pos + blk.len;
+    }
+    return gaps;
+}
+
+std::vector<size_t>
+gestaltErrorPositions(std::string_view ref, std::string_view copy)
+{
+    std::vector<size_t> positions;
+    for (const auto &gap : alignedGaps(ref, copy)) {
+        if (gap.type == GapType::Insertion) {
+            size_t pos = gap.a_pos;
+            if (!ref.empty())
+                pos = std::min(pos, ref.size() - 1);
+            positions.push_back(pos);
+        } else {
+            // Substitution gaps may be unequal in length; attribute
+            // every affected reference position plus, if the copy
+            // side is longer, the origin position once per extra
+            // inserted base would overcount — the paper counts
+            // sources of misalignment, so each reference position in
+            // the gap counts once.
+            for (size_t k = 0; k < gap.a_len; ++k)
+                positions.push_back(gap.a_pos + k);
+        }
+    }
+    return positions;
+}
+
+} // namespace dnasim

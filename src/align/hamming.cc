@@ -1,0 +1,29 @@
+#include "align/hamming.hh"
+
+#include <algorithm>
+
+namespace dnasim
+{
+
+size_t
+hammingDistance(std::string_view a, std::string_view b)
+{
+    size_t common = std::min(a.size(), b.size());
+    size_t errors = std::max(a.size(), b.size()) - common;
+    for (size_t i = 0; i < common; ++i)
+        if (a[i] != b[i])
+            ++errors;
+    return errors;
+}
+
+std::vector<size_t>
+hammingErrorPositions(std::string_view ref, std::string_view copy)
+{
+    std::vector<size_t> positions;
+    for (size_t i = 0; i < copy.size(); ++i)
+        if (i >= ref.size() || copy[i] != ref[i])
+            positions.push_back(i);
+    return positions;
+}
+
+} // namespace dnasim

@@ -1,0 +1,55 @@
+#include "analysis/accuracy.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace dnasim
+{
+
+std::vector<Strand>
+reconstructAll(const Dataset &data, const Reconstructor &algo,
+               Rng &rng)
+{
+    std::vector<Strand> estimates;
+    estimates.reserve(data.size());
+    for (size_t i = 0; i < data.size(); ++i) {
+        Rng cluster_rng = rng.fork(i);
+        estimates.push_back(algo.reconstruct(
+            data[i].copies, data[i].reference.size(), cluster_rng));
+    }
+    return estimates;
+}
+
+AccuracyResult
+scoreReconstructions(const Dataset &data,
+                     const std::vector<Strand> &estimates)
+{
+    DNASIM_ASSERT(estimates.size() == data.size(),
+                  "estimate/cluster count mismatch: ",
+                  estimates.size(), " vs ", data.size());
+    AccuracyResult result;
+    result.num_clusters = data.size();
+    for (size_t i = 0; i < data.size(); ++i) {
+        const Strand &ref = data[i].reference;
+        const Strand &est = estimates[i];
+        if (est == ref)
+            ++result.num_perfect;
+        result.num_chars += ref.size();
+        size_t common = std::min(ref.size(), est.size());
+        for (size_t p = 0; p < common; ++p)
+            if (ref[p] == est[p])
+                ++result.num_chars_correct;
+    }
+    return result;
+}
+
+AccuracyResult
+evaluateAccuracy(const Dataset &data, const Reconstructor &algo,
+                 Rng &rng)
+{
+    return scoreReconstructions(data,
+                                reconstructAll(data, algo, rng));
+}
+
+} // namespace dnasim

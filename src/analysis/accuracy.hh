@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Reconstruction-accuracy metrics — the paper's key evaluation
+ * criteria (section 3.1, criterion 4).
+ *
+ *  - per-strand accuracy: the percentage of reference strands
+ *    reconstructed without any error;
+ *  - per-character accuracy: the percentage of reference characters
+ *    reconstructed with the correct base at the correct position.
+ */
+
+#ifndef DNASIM_ANALYSIS_ACCURACY_HH
+#define DNASIM_ANALYSIS_ACCURACY_HH
+
+#include <vector>
+
+#include "data/dataset.hh"
+#include "reconstruct/reconstructor.hh"
+
+namespace dnasim
+{
+
+/** Accuracy of a set of reconstructions. */
+struct AccuracyResult
+{
+    size_t num_clusters = 0;
+    size_t num_perfect = 0;    ///< exactly reconstructed strands
+    size_t num_chars = 0;      ///< total reference characters
+    size_t num_chars_correct = 0;
+
+    /** Fraction of strands reconstructed exactly, in [0, 1]. */
+    double
+    perStrand() const
+    {
+        return num_clusters == 0
+                   ? 0.0
+                   : static_cast<double>(num_perfect) /
+                         static_cast<double>(num_clusters);
+    }
+
+    /** Fraction of characters reconstructed correctly, in [0, 1]. */
+    double
+    perChar() const
+    {
+        return num_chars == 0
+                   ? 0.0
+                   : static_cast<double>(num_chars_correct) /
+                         static_cast<double>(num_chars);
+    }
+};
+
+/**
+ * Run @p algo over every cluster of @p data. Erasure clusters yield
+ * empty estimates. Deterministic in @p rng's seed (one forked
+ * stream per cluster).
+ */
+std::vector<Strand> reconstructAll(const Dataset &data,
+                                   const Reconstructor &algo, Rng &rng);
+
+/**
+ * Score @p estimates (one per cluster, aligned by index) against the
+ * references of @p data. Per-character correctness is positional:
+ * estimate[i] must equal reference[i].
+ */
+AccuracyResult scoreReconstructions(
+    const Dataset &data, const std::vector<Strand> &estimates);
+
+/** reconstructAll + scoreReconstructions in one step. */
+AccuracyResult evaluateAccuracy(const Dataset &data,
+                                const Reconstructor &algo, Rng &rng);
+
+} // namespace dnasim
+
+#endif // DNASIM_ANALYSIS_ACCURACY_HH

@@ -1,0 +1,48 @@
+#include "analysis/clustered_accuracy.hh"
+
+#include <unordered_set>
+
+#include "base/logging.hh"
+
+namespace dnasim
+{
+
+ClusteredAccuracy
+evaluateWithClustering(const Dataset &data,
+                       const ClusterOptions &options,
+                       const Reconstructor &algo, Rng &rng)
+{
+    ClusteredAccuracy result;
+    result.num_references = data.size();
+    if (data.empty())
+        return result;
+
+    std::vector<Strand> pool = data.pooledReads();
+    rng.shuffle(pool);
+
+    auto clusters = clusterReads(pool, options);
+    result.num_clusters = clusters.size();
+
+    size_t design_len = 0;
+    for (const auto &c : data)
+        design_len = std::max(design_len, c.reference.size());
+
+    std::unordered_set<Strand> estimates;
+    estimates.reserve(clusters.size());
+    for (size_t i = 0; i < clusters.size(); ++i) {
+        std::vector<Strand> copies;
+        copies.reserve(clusters[i].members.size());
+        for (size_t member : clusters[i].members)
+            copies.push_back(pool[member]);
+        Rng cluster_rng = rng.fork(i);
+        estimates.insert(
+            algo.reconstruct(copies, design_len, cluster_rng));
+    }
+
+    for (const auto &cluster : data)
+        if (estimates.count(cluster.reference) > 0)
+            ++result.recovered_exact;
+    return result;
+}
+
+} // namespace dnasim

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Reconstruction accuracy under *imperfect* clustering
+ * (section 3.1): instead of the simulator's pseudo-clustered
+ * output, the reads are pooled, re-clustered by similarity, and
+ * each recovered cluster reconstructed — the evaluation mode that
+ * resembles an actual wetlab read-out.
+ */
+
+#ifndef DNASIM_ANALYSIS_CLUSTERED_ACCURACY_HH
+#define DNASIM_ANALYSIS_CLUSTERED_ACCURACY_HH
+
+#include <vector>
+
+#include "cluster/greedy_cluster.hh"
+#include "data/dataset.hh"
+#include "reconstruct/reconstructor.hh"
+
+namespace dnasim
+{
+
+/** Outcome of reconstruction over a re-clustered read pool. */
+struct ClusteredAccuracy
+{
+    size_t num_references = 0;
+    size_t num_clusters = 0;   ///< clusters the algorithm formed
+    size_t recovered_exact = 0; ///< references some cluster
+                                ///< reconstructed exactly
+
+    double
+    perStrand() const
+    {
+        return num_references == 0
+                   ? 0.0
+                   : static_cast<double>(recovered_exact) /
+                         static_cast<double>(num_references);
+    }
+};
+
+/**
+ * Pool @p data's reads, shuffle them with @p rng, cluster with
+ * @p options, reconstruct every cluster with @p algo, and count how
+ * many references were recovered exactly by at least one cluster.
+ */
+ClusteredAccuracy evaluateWithClustering(const Dataset &data,
+                                         const ClusterOptions &options,
+                                         const Reconstructor &algo,
+                                         Rng &rng);
+
+} // namespace dnasim
+
+#endif // DNASIM_ANALYSIS_CLUSTERED_ACCURACY_HH

@@ -1,0 +1,94 @@
+#include "analysis/dataset_distance.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "align/edit_distance.hh"
+#include "align/gestalt.hh"
+#include "base/logging.hh"
+
+namespace dnasim
+{
+
+DatasetSignature
+datasetSignature(const Dataset &data, uint64_t seed)
+{
+    Rng rng(seed);
+    DatasetSignature sig;
+    for (const auto &cluster : data) {
+        const Strand &ref = cluster.reference;
+        if (ref.empty())
+            continue;
+        for (const auto &copy : cluster.copies) {
+            ++sig.copies;
+            sig.lengths.add(copy.size());
+
+            double score = gestaltScore(ref, copy);
+            sig.gestalt_scores.add(static_cast<size_t>(
+                std::min(100.0, score * 100.0)));
+
+            auto ops = editOps(ref, copy, &rng);
+            sig.errors_per_copy.add(numErrors(ops));
+            for (const auto &op : ops) {
+                switch (op.type) {
+                  case EditOpType::Equal:
+                  case EditOpType::Delete:
+                    break;
+                  case EditOpType::Substitute:
+                    sig.error_types.add(0);
+                    break;
+                  case EditOpType::Insert:
+                    sig.error_types.add(1);
+                    break;
+                }
+            }
+            for (const auto &run : deletionRuns(ops))
+                sig.error_types.add(run.length == 1 ? 2 : 3);
+
+            for (size_t pos : gestaltErrorPositions(ref, copy))
+                sig.positions.add(pos);
+        }
+    }
+    return sig;
+}
+
+double
+DatasetDistance::mean() const
+{
+    return (error_types + positions + lengths + gestalt_scores +
+            errors_per_copy) /
+           5.0;
+}
+
+std::string
+DatasetDistance::str() const
+{
+    std::ostringstream os;
+    os << "types=" << error_types << " positions=" << positions
+       << " lengths=" << lengths << " gestalt=" << gestalt_scores
+       << " per-copy=" << errors_per_copy << " mean=" << mean();
+    return os.str();
+}
+
+DatasetDistance
+datasetDistance(const DatasetSignature &a, const DatasetSignature &b)
+{
+    DatasetDistance d;
+    d.error_types = chiSquareDistance(a.error_types, b.error_types);
+    d.positions = chiSquareDistance(a.positions, b.positions);
+    d.lengths = chiSquareDistance(a.lengths, b.lengths);
+    d.gestalt_scores =
+        chiSquareDistance(a.gestalt_scores, b.gestalt_scores);
+    d.errors_per_copy =
+        chiSquareDistance(a.errors_per_copy, b.errors_per_copy);
+    return d;
+}
+
+DatasetDistance
+datasetDistance(const Dataset &a, const Dataset &b, uint64_t seed)
+{
+    return datasetDistance(datasetSignature(a, seed),
+                           datasetSignature(b, seed));
+}
+
+} // namespace dnasim

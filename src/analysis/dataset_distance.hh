@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Closed-form distances between a real and a simulated dataset —
+ * the paper's alternative evaluation criteria (section 3.1,
+ * criteria 1-3): error-statistics distance (chi-square between
+ * error-type and positional distributions), copy-length
+ * distribution distance, and the gestalt-score distribution
+ * distance.
+ *
+ * The paper ultimately prefers reconstruction accuracy (criterion
+ * 4) as the headline metric, but these distances are cheap, need no
+ * reconstruction run, and rank the simulator ladder the same way —
+ * which bench/ablation_metrics demonstrates.
+ */
+
+#ifndef DNASIM_ANALYSIS_DATASET_DISTANCE_HH
+#define DNASIM_ANALYSIS_DATASET_DISTANCE_HH
+
+#include <string>
+
+#include "data/dataset.hh"
+#include "stats/histogram.hh"
+
+namespace dnasim
+{
+
+/** Summary statistics comparable across datasets. */
+struct DatasetSignature
+{
+    /// Counts of substitution / insertion / single-deletion /
+    /// long-deletion events (bins 0-3).
+    Histogram error_types;
+    /// Gestalt-aligned positional error histogram.
+    Histogram positions;
+    /// Copy-length histogram.
+    Histogram lengths;
+    /// Gestalt score per copy, bucketed to percent (bins 0-100).
+    Histogram gestalt_scores;
+    /// Per-copy error-count histogram (copy quality dispersion).
+    Histogram errors_per_copy;
+
+    uint64_t copies = 0;
+};
+
+/** Compute the signature of @p data (one pass over all copies). */
+DatasetSignature datasetSignature(const Dataset &data,
+                                  uint64_t seed = 0x51397a7);
+
+/** Chi-square distances between two dataset signatures. */
+struct DatasetDistance
+{
+    double error_types = 0.0;
+    double positions = 0.0;
+    double lengths = 0.0;
+    double gestalt_scores = 0.0;
+    double errors_per_copy = 0.0;
+
+    /** Unweighted mean of the component distances, in [0, 1]. */
+    double mean() const;
+
+    /** One-line rendering for reports. */
+    std::string str() const;
+};
+
+/** Distance between two signatures. */
+DatasetDistance datasetDistance(const DatasetSignature &a,
+                                const DatasetSignature &b);
+
+/** Convenience: signature + distance in one call. */
+DatasetDistance datasetDistance(const Dataset &a, const Dataset &b,
+                                uint64_t seed = 0x51397a7);
+
+} // namespace dnasim
+
+#endif // DNASIM_ANALYSIS_DATASET_DISTANCE_HH

@@ -1,0 +1,148 @@
+#include "analysis/error_positions.hh"
+
+#include <algorithm>
+
+#include "align/gestalt.hh"
+#include "align/hamming.hh"
+#include "base/logging.hh"
+
+namespace dnasim
+{
+
+namespace
+{
+
+template <typename PairFn>
+Histogram
+accumulatePre(const Dataset &data, PairFn &&fn)
+{
+    Histogram h;
+    for (const auto &cluster : data)
+        for (const auto &copy : cluster.copies)
+            fn(cluster.reference, copy, h);
+    return h;
+}
+
+template <typename PairFn>
+Histogram
+accumulatePost(const Dataset &data,
+               const std::vector<Strand> &estimates, PairFn &&fn)
+{
+    DNASIM_ASSERT(estimates.size() == data.size(),
+                  "estimate/cluster count mismatch");
+    Histogram h;
+    for (size_t i = 0; i < data.size(); ++i) {
+        if (estimates[i].empty())
+            continue;
+        fn(data[i].reference, estimates[i], h);
+    }
+    return h;
+}
+
+void
+addHamming(const Strand &ref, const Strand &other, Histogram &h)
+{
+    for (size_t pos : hammingErrorPositions(ref, other))
+        h.add(pos);
+}
+
+void
+addGestalt(const Strand &ref, const Strand &other, Histogram &h)
+{
+    for (size_t pos : gestaltErrorPositions(ref, other))
+        h.add(pos);
+}
+
+} // anonymous namespace
+
+Histogram
+hammingProfilePre(const Dataset &data)
+{
+    return accumulatePre(data, addHamming);
+}
+
+Histogram
+gestaltProfilePre(const Dataset &data)
+{
+    return accumulatePre(data, addGestalt);
+}
+
+Histogram
+hammingProfilePost(const Dataset &data,
+                   const std::vector<Strand> &estimates)
+{
+    return accumulatePost(data, estimates, addHamming);
+}
+
+Histogram
+gestaltProfilePost(const Dataset &data,
+                   const std::vector<Strand> &estimates)
+{
+    return accumulatePost(data, estimates, addGestalt);
+}
+
+std::vector<ProfileBucket>
+bucketProfile(const Histogram &profile, size_t positions,
+              size_t num_buckets)
+{
+    DNASIM_ASSERT(num_buckets > 0, "zero buckets");
+    positions = std::max(positions, profile.numBins());
+    num_buckets = std::min(num_buckets, std::max<size_t>(positions, 1));
+
+    uint64_t total = profile.total();
+    std::vector<ProfileBucket> out;
+    out.reserve(num_buckets);
+    for (size_t b = 0; b < num_buckets; ++b) {
+        ProfileBucket bucket;
+        bucket.lo = b * positions / num_buckets;
+        bucket.hi = (b + 1) * positions / num_buckets;
+        for (size_t pos = bucket.lo; pos < bucket.hi; ++pos)
+            bucket.errors += profile.count(pos);
+        bucket.share = total == 0
+                           ? 0.0
+                           : static_cast<double>(bucket.errors) /
+                                 static_cast<double>(total);
+        out.push_back(bucket);
+    }
+    return out;
+}
+
+const char *
+profileShapeName(ProfileShape s)
+{
+    switch (s) {
+      case ProfileShape::Flat: return "flat";
+      case ProfileShape::Rising: return "rising";
+      case ProfileShape::Falling: return "falling";
+      case ProfileShape::AShape: return "A-shape";
+      case ProfileShape::VShape: return "V-shape";
+    }
+    return "?";
+}
+
+ProfileShape
+classifyShape(const Histogram &profile, size_t positions,
+              double tolerance)
+{
+    auto thirds = bucketProfile(profile, positions, 3);
+    DNASIM_ASSERT(thirds.size() == 3, "expected three thirds");
+    double a = static_cast<double>(thirds[0].errors);
+    double b = static_cast<double>(thirds[1].errors);
+    double c = static_cast<double>(thirds[2].errors);
+    double mx = std::max({a, b, c, 1.0});
+
+    auto close = [&](double x, double y) {
+        return std::abs(x - y) <= tolerance * mx;
+    };
+    if (close(a, b) && close(b, c) && close(a, c))
+        return ProfileShape::Flat;
+    if (b >= a && b >= c && !(close(a, b) && close(b, c)))
+        return ProfileShape::AShape;
+    if (b <= a && b <= c && !(close(a, b) && close(b, c)))
+        return ProfileShape::VShape;
+    if (a <= b && b <= c)
+        return ProfileShape::Rising;
+    return ProfileShape::Falling;
+}
+
+} // namespace dnasim

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Positional error profiles — the Hamming and gestalt-aligned
+ * comparison curves used throughout the paper's figures (3.2, 3.4,
+ * 3.5, 3.7, 3.8, 3.10 and appendix C).
+ *
+ * Pre-reconstruction profiles compare every noisy copy against its
+ * reference; post-reconstruction profiles compare each cluster's
+ * reconstructed estimate against the reference. In both views the
+ * histogram bin is the strand position carrying the error.
+ */
+
+#ifndef DNASIM_ANALYSIS_ERROR_POSITIONS_HH
+#define DNASIM_ANALYSIS_ERROR_POSITIONS_HH
+
+#include <string>
+#include <vector>
+
+#include "data/dataset.hh"
+#include "stats/histogram.hh"
+
+namespace dnasim
+{
+
+/** Positional Hamming errors of every copy vs. its reference. */
+Histogram hammingProfilePre(const Dataset &data);
+
+/** Positional gestalt-aligned errors of every copy vs. its
+ *  reference. */
+Histogram gestaltProfilePre(const Dataset &data);
+
+/** Positional Hamming errors of per-cluster estimates. Estimates
+ *  are aligned to clusters by index; empty estimates (erasures) are
+ *  skipped. */
+Histogram hammingProfilePost(const Dataset &data,
+                             const std::vector<Strand> &estimates);
+
+/** Positional gestalt-aligned errors of per-cluster estimates. */
+Histogram gestaltProfilePost(const Dataset &data,
+                             const std::vector<Strand> &estimates);
+
+/**
+ * A positional histogram bucketed for printing: @p num_buckets rows
+ * of [lo, hi) position ranges with the error count and the share of
+ * total errors in each.
+ */
+struct ProfileBucket
+{
+    size_t lo = 0;
+    size_t hi = 0;
+    uint64_t errors = 0;
+    double share = 0.0;
+};
+
+/** Bucket @p profile (defined over @p positions bins). */
+std::vector<ProfileBucket> bucketProfile(const Histogram &profile,
+                                         size_t positions,
+                                         size_t num_buckets);
+
+/**
+ * Classify the shape of a positional profile, for shape assertions
+ * in benches and tests: compares the error mass in the first,
+ * middle, and last thirds.
+ */
+enum class ProfileShape
+{
+    Flat,     ///< all thirds within tolerance of each other
+    Rising,   ///< monotone increase toward the end
+    Falling,  ///< monotone decrease
+    AShape,   ///< middle third heaviest
+    VShape,   ///< middle third lightest
+};
+
+/** Name of a ProfileShape. */
+const char *profileShapeName(ProfileShape s);
+
+/** Classify @p profile over @p positions bins. @p tolerance is the
+ *  relative difference below which thirds count as equal. */
+ProfileShape classifyShape(const Histogram &profile, size_t positions,
+                           double tolerance = 0.15);
+
+} // namespace dnasim
+
+#endif // DNASIM_ANALYSIS_ERROR_POSITIONS_HH

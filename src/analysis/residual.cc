@@ -1,0 +1,40 @@
+#include "analysis/residual.hh"
+
+#include "align/edit_distance.hh"
+#include "base/logging.hh"
+
+namespace dnasim
+{
+
+ResidualErrorStats
+residualErrors(const Dataset &data,
+               const std::vector<Strand> &estimates, uint64_t seed)
+{
+    DNASIM_ASSERT(estimates.size() == data.size(),
+                  "estimate/cluster count mismatch");
+    Rng rng(seed);
+    ResidualErrorStats stats;
+    for (size_t i = 0; i < data.size(); ++i) {
+        if (estimates[i].empty())
+            continue;
+        for (const auto &op :
+             editOps(data[i].reference, estimates[i], &rng)) {
+            switch (op.type) {
+              case EditOpType::Equal:
+                break;
+              case EditOpType::Substitute:
+                ++stats.substitutions;
+                break;
+              case EditOpType::Delete:
+                ++stats.deletions;
+                break;
+              case EditOpType::Insert:
+                ++stats.insertions;
+                break;
+            }
+        }
+    }
+    return stats;
+}
+
+} // namespace dnasim

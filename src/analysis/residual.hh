@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Residual-error analysis: what kinds of errors remain between the
+ * references and the reconstructed estimates. Used for the paper's
+ * observation that ~90% of the Iterative algorithm's residual errors
+ * are deletions (section 3.4.1).
+ */
+
+#ifndef DNASIM_ANALYSIS_RESIDUAL_HH
+#define DNASIM_ANALYSIS_RESIDUAL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.hh"
+
+namespace dnasim
+{
+
+/** Counts of residual errors by type. */
+struct ResidualErrorStats
+{
+    uint64_t substitutions = 0;
+    uint64_t deletions = 0;
+    uint64_t insertions = 0;
+
+    uint64_t
+    total() const
+    {
+        return substitutions + deletions + insertions;
+    }
+
+    double
+    share(uint64_t part) const
+    {
+        uint64_t t = total();
+        return t == 0 ? 0.0
+                      : static_cast<double>(part) /
+                            static_cast<double>(t);
+    }
+
+    double delShare() const { return share(deletions); }
+    double subShare() const { return share(substitutions); }
+    double insShare() const { return share(insertions); }
+};
+
+/**
+ * Attribute the differences between each reference and its estimate
+ * (minimum edit distance, random tie-breaking seeded by @p seed) and
+ * count them by type. Empty estimates are skipped.
+ */
+ResidualErrorStats residualErrors(const Dataset &data,
+                                  const std::vector<Strand> &estimates,
+                                  uint64_t seed = 0x8e51d);
+
+} // namespace dnasim
+
+#endif // DNASIM_ANALYSIS_RESIDUAL_HH

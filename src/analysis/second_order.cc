@@ -1,0 +1,108 @@
+#include "analysis/second_order.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "align/edit_distance.hh"
+#include "base/logging.hh"
+
+namespace dnasim
+{
+
+namespace
+{
+
+struct KeyLess
+{
+    bool
+    operator()(const SecondOrderKey &a, const SecondOrderKey &b) const
+    {
+        if (a.type != b.type)
+            return a.type < b.type;
+        if (a.base != b.base)
+            return a.base < b.base;
+        return a.repl < b.repl;
+    }
+};
+
+} // anonymous namespace
+
+double
+SecondOrderCensus::topShare(size_t k) const
+{
+    double acc = 0.0;
+    for (size_t i = 0; i < std::min(k, entries.size()); ++i)
+        acc += entries[i].share;
+    return acc;
+}
+
+SecondOrderCensus
+secondOrderCensus(const Dataset &data, uint64_t seed)
+{
+    Rng rng(seed);
+    std::map<SecondOrderKey, SecondOrderCensusEntry, KeyLess> census;
+    uint64_t total = 0;
+
+    auto note = [&](SecondOrderKey key, size_t pos) {
+        auto &entry = census[key];
+        entry.key = key;
+        ++entry.count;
+        entry.positions.add(pos);
+        ++total;
+    };
+
+    for (const auto &cluster : data) {
+        const Strand &ref = cluster.reference;
+        if (ref.empty())
+            continue;
+        for (const auto &copy : cluster.copies) {
+            auto ops = editOps(ref, copy, &rng);
+            for (const auto &op : ops) {
+                switch (op.type) {
+                  case EditOpType::Equal:
+                  case EditOpType::Delete:
+                    break;
+                  case EditOpType::Substitute:
+                    note({EditOpType::Substitute, op.ref_base,
+                          op.copy_base},
+                         op.ref_pos);
+                    break;
+                  case EditOpType::Insert:
+                    note({EditOpType::Insert, op.copy_base, '\0'},
+                         std::min(op.ref_pos, ref.size() - 1));
+                    break;
+                }
+            }
+            for (const auto &run : deletionRuns(ops)) {
+                if (run.length == 1) {
+                    note({EditOpType::Delete, ref[run.ref_pos], '\0'},
+                         run.ref_pos);
+                } else {
+                    // A long deletion is one event, keyed by its
+                    // first base but flagged by repl = '+' so it is
+                    // distinguishable from single deletions.
+                    note({EditOpType::Delete, ref[run.ref_pos], '+'},
+                         run.ref_pos);
+                }
+            }
+        }
+    }
+
+    SecondOrderCensus result;
+    result.total_errors = total;
+    result.entries.reserve(census.size());
+    for (auto &[key, entry] : census) {
+        entry.share = total == 0
+                          ? 0.0
+                          : static_cast<double>(entry.count) /
+                                static_cast<double>(total);
+        result.entries.push_back(std::move(entry));
+    }
+    std::sort(result.entries.begin(), result.entries.end(),
+              [](const auto &a, const auto &b) {
+                  return a.count > b.count;
+              });
+    return result;
+}
+
+} // namespace dnasim

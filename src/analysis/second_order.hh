@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Second-order error census (section 3.3.3, Fig. 3.6): counts of
+ * specific (type, base[, replacement]) error events over a dataset,
+ * together with each error's positional distribution and its share
+ * of all errors.
+ */
+
+#ifndef DNASIM_ANALYSIS_SECOND_ORDER_HH
+#define DNASIM_ANALYSIS_SECOND_ORDER_HH
+
+#include <vector>
+
+#include "core/error_profile.hh"
+#include "data/dataset.hh"
+#include "stats/histogram.hh"
+
+namespace dnasim
+{
+
+/** One row of the census. */
+struct SecondOrderCensusEntry
+{
+    SecondOrderKey key;
+    uint64_t count = 0;
+    double share = 0.0; ///< fraction of all error events
+    Histogram positions;
+};
+
+/** Full census result. */
+struct SecondOrderCensus
+{
+    uint64_t total_errors = 0;
+    std::vector<SecondOrderCensusEntry> entries; ///< sorted by count
+
+    /** Combined share of the top @p k entries. */
+    double topShare(size_t k) const;
+};
+
+/**
+ * Census of second-order errors over every (reference, copy) pair of
+ * @p data. Deletion runs of length >= 2 count as a single "long
+ * deletion" event attributed to the first deleted base's identity.
+ */
+SecondOrderCensus secondOrderCensus(const Dataset &data,
+                                    uint64_t seed = 0xce4545);
+
+} // namespace dnasim
+
+#endif // DNASIM_ANALYSIS_SECOND_ORDER_HH

@@ -1,0 +1,109 @@
+#include "base/dna.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace dnasim
+{
+
+Base
+charToBase(char c)
+{
+    switch (c) {
+      case 'A': return Base::A;
+      case 'C': return Base::C;
+      case 'G': return Base::G;
+      case 'T': return Base::T;
+      default:
+        DNASIM_PANIC("invalid base character '", c, "' (", int(c), ")");
+    }
+}
+
+size_t
+baseIndex(char c)
+{
+    return static_cast<size_t>(charToBase(c));
+}
+
+char
+complementChar(char c)
+{
+    return baseToChar(complement(charToBase(c)));
+}
+
+bool
+isValidStrand(std::string_view s)
+{
+    return std::all_of(s.begin(), s.end(), isBaseChar);
+}
+
+Strand
+reverseStrand(std::string_view s)
+{
+    return Strand(s.rbegin(), s.rend());
+}
+
+Strand
+reverseComplement(std::string_view s)
+{
+    Strand out;
+    out.reserve(s.size());
+    for (auto it = s.rbegin(); it != s.rend(); ++it)
+        out.push_back(complementChar(*it));
+    return out;
+}
+
+double
+gcRatio(std::string_view s)
+{
+    if (s.empty())
+        return 0.0;
+    size_t gc = 0;
+    for (char c : s)
+        if (c == 'G' || c == 'C')
+            ++gc;
+    return static_cast<double>(gc) / static_cast<double>(s.size());
+}
+
+size_t
+maxHomopolymerRun(std::string_view s)
+{
+    size_t best = 0, run = 0;
+    char prev = '\0';
+    for (char c : s) {
+        run = (c == prev) ? run + 1 : 1;
+        prev = c;
+        best = std::max(best, run);
+    }
+    return best;
+}
+
+std::array<size_t, kNumBases>
+baseCounts(std::string_view s)
+{
+    std::array<size_t, kNumBases> counts{};
+    for (char c : s)
+        ++counts[baseIndex(c)];
+    return counts;
+}
+
+std::vector<bool>
+homopolymerRunMask(std::string_view s, size_t min_run)
+{
+    std::vector<bool> mask(s.size(), false);
+    if (min_run == 0)
+        min_run = 1;
+    size_t start = 0;
+    for (size_t i = 1; i <= s.size(); ++i) {
+        if (i == s.size() || s[i] != s[start]) {
+            if (i - start >= min_run)
+                for (size_t k = start; k < i; ++k)
+                    mask[k] = true;
+            start = i;
+        }
+    }
+    return mask;
+}
+
+} // namespace dnasim

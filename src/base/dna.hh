@@ -1,0 +1,116 @@
+/**
+ * @file
+ * The DNA alphabet and strand utilities.
+ *
+ * A strand is represented as a std::string over the characters
+ * 'A', 'C', 'G', 'T'. The Base enum gives a dense 0..3 index used by
+ * probability tables (conditional error rates, confusion matrices).
+ */
+
+#ifndef DNASIM_BASE_DNA_HH
+#define DNASIM_BASE_DNA_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dnasim
+{
+
+/** A DNA strand: a string over {A, C, G, T}. */
+using Strand = std::string;
+
+/** The four nucleotide bases, densely indexed for probability tables. */
+enum class Base : uint8_t
+{
+    A = 0,
+    C = 1,
+    G = 2,
+    T = 3,
+};
+
+/** Number of bases in the alphabet. */
+inline constexpr size_t kNumBases = 4;
+
+/** All bases, in index order. */
+inline constexpr std::array<Base, kNumBases> kAllBases = {
+    Base::A, Base::C, Base::G, Base::T};
+
+/** The alphabet as characters, in index order. */
+inline constexpr std::array<char, kNumBases> kBaseChars = {
+    'A', 'C', 'G', 'T'};
+
+/** Convert a base to its character. */
+constexpr char
+baseToChar(Base b)
+{
+    return kBaseChars[static_cast<size_t>(b)];
+}
+
+/** True iff @p c is one of A, C, G, T. */
+constexpr bool
+isBaseChar(char c)
+{
+    return c == 'A' || c == 'C' || c == 'G' || c == 'T';
+}
+
+/**
+ * Convert a character to its Base.
+ *
+ * The character must satisfy isBaseChar(); this is checked with an
+ * assertion (invalid strand content is a bug upstream of this call).
+ */
+Base charToBase(char c);
+
+/** Dense 0..3 index of a base character. Asserts isBaseChar(). */
+size_t baseIndex(char c);
+
+/** Watson-Crick complement of a single base. */
+constexpr Base
+complement(Base b)
+{
+    switch (b) {
+      case Base::A: return Base::T;
+      case Base::T: return Base::A;
+      case Base::C: return Base::G;
+      case Base::G: return Base::C;
+    }
+    return Base::A; // unreachable
+}
+
+/** Watson-Crick complement of a single base character. */
+char complementChar(char c);
+
+/** True iff every character of @p s is a valid base. */
+bool isValidStrand(std::string_view s);
+
+/** Reverse of a strand (no complementing). */
+Strand reverseStrand(std::string_view s);
+
+/** Reverse complement of a strand. */
+Strand reverseComplement(std::string_view s);
+
+/**
+ * GC-ratio of a strand in [0, 1]: (#G + #C) / length.
+ * Returns 0 for the empty strand.
+ */
+double gcRatio(std::string_view s);
+
+/** Length of the longest homopolymer run (e.g. AAAA -> 4). */
+size_t maxHomopolymerRun(std::string_view s);
+
+/** Per-base counts, indexed by baseIndex(). */
+std::array<size_t, kNumBases> baseCounts(std::string_view s);
+
+/**
+ * Mask of positions lying inside a homopolymer run of length at
+ * least @p min_run (e.g. for "AAAT" and min_run 3, positions 0-2).
+ */
+std::vector<bool> homopolymerRunMask(std::string_view s,
+                                     size_t min_run);
+
+} // namespace dnasim
+
+#endif // DNASIM_BASE_DNA_HH

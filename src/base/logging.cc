@@ -1,0 +1,60 @@
+#include "base/logging.hh"
+
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <set>
+
+namespace dnasim
+{
+namespace detail
+{
+
+namespace
+{
+
+std::mutex log_mutex;
+std::set<std::string> seen_warnings;
+
+} // anonymous namespace
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    {
+        std::lock_guard<std::mutex> lock(log_mutex);
+        std::cerr << "panic: " << msg << "\n @ " << file << ":" << line
+                  << std::endl;
+    }
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    {
+        std::lock_guard<std::mutex> lock(log_mutex);
+        std::cerr << "fatal: " << msg << "\n @ " << file << ":" << line
+                  << std::endl;
+    }
+    throw FatalError(msg);
+}
+
+void
+warnImpl(const std::string &msg, bool once)
+{
+    std::lock_guard<std::mutex> lock(log_mutex);
+    if (once && !seen_warnings.insert(msg).second)
+        return;
+    std::cerr << "warn: " << msg << std::endl;
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::lock_guard<std::mutex> lock(log_mutex);
+    std::cerr << "info: " << msg << std::endl;
+}
+
+} // namespace detail
+} // namespace dnasim

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Logging and error-reporting helpers, in the spirit of gem5's
+ * base/logging.hh.
+ *
+ * Two classes of failure are distinguished:
+ *  - panic(): an internal invariant was violated (a dnasim bug);
+ *    aborts the process so a debugger or core dump can be used.
+ *  - fatal(): the simulation cannot continue because of a user error
+ *    (bad configuration, malformed input file); throws FatalError so
+ *    callers (and tests) can observe it, and terminates with exit(1)
+ *    when it escapes main.
+ *
+ * Non-terminating status helpers: inform(), warn(), warn_once().
+ */
+
+#ifndef DNASIM_BASE_LOGGING_HH
+#define DNASIM_BASE_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dnasim
+{
+
+/** Exception thrown by fatal(); carries the formatted message. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+namespace detail
+{
+
+/** Concatenate a pack of streamable arguments into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg, bool once);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Abort on an internal invariant violation (a dnasim bug). */
+#define DNASIM_PANIC(...)                                                  \
+    ::dnasim::detail::panicImpl(__FILE__, __LINE__,                        \
+                                ::dnasim::detail::concat(__VA_ARGS__))
+
+/** Terminate on an unrecoverable user error (throws FatalError). */
+#define DNASIM_FATAL(...)                                                  \
+    ::dnasim::detail::fatalImpl(__FILE__, __LINE__,                        \
+                                ::dnasim::detail::concat(__VA_ARGS__))
+
+/** Panic if @p cond is false. Active in all build types. */
+#define DNASIM_ASSERT(cond, ...)                                           \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::dnasim::detail::panicImpl(                                   \
+                __FILE__, __LINE__,                                        \
+                ::dnasim::detail::concat("assertion '" #cond "' failed: ", \
+                                         ##__VA_ARGS__));                  \
+        }                                                                  \
+    } while (0)
+
+/** Print a warning to stderr. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...), false);
+}
+
+/** Print a warning to stderr only the first time this message occurs. */
+template <typename... Args>
+void
+warn_once(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...), true);
+}
+
+/** Print an informational message to stderr. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+} // namespace dnasim
+
+#endif // DNASIM_BASE_LOGGING_HH

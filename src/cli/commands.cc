@@ -1,0 +1,323 @@
+#include "cli/commands.hh"
+
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <memory>
+
+#include "analysis/accuracy.hh"
+#include "analysis/error_positions.hh"
+#include "analysis/second_order.hh"
+#include "base/logging.hh"
+#include "base/table.hh"
+#include "core/channel_simulator.hh"
+#include "core/dnasimulator_model.hh"
+#include "core/ids_model.hh"
+#include "core/profile_io.hh"
+#include "core/profiler.hh"
+#include "core/wetlab.hh"
+#include "data/io.hh"
+#include "pipeline/archival_pipeline.hh"
+#include "reconstruct/bma.hh"
+#include "reconstruct/divider_bma.hh"
+#include "reconstruct/iterative.hh"
+#include "reconstruct/majority.hh"
+#include "reconstruct/twoway_iterative.hh"
+#include "reconstruct/weighted_iterative.hh"
+
+namespace dnasim
+{
+
+namespace
+{
+
+std::unique_ptr<Reconstructor>
+makeReconstructor(const std::string &name)
+{
+    if (name == "bma")
+        return std::make_unique<BmaLookahead>();
+    if (name == "bma-oneway")
+        return std::make_unique<BmaLookahead>(BmaOptions{false});
+    if (name == "divbma")
+        return std::make_unique<DividerBma>();
+    if (name == "iterative")
+        return std::make_unique<Iterative>();
+    if (name == "iterative-2way")
+        return std::make_unique<TwoWayIterative>();
+    if (name == "iterative-weighted")
+        return std::make_unique<WeightedIterative>();
+    if (name == "majority")
+        return std::make_unique<MajorityVote>();
+    DNASIM_FATAL("unknown algorithm '", name,
+                 "'; expected bma, bma-oneway, divbma, iterative, "
+                 "iterative-2way, iterative-weighted, or majority");
+}
+
+std::unique_ptr<ErrorModel>
+makeModel(const std::string &name, const ErrorProfile &profile)
+{
+    if (name == "naive")
+        return std::make_unique<IdsChannelModel>(
+            IdsChannelModel::naive(profile));
+    if (name == "conditional")
+        return std::make_unique<IdsChannelModel>(
+            IdsChannelModel::conditional(profile));
+    if (name == "skew")
+        return std::make_unique<IdsChannelModel>(
+            IdsChannelModel::skew(profile));
+    if (name == "second-order")
+        return std::make_unique<IdsChannelModel>(
+            IdsChannelModel::secondOrder(profile));
+    if (name == "dnasimulator")
+        return std::make_unique<DnaSimulatorModel>(
+            DnaSimulatorModel::fromProfile(profile));
+    DNASIM_FATAL("unknown model '", name,
+                 "'; expected naive, conditional, skew, second-order, "
+                 "or dnasimulator");
+}
+
+void
+printProfileTable(const Histogram &profile, size_t positions,
+                  const std::string &title, size_t buckets)
+{
+    TextTable table(title);
+    table.setHeader({"positions", "errors", "share%"});
+    for (const auto &b : bucketProfile(profile, positions, buckets)) {
+        table.addRow({std::to_string(b.lo) + "-" +
+                          std::to_string(b.hi - 1),
+                      std::to_string(b.errors),
+                      fmtPercent(b.share)});
+    }
+    table.print(std::cout);
+}
+
+} // anonymous namespace
+
+int
+cmdGenerate(const Args &args)
+{
+    WetlabConfig config;
+    config.num_clusters =
+        static_cast<size_t>(args.getInt("clusters", 1000));
+    config.strand_length =
+        static_cast<size_t>(args.getInt("length", 110));
+    config.total_error_rate = args.getDouble("error-rate", 0.059);
+    config.mean_coverage = args.getDouble("coverage", 26.97);
+    std::string out = args.get("out", "wetlab.evyat");
+    Rng rng(args.getSeed("seed", 0xd7a5707a));
+
+    NanoporeDatasetGenerator generator(config);
+    Dataset dataset = generator.generate(rng);
+    writeEvyatFile(dataset, out);
+
+    auto stats = dataset.stats();
+    std::cout << "wrote " << out << ": " << stats.num_clusters
+              << " clusters, " << stats.num_copies << " copies, mean "
+              << "coverage " << fmtDouble(stats.mean_coverage)
+              << ", aggregate error "
+              << fmtPercent(stats.aggregate_error_rate) << "%\n";
+    return 0;
+}
+
+int
+cmdCalibrate(const Args &args)
+{
+    if (args.positional().size() < 2) {
+        DNASIM_FATAL("usage: dnasim calibrate <dataset.evyat> "
+                     "[--top-k K] [--out profile.txt]");
+    }
+    Dataset dataset = readEvyatFile(args.positional()[1]);
+    ProfilerOptions options;
+    options.top_second_order =
+        static_cast<size_t>(args.getInt("top-k", 10));
+    ErrorProfiler profiler(options);
+    ErrorProfile profile = profiler.calibrate(dataset);
+    std::cout << profile.str() << "\n";
+    if (args.has("out")) {
+        std::string out = args.get("out");
+        writeProfileFile(profile, out);
+        std::cout << "wrote calibrated profile to " << out << "\n";
+    }
+    return 0;
+}
+
+int
+cmdSimulate(const Args &args)
+{
+    if (args.positional().size() < 2) {
+        DNASIM_FATAL("usage: dnasim simulate <dataset.evyat> "
+                     "[--model skew] [--out sim.evyat]");
+    }
+    Dataset real = readEvyatFile(args.positional()[1]);
+    std::string model_name = args.get("model", "second-order");
+    std::string out = args.get("out", "simulated.evyat");
+    Rng rng(args.getSeed("seed", 0x51a70));
+
+    // Use a previously saved profile when given; otherwise
+    // calibrate from the dataset itself.
+    ErrorProfile profile;
+    if (args.has("profile")) {
+        profile = readProfileFile(args.get("profile"));
+    } else {
+        ErrorProfiler profiler;
+        profile = profiler.calibrate(real);
+    }
+    auto model = makeModel(model_name, profile);
+    ChannelSimulator sim(*model);
+    Dataset simulated = sim.simulateLike(real, rng);
+    writeEvyatFile(simulated, out);
+
+    auto stats = simulated.stats();
+    std::cout << "wrote " << out << " (model " << model->name()
+              << "): " << stats.num_clusters << " clusters, "
+              << stats.num_copies << " copies, aggregate error "
+              << fmtPercent(stats.aggregate_error_rate) << "%\n";
+    return 0;
+}
+
+int
+cmdReconstruct(const Args &args)
+{
+    if (args.positional().size() < 2) {
+        DNASIM_FATAL("usage: dnasim reconstruct <dataset.evyat> "
+                     "[--algo bma] [--coverage N]");
+    }
+    Dataset dataset = readEvyatFile(args.positional()[1]);
+    std::string algo_name = args.get("algo", "bma");
+    int64_t coverage = args.getInt("coverage", 0);
+    Rng rng(args.getSeed("seed", 0x4ec0));
+
+    if (coverage > 0) {
+        dataset.shuffleWithinClusters(rng);
+        dataset = dataset.fixedCoverage(static_cast<size_t>(coverage));
+    }
+    auto algo = makeReconstructor(algo_name);
+    AccuracyResult result = evaluateAccuracy(dataset, *algo, rng);
+
+    TextTable table("reconstruction accuracy");
+    table.setHeader({"algorithm", "clusters", "per-strand%",
+                     "per-char%"});
+    table.addRow({algo->name(), std::to_string(result.num_clusters),
+                  fmtPercent(result.perStrand()),
+                  fmtPercent(result.perChar())});
+    table.print(std::cout);
+    return 0;
+}
+
+int
+cmdAnalyze(const Args &args)
+{
+    if (args.positional().size() < 2)
+        DNASIM_FATAL("usage: dnasim analyze <dataset.evyat>");
+    Dataset dataset = readEvyatFile(args.positional()[1]);
+    size_t buckets = static_cast<size_t>(args.getInt("buckets", 11));
+    size_t top_k = static_cast<size_t>(args.getInt("top-k", 10));
+
+    size_t positions = 0;
+    for (const auto &c : dataset)
+        positions = std::max(positions, c.reference.size());
+
+    printProfileTable(hammingProfilePre(dataset), positions + 10,
+                      "Hamming error positions (pre-reconstruction)",
+                      buckets);
+    printProfileTable(gestaltProfilePre(dataset), positions,
+                      "gestalt-aligned error positions "
+                      "(pre-reconstruction)",
+                      buckets);
+
+    auto census = secondOrderCensus(dataset);
+    TextTable table("second-order error census");
+    table.setHeader({"error", "count", "share%", "head%", "tail%"});
+    for (size_t i = 0;
+         i < std::min(top_k, census.entries.size()); ++i) {
+        const auto &e = census.entries[i];
+        auto b = bucketProfile(e.positions, positions, 3);
+        table.addRow({e.key.str(), std::to_string(e.count),
+                      fmtPercent(e.share), fmtPercent(b.front().share),
+                      fmtPercent(b.back().share)});
+    }
+    table.print(std::cout);
+    std::cout << "top-" << top_k << " errors cover "
+              << fmtPercent(census.topShare(top_k))
+              << "% of all errors\n";
+    return 0;
+}
+
+int
+cmdRoundtrip(const Args &args)
+{
+    if (args.positional().size() < 2) {
+        DNASIM_FATAL("usage: dnasim roundtrip <file> "
+                     "[--coverage N] [--error-rate p] "
+                     "[--algo iterative]");
+    }
+    const std::string &path = args.positional()[1];
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        DNASIM_FATAL("cannot open '", path, "'");
+    Bytes file((std::istreambuf_iterator<char>(in)),
+               std::istreambuf_iterator<char>());
+
+    auto coverage_n =
+        static_cast<size_t>(args.getInt("coverage", 6));
+    double error_rate = args.getDouble("error-rate", 0.04);
+    std::string algo_name = args.get("algo", "iterative");
+    Rng rng(args.getSeed("seed", 0x3071));
+
+    ArchivalPipeline pipeline;
+    StoredObject object = pipeline.store(file);
+    std::cout << "encoded " << file.size() << " bytes into "
+              << object.strands.size() << " strands of length "
+              << pipeline.strandLength() << "\n";
+
+    ErrorProfile channel_profile =
+        NanoporeDatasetGenerator::groundTruthProfile(
+            pipeline.strandLength(), error_rate);
+    IdsChannelModel channel =
+        IdsChannelModel::full(channel_profile, "nanopore-like");
+    FixedCoverage coverage(coverage_n);
+    auto algo = makeReconstructor(algo_name);
+
+    RetrievedObject result =
+        pipeline.roundTrip(file, channel, coverage, *algo, rng);
+    std::cout << "retrieval " << (result.success ? "OK" : "FAILED")
+              << ": erasures=" << result.stats.erasure_clusters
+              << " crc-rejects="
+              << result.stats.crc_failures +
+                     result.stats.undecodable_strands
+              << " frames-recovered="
+              << result.stats.frames_recovered
+              << " payload-intact="
+              << (result.data == file ? "yes" : "NO") << "\n";
+    return result.success && result.data == file ? 0 : 1;
+}
+
+void
+printUsage()
+{
+    std::cout <<
+        "dnasim — DNA storage noisy-channel simulator\n"
+        "\n"
+        "usage: dnasim <command> [args]\n"
+        "\n"
+        "commands:\n"
+        "  generate     generate a synthetic wetlab dataset\n"
+        "               [--clusters N] [--length L] [--error-rate p]\n"
+        "               [--coverage c] [--seed s] [--out file]\n"
+        "  calibrate    fit an error profile from a dataset\n"
+        "               <dataset.evyat> [--top-k K]\n"
+        "  simulate     calibrate from a dataset and re-simulate it\n"
+        "               <dataset.evyat> [--model naive|conditional|\n"
+        "               skew|second-order|dnasimulator] [--out file]\n"
+        "  reconstruct  run trace reconstruction and report accuracy\n"
+        "               <dataset.evyat> [--algo bma|bma-oneway|divbma|\n"
+        "               iterative|iterative-2way|iterative-weighted|\n"
+        "               majority] [--coverage N]\n"
+        "  analyze      positional error profiles and second-order\n"
+        "               census <dataset.evyat> [--buckets B]\n"
+        "  roundtrip    store a file in simulated DNA and read it\n"
+        "               back <file> [--coverage N] [--error-rate p]\n"
+        "               [--algo iterative]\n";
+}
+
+} // namespace dnasim

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Subcommands of the dnasim command-line tool.
+ */
+
+#ifndef DNASIM_CLI_COMMANDS_HH
+#define DNASIM_CLI_COMMANDS_HH
+
+#include "cli/args.hh"
+
+namespace dnasim
+{
+
+/** generate: synthesize a wetlab-like dataset into an evyat file. */
+int cmdGenerate(const Args &args);
+
+/** calibrate: fit an ErrorProfile from an evyat file and print it. */
+int cmdCalibrate(const Args &args);
+
+/** simulate: calibrate from one dataset and simulate another. */
+int cmdSimulate(const Args &args);
+
+/** reconstruct: run a TR algorithm over a dataset, report accuracy. */
+int cmdReconstruct(const Args &args);
+
+/** analyze: positional profiles and second-order census. */
+int cmdAnalyze(const Args &args);
+
+/** roundtrip: store a file in simulated DNA and read it back. */
+int cmdRoundtrip(const Args &args);
+
+/** Print top-level usage. */
+void printUsage();
+
+} // namespace dnasim
+
+#endif // DNASIM_CLI_COMMANDS_HH

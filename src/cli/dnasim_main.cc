@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Entry point of the dnasim command-line tool.
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "base/logging.hh"
+#include "cli/args.hh"
+#include "cli/commands.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace dnasim;
+
+    if (argc < 2) {
+        printUsage();
+        return 1;
+    }
+
+    Args args(argc - 1, argv + 1);
+    const std::string &command = args.positional().empty()
+                                     ? std::string()
+                                     : args.positional()[0];
+    try {
+        if (command == "generate")
+            return cmdGenerate(args);
+        if (command == "calibrate")
+            return cmdCalibrate(args);
+        if (command == "simulate")
+            return cmdSimulate(args);
+        if (command == "reconstruct")
+            return cmdReconstruct(args);
+        if (command == "analyze")
+            return cmdAnalyze(args);
+        if (command == "roundtrip")
+            return cmdRoundtrip(args);
+        if (command == "help" || command.empty()) {
+            printUsage();
+            return command.empty() ? 1 : 0;
+        }
+        std::cerr << "unknown command '" << command << "'\n\n";
+        printUsage();
+        return 1;
+    } catch (const FatalError &) {
+        // Message already printed by fatal().
+        return 1;
+    }
+}

@@ -1,0 +1,101 @@
+#include "cluster/greedy_cluster.hh"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "align/edit_distance.hh"
+#include "base/logging.hh"
+
+namespace dnasim
+{
+
+std::vector<ReadCluster>
+clusterReads(const std::vector<Strand> &reads,
+             const ClusterOptions &options)
+{
+    DNASIM_ASSERT(options.anchor_length > 0, "zero anchor length");
+
+    std::vector<ReadCluster> clusters;
+    // anchor -> cluster indices whose representative starts with it.
+    std::unordered_map<std::string, std::vector<size_t>> buckets;
+
+    auto anchor_of = [&](const Strand &s) {
+        return s.substr(0, std::min(options.anchor_length, s.size()));
+    };
+
+    for (size_t i = 0; i < reads.size(); ++i) {
+        const Strand &read = reads[i];
+        bool placed = false;
+
+        // Probe candidate clusters sharing the anchor first, then
+        // (bounded) recently created clusters as a fallback for
+        // reads whose prefix was corrupted.
+        std::vector<size_t> candidates;
+        auto it = buckets.find(anchor_of(read));
+        if (it != buckets.end())
+            candidates = it->second;
+        size_t extra = 0;
+        for (size_t c = clusters.size(); c-- > 0 &&
+                                         extra < options.max_probes;) {
+            if (std::find(candidates.begin(), candidates.end(), c) ==
+                candidates.end()) {
+                candidates.push_back(c);
+                ++extra;
+            }
+        }
+
+        size_t probes = 0;
+        for (size_t c : candidates) {
+            if (probes++ >= options.max_probes)
+                break;
+            if (levenshtein(clusters[c].representative, read) <=
+                options.distance_threshold) {
+                clusters[c].members.push_back(i);
+                placed = true;
+                break;
+            }
+        }
+
+        if (!placed) {
+            ReadCluster fresh;
+            fresh.members.push_back(i);
+            fresh.representative = read;
+            clusters.push_back(std::move(fresh));
+            buckets[anchor_of(read)].push_back(clusters.size() - 1);
+        }
+    }
+    return clusters;
+}
+
+ClusterPurity
+scoreClustering(const std::vector<ReadCluster> &clusters,
+                const std::vector<size_t> &origins)
+{
+    ClusterPurity purity;
+    purity.num_clusters = clusters.size();
+    for (const auto &cluster : clusters) {
+        std::map<size_t, size_t> counts;
+        for (size_t member : cluster.members) {
+            DNASIM_ASSERT(member < origins.size(),
+                          "read index out of range");
+            ++counts[origins[member]];
+        }
+        size_t majority_origin = 0;
+        size_t best = 0;
+        for (const auto &[origin, count] : counts) {
+            if (count > best) {
+                best = count;
+                majority_origin = origin;
+            }
+        }
+        for (size_t member : cluster.members) {
+            ++purity.num_reads;
+            if (origins[member] == majority_origin)
+                ++purity.correctly_clustered;
+        }
+    }
+    return purity;
+}
+
+} // namespace dnasim

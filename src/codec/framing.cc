@@ -1,0 +1,115 @@
+#include "codec/framing.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace dnasim
+{
+
+uint8_t
+crc8(const Bytes &data)
+{
+    uint8_t crc = 0;
+    for (uint8_t byte : data) {
+        crc ^= byte;
+        for (int bit = 0; bit < 8; ++bit) {
+            if (crc & 0x80)
+                crc = static_cast<uint8_t>((crc << 1) ^ 0x07);
+            else
+                crc = static_cast<uint8_t>(crc << 1);
+        }
+    }
+    return crc;
+}
+
+FrameCodec::FrameCodec(size_t payload_bytes, size_t index_bytes)
+    : payload_bytes_(payload_bytes), index_bytes_(index_bytes)
+{
+    DNASIM_ASSERT(payload_bytes_ > 0, "zero payload size");
+    DNASIM_ASSERT(index_bytes_ >= 1 && index_bytes_ <= 4,
+                  "index width must be 1-4 bytes");
+}
+
+std::vector<Frame>
+FrameCodec::split(const Bytes &data) const
+{
+    std::vector<Frame> frames;
+    const size_t count =
+        data.empty() ? 1
+                     : (data.size() + payload_bytes_ - 1) /
+                           payload_bytes_;
+    const uint64_t max_index = (1ULL << (8 * index_bytes_)) - 1;
+    DNASIM_ASSERT(count - 1 <= max_index,
+                  "file needs ", count, " frames but index width ",
+                  index_bytes_, " only addresses ", max_index + 1);
+    frames.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+        Frame f;
+        f.index = static_cast<uint32_t>(i);
+        size_t lo = i * payload_bytes_;
+        size_t hi = std::min(data.size(), lo + payload_bytes_);
+        f.payload.assign(data.begin() + static_cast<ptrdiff_t>(lo),
+                         data.begin() + static_cast<ptrdiff_t>(hi));
+        f.payload.resize(payload_bytes_, 0);
+        frames.push_back(std::move(f));
+    }
+    return frames;
+}
+
+Bytes
+FrameCodec::pack(const Frame &frame) const
+{
+    DNASIM_ASSERT(frame.payload.size() == payload_bytes_,
+                  "payload size mismatch");
+    Bytes out;
+    out.reserve(frameBytes());
+    for (size_t i = index_bytes_; i-- > 0;)
+        out.push_back(
+            static_cast<uint8_t>((frame.index >> (8 * i)) & 0xff));
+    out.insert(out.end(), frame.payload.begin(), frame.payload.end());
+    out.push_back(crc8(out));
+    return out;
+}
+
+std::optional<Frame>
+FrameCodec::unpack(const Bytes &raw) const
+{
+    if (raw.size() != frameBytes())
+        return std::nullopt;
+    Bytes body(raw.begin(), raw.end() - 1);
+    if (crc8(body) != raw.back())
+        return std::nullopt;
+    Frame f;
+    for (size_t i = 0; i < index_bytes_; ++i)
+        f.index = (f.index << 8) | raw[i];
+    f.payload.assign(raw.begin() + static_cast<ptrdiff_t>(index_bytes_),
+                     raw.end() - 1);
+    return f;
+}
+
+Bytes
+FrameCodec::reassemble(const std::vector<Frame> &frames,
+                       size_t num_frames,
+                       std::vector<uint32_t> *missing) const
+{
+    Bytes out(num_frames * payload_bytes_, 0);
+    std::vector<bool> seen(num_frames, false);
+    for (const auto &f : frames) {
+        if (f.index >= num_frames || seen[f.index])
+            continue;
+        seen[f.index] = true;
+        std::copy(f.payload.begin(), f.payload.end(),
+                  out.begin() +
+                      static_cast<ptrdiff_t>(f.index * payload_bytes_));
+    }
+    if (missing) {
+        missing->clear();
+        for (size_t i = 0; i < num_frames; ++i)
+            if (!seen[i])
+                missing->push_back(static_cast<uint32_t>(i));
+    }
+    return out;
+}
+
+} // namespace dnasim

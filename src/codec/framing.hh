@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Strand framing: how a file's payload blocks become addressable
+ * strands.
+ *
+ * DNA storage is unordered, so every strand must carry its own
+ * index (section 1.1). A frame is [index | payload | crc8]; the
+ * CRC detects corrupted reconstructions so the decoder can treat
+ * them as erasures rather than silently accepting bad data.
+ */
+
+#ifndef DNASIM_CODEC_FRAMING_HH
+#define DNASIM_CODEC_FRAMING_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "codec/dna_codec.hh"
+
+namespace dnasim
+{
+
+/** CRC-8 (poly 0x07) of a byte span. */
+uint8_t crc8(const Bytes &data);
+
+/** One addressable payload block. */
+struct Frame
+{
+    uint32_t index = 0;
+    Bytes payload;
+};
+
+/** Frame packing/unpacking configuration. */
+class FrameCodec
+{
+  public:
+    /**
+     * @param payload_bytes  payload size per frame
+     * @param index_bytes    width of the index field (1-4)
+     */
+    FrameCodec(size_t payload_bytes, size_t index_bytes = 2);
+
+    size_t payloadBytes() const { return payload_bytes_; }
+    size_t indexBytes() const { return index_bytes_; }
+
+    /** Total serialized frame size: index + payload + crc. */
+    size_t
+    frameBytes() const
+    {
+        return index_bytes_ + payload_bytes_ + 1;
+    }
+
+    /** Split @p data into zero-padded frames with running indices. */
+    std::vector<Frame> split(const Bytes &data) const;
+
+    /** Serialize a frame: [index | payload | crc8]. */
+    Bytes pack(const Frame &frame) const;
+
+    /**
+     * Parse a serialized frame, validating length and CRC.
+     * Returns std::nullopt on any mismatch.
+     */
+    std::optional<Frame> unpack(const Bytes &raw) const;
+
+    /**
+     * Reassemble the payload stream from parsed frames.
+     *
+     * @param frames      parsed frames in any order
+     * @param num_frames  the expected frame count
+     * @param missing     out-param: indices never seen
+     * @return the concatenated payloads (missing frames zero-filled)
+     */
+    Bytes reassemble(const std::vector<Frame> &frames,
+                     size_t num_frames,
+                     std::vector<uint32_t> *missing = nullptr) const;
+
+  private:
+    size_t payload_bytes_;
+    size_t index_bytes_;
+};
+
+} // namespace dnasim
+
+#endif // DNASIM_CODEC_FRAMING_HH

@@ -1,0 +1,123 @@
+#include "codec/gf256.hh"
+
+#include <array>
+
+#include "base/logging.hh"
+
+namespace dnasim
+{
+namespace gf256
+{
+
+namespace
+{
+
+struct Tables
+{
+    std::array<uint8_t, 512> exp{};
+    std::array<int, 256> log{};
+
+    Tables()
+    {
+        uint16_t x = 1;
+        for (int i = 0; i < 255; ++i) {
+            exp[i] = static_cast<uint8_t>(x);
+            log[x] = i;
+            x <<= 1;
+            if (x & 0x100)
+                x ^= 0x11d;
+        }
+        for (int i = 255; i < 512; ++i)
+            exp[i] = exp[i - 255];
+        log[0] = -1;
+    }
+};
+
+const Tables &
+tables()
+{
+    static const Tables t;
+    return t;
+}
+
+} // anonymous namespace
+
+uint8_t
+mul(uint8_t a, uint8_t b)
+{
+    if (a == 0 || b == 0)
+        return 0;
+    const auto &t = tables();
+    return t.exp[t.log[a] + t.log[b]];
+}
+
+uint8_t
+div(uint8_t a, uint8_t b)
+{
+    DNASIM_ASSERT(b != 0, "GF(256) division by zero");
+    if (a == 0)
+        return 0;
+    const auto &t = tables();
+    return t.exp[(t.log[a] - t.log[b] + 255) % 255];
+}
+
+uint8_t
+inv(uint8_t a)
+{
+    DNASIM_ASSERT(a != 0, "GF(256) inverse of zero");
+    const auto &t = tables();
+    return t.exp[255 - t.log[a]];
+}
+
+uint8_t
+pow(uint8_t base, int power)
+{
+    if (base == 0)
+        return power == 0 ? 1 : 0;
+    const auto &t = tables();
+    int e = (t.log[base] * power) % 255;
+    if (e < 0)
+        e += 255;
+    return t.exp[e];
+}
+
+uint8_t
+alphaPow(int power)
+{
+    const auto &t = tables();
+    int e = power % 255;
+    if (e < 0)
+        e += 255;
+    return t.exp[e];
+}
+
+int
+alphaLog(uint8_t a)
+{
+    DNASIM_ASSERT(a != 0, "GF(256) log of zero");
+    return tables().log[a];
+}
+
+uint8_t
+polyEval(const std::vector<uint8_t> &poly, uint8_t x)
+{
+    uint8_t acc = 0;
+    for (uint8_t coeff : poly)
+        acc = static_cast<uint8_t>(mul(acc, x) ^ coeff);
+    return acc;
+}
+
+std::vector<uint8_t>
+polyMul(const std::vector<uint8_t> &a, const std::vector<uint8_t> &b)
+{
+    if (a.empty() || b.empty())
+        return {};
+    std::vector<uint8_t> out(a.size() + b.size() - 1, 0);
+    for (size_t i = 0; i < a.size(); ++i)
+        for (size_t j = 0; j < b.size(); ++j)
+            out[i + j] ^= mul(a[i], b[j]);
+    return out;
+}
+
+} // namespace gf256
+} // namespace dnasim

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Arithmetic over GF(2^8) with the AES/QR polynomial 0x11d,
+ * table-driven. Substrate for the Reed-Solomon code used by the
+ * archival pipeline's logical redundancy (section 1.1.3; Grass et
+ * al. [12] used RS codes for DNA storage).
+ */
+
+#ifndef DNASIM_CODEC_GF256_HH
+#define DNASIM_CODEC_GF256_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace dnasim
+{
+
+/** Table-driven GF(256) arithmetic. */
+namespace gf256
+{
+
+/** Multiply two field elements. */
+uint8_t mul(uint8_t a, uint8_t b);
+
+/** Divide @p a by @p b; asserts b != 0. */
+uint8_t div(uint8_t a, uint8_t b);
+
+/** Multiplicative inverse; asserts a != 0. */
+uint8_t inv(uint8_t a);
+
+/** @p base raised to @p power (power may be any integer). */
+uint8_t pow(uint8_t base, int power);
+
+/** The generator alpha (= 2) raised to @p power. */
+uint8_t alphaPow(int power);
+
+/** Discrete log base alpha; asserts a != 0. */
+int alphaLog(uint8_t a);
+
+/** Evaluate polynomial @p poly (highest degree first) at @p x. */
+uint8_t polyEval(const std::vector<uint8_t> &poly, uint8_t x);
+
+/** Multiply two polynomials (highest degree first). */
+std::vector<uint8_t> polyMul(const std::vector<uint8_t> &a,
+                             const std::vector<uint8_t> &b);
+
+} // namespace gf256
+
+} // namespace dnasim
+
+#endif // DNASIM_CODEC_GF256_HH

@@ -1,0 +1,223 @@
+#include "codec/reed_solomon.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "codec/gf256.hh"
+
+namespace dnasim
+{
+
+using namespace gf256;
+
+namespace
+{
+
+std::vector<uint8_t>
+polyScale(const std::vector<uint8_t> &p, uint8_t x)
+{
+    std::vector<uint8_t> out(p.size());
+    for (size_t i = 0; i < p.size(); ++i)
+        out[i] = mul(p[i], x);
+    return out;
+}
+
+std::vector<uint8_t>
+polyAdd(const std::vector<uint8_t> &a, const std::vector<uint8_t> &b)
+{
+    std::vector<uint8_t> out(std::max(a.size(), b.size()), 0);
+    for (size_t i = 0; i < a.size(); ++i)
+        out[i + out.size() - a.size()] ^= a[i];
+    for (size_t i = 0; i < b.size(); ++i)
+        out[i + out.size() - b.size()] ^= b[i];
+    return out;
+}
+
+} // anonymous namespace
+
+ReedSolomon::ReedSolomon(size_t num_parity)
+    : parity_(num_parity)
+{
+    DNASIM_ASSERT(parity_ > 0 && parity_ < 255,
+                  "bad parity count ", parity_);
+    // generator = prod_{i=0}^{parity-1} (x - alpha^i)
+    generator_ = {1};
+    for (size_t i = 0; i < parity_; ++i)
+        generator_ = polyMul(generator_, {1, alphaPow(static_cast<int>(i))});
+}
+
+std::vector<uint8_t>
+ReedSolomon::encode(const std::vector<uint8_t> &data) const
+{
+    DNASIM_ASSERT(data.size() + parity_ <= 255,
+                  "RS codeword longer than 255 symbols: ",
+                  data.size() + parity_);
+    // Systematic encoding: remainder of data * x^parity mod g(x).
+    std::vector<uint8_t> padded = data;
+    padded.resize(data.size() + parity_, 0);
+
+    std::vector<uint8_t> rem = padded;
+    for (size_t i = 0; i < data.size(); ++i) {
+        uint8_t coef = rem[i];
+        if (coef == 0)
+            continue;
+        for (size_t j = 1; j < generator_.size(); ++j)
+            rem[i + j] ^= mul(generator_[j], coef);
+    }
+    std::vector<uint8_t> out = data;
+    out.insert(out.end(), rem.end() - static_cast<ptrdiff_t>(parity_),
+               rem.end());
+    return out;
+}
+
+std::vector<uint8_t>
+ReedSolomon::syndromes(const std::vector<uint8_t> &codeword) const
+{
+    std::vector<uint8_t> synd(parity_);
+    for (size_t i = 0; i < parity_; ++i)
+        synd[i] = polyEval(codeword, alphaPow(static_cast<int>(i)));
+    return synd;
+}
+
+bool
+ReedSolomon::isValid(const std::vector<uint8_t> &codeword) const
+{
+    auto synd = syndromes(codeword);
+    return std::all_of(synd.begin(), synd.end(),
+                       [](uint8_t s) { return s == 0; });
+}
+
+std::optional<std::vector<uint8_t>>
+ReedSolomon::decode(std::vector<uint8_t> codeword,
+                    const std::vector<size_t> &erasures) const
+{
+    const size_t n = codeword.size();
+    if (n <= parity_ || n > 255)
+        return std::nullopt;
+    if (erasures.size() > parity_)
+        return std::nullopt;
+    for (size_t pos : erasures)
+        if (pos >= n)
+            return std::nullopt;
+
+    auto synd = syndromes(codeword);
+    bool clean = std::all_of(synd.begin(), synd.end(),
+                             [](uint8_t s) { return s == 0; });
+    if (clean) {
+        codeword.resize(n - parity_);
+        return codeword;
+    }
+
+    // Forney syndromes: cancel the known erasures out of the
+    // syndromes so Berlekamp-Massey sees only the unknown errors.
+    std::vector<uint8_t> fsynd = synd;
+    for (size_t e = 0; e < erasures.size(); ++e) {
+        uint8_t x = alphaPow(static_cast<int>(n - 1 - erasures[e]));
+        for (size_t j = 0; j + 1 < fsynd.size(); ++j)
+            fsynd[j] = static_cast<uint8_t>(mul(fsynd[j], x) ^
+                                            fsynd[j + 1]);
+    }
+
+    // Berlekamp-Massey on the Forney syndromes.
+    std::vector<uint8_t> err_loc = {1};
+    std::vector<uint8_t> old_loc = {1};
+    const size_t bm_rounds = parity_ - erasures.size();
+    for (size_t i = 0; i < bm_rounds; ++i) {
+        uint8_t delta = fsynd[i];
+        for (size_t j = 1; j < err_loc.size(); ++j) {
+            delta ^= mul(err_loc[err_loc.size() - 1 - j],
+                         fsynd[i - j]);
+        }
+        old_loc.push_back(0);
+        if (delta != 0) {
+            if (old_loc.size() > err_loc.size()) {
+                auto new_loc = polyScale(old_loc, delta);
+                old_loc = polyScale(err_loc, inv(delta));
+                err_loc = new_loc;
+            }
+            err_loc = polyAdd(err_loc, polyScale(old_loc, delta));
+        }
+    }
+    while (!err_loc.empty() && err_loc.front() == 0)
+        err_loc.erase(err_loc.begin());
+    const size_t num_errors = err_loc.size() - 1;
+    if (num_errors * 2 + erasures.size() > parity_)
+        return std::nullopt;
+
+    // Chien search: roots of the (reversed) locator give error
+    // positions.
+    std::vector<size_t> err_pos;
+    std::vector<uint8_t> reversed_loc(err_loc.rbegin(),
+                                      err_loc.rend());
+    for (size_t i = 0; i < n; ++i) {
+        if (polyEval(reversed_loc,
+                     alphaPow(static_cast<int>(i))) == 0) {
+            err_pos.push_back(n - 1 - i);
+        }
+    }
+    if (err_pos.size() != num_errors)
+        return std::nullopt;
+
+    // Errata = errors + erasures; correct with Forney's algorithm.
+    std::vector<size_t> errata = erasures;
+    errata.insert(errata.end(), err_pos.begin(), err_pos.end());
+
+    // Errata locator built from coefficient positions.
+    std::vector<uint8_t> errata_loc = {1};
+    std::vector<int> coef_pos;
+    coef_pos.reserve(errata.size());
+    for (size_t pos : errata) {
+        int cp = static_cast<int>(n - 1 - pos);
+        coef_pos.push_back(cp);
+        // (alpha^cp * x + 1)
+        errata_loc = polyMul(errata_loc, {alphaPow(cp), 1});
+    }
+
+    // Errata evaluator: synd (reversed, with a trailing zero — the
+    // x factor that pairs with Forney's Xi multiplication below)
+    // times errata_loc, mod x^(t+1), kept highest-degree-first.
+    std::vector<uint8_t> synd_rev(synd.rbegin(), synd.rend());
+    synd_rev.push_back(0);
+    std::vector<uint8_t> product = polyMul(synd_rev, errata_loc);
+    size_t keep = errata.size() + 1; // t + 1 low-order coefficients
+    std::vector<uint8_t> err_eval;
+    if (product.size() >= keep) {
+        err_eval.assign(product.end() - static_cast<ptrdiff_t>(keep),
+                        product.end());
+    } else {
+        err_eval = product;
+    }
+
+    // Forney: magnitude at each errata location.
+    std::vector<uint8_t> big_x;
+    big_x.reserve(coef_pos.size());
+    for (int cp : coef_pos)
+        big_x.push_back(alphaPow(cp - 255));
+
+    for (size_t i = 0; i < big_x.size(); ++i) {
+        uint8_t xi = big_x[i];
+        uint8_t xi_inv = inv(xi);
+        uint8_t loc_prime = 1;
+        for (size_t j = 0; j < big_x.size(); ++j) {
+            if (j == i)
+                continue;
+            loc_prime = mul(loc_prime,
+                            static_cast<uint8_t>(1 ^
+                                                 mul(xi_inv,
+                                                     big_x[j])));
+        }
+        if (loc_prime == 0)
+            return std::nullopt; // degenerate locator
+        uint8_t y = polyEval(err_eval, xi_inv);
+        y = mul(xi, y);
+        uint8_t magnitude = gf256::div(y, loc_prime);
+        codeword[errata[i]] ^= magnitude;
+    }
+
+    if (!isValid(codeword))
+        return std::nullopt;
+    codeword.resize(n - parity_);
+    return codeword;
+}
+
+} // namespace dnasim

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Systematic Reed-Solomon code over GF(256) with error-and-erasure
+ * decoding (Berlekamp-Massey + Chien search + Forney).
+ *
+ * In the archival pipeline the code runs *across* strands: byte i of
+ * every strand in a stripe forms one RS codeword, so a lost strand
+ * is an erasure and a mis-reconstructed strand contributes errors
+ * (section 1.1.3).
+ */
+
+#ifndef DNASIM_CODEC_REED_SOLOMON_HH
+#define DNASIM_CODEC_REED_SOLOMON_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace dnasim
+{
+
+/** RS(n, k) over GF(256): n total symbols, k data symbols. */
+class ReedSolomon
+{
+  public:
+    /**
+     * @param num_parity number of parity symbols (n - k); corrects
+     *        e errors and s erasures while 2e + s <= num_parity.
+     */
+    explicit ReedSolomon(size_t num_parity);
+
+    size_t numParity() const { return parity_; }
+
+    /** Append @p numParity() parity symbols to @p data. */
+    std::vector<uint8_t> encode(const std::vector<uint8_t> &data) const;
+
+    /**
+     * Decode a received codeword in place.
+     *
+     * @param codeword  data + parity symbols, possibly corrupted
+     * @param erasures  known-bad positions (0-based into codeword)
+     * @return the corrected data symbols, or std::nullopt if the
+     *         error pattern exceeds the code's capability
+     */
+    std::optional<std::vector<uint8_t>>
+    decode(std::vector<uint8_t> codeword,
+           const std::vector<size_t> &erasures = {}) const;
+
+    /** True iff @p codeword has all-zero syndromes. */
+    bool isValid(const std::vector<uint8_t> &codeword) const;
+
+  private:
+    std::vector<uint8_t> syndromes(
+        const std::vector<uint8_t> &codeword) const;
+
+    size_t parity_;
+    std::vector<uint8_t> generator_; ///< generator polynomial
+};
+
+} // namespace dnasim
+
+#endif // DNASIM_CODEC_REED_SOLOMON_HH

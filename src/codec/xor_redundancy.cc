@@ -1,0 +1,98 @@
+#include "codec/xor_redundancy.hh"
+
+#include "base/logging.hh"
+
+namespace dnasim
+{
+
+XorRedundancy::XorRedundancy(size_t group_size)
+    : group_size_(group_size)
+{
+    DNASIM_ASSERT(group_size_ > 0, "zero XOR group size");
+}
+
+size_t
+XorRedundancy::encodedCount(size_t num_data) const
+{
+    size_t groups = (num_data + group_size_ - 1) / group_size_;
+    return num_data + groups;
+}
+
+std::vector<Bytes>
+XorRedundancy::encode(const std::vector<Bytes> &blocks) const
+{
+    std::vector<Bytes> out;
+    out.reserve(encodedCount(blocks.size()));
+    size_t in_group = 0;
+    Bytes parity;
+    for (const auto &block : blocks) {
+        DNASIM_ASSERT(parity.empty() || in_group == 0 ||
+                          block.size() == parity.size(),
+                      "XOR blocks must share one size");
+        if (in_group == 0)
+            parity.assign(block.size(), 0);
+        for (size_t i = 0; i < block.size(); ++i)
+            parity[i] ^= block[i];
+        out.push_back(block);
+        if (++in_group == group_size_) {
+            out.push_back(parity);
+            in_group = 0;
+        }
+    }
+    if (in_group > 0)
+        out.push_back(parity);
+    return out;
+}
+
+std::optional<std::vector<Bytes>>
+XorRedundancy::decode(
+    const std::vector<std::optional<Bytes>> &blocks) const
+{
+    std::vector<Bytes> data;
+    size_t pos = 0;
+    while (pos < blocks.size()) {
+        size_t group_data =
+            std::min(group_size_, blocks.size() - pos - 1);
+        size_t group_total = group_data + 1; // + parity
+
+        // Count missing blocks and find the block size.
+        size_t missing = 0;
+        size_t missing_idx = 0;
+        size_t block_size = 0;
+        for (size_t i = 0; i < group_total; ++i) {
+            const auto &b = blocks[pos + i];
+            if (!b.has_value()) {
+                ++missing;
+                missing_idx = i;
+            } else {
+                block_size = b->size();
+            }
+        }
+        if (missing > 1)
+            return std::nullopt;
+
+        if (missing == 1) {
+            Bytes rebuilt(block_size, 0);
+            for (size_t i = 0; i < group_total; ++i) {
+                if (i == missing_idx)
+                    continue;
+                const Bytes &b = *blocks[pos + i];
+                if (b.size() != block_size)
+                    return std::nullopt;
+                for (size_t k = 0; k < block_size; ++k)
+                    rebuilt[k] ^= b[k];
+            }
+            for (size_t i = 0; i < group_data; ++i) {
+                data.push_back(i == missing_idx ? rebuilt
+                                                : *blocks[pos + i]);
+            }
+        } else {
+            for (size_t i = 0; i < group_data; ++i)
+                data.push_back(*blocks[pos + i]);
+        }
+        pos += group_total;
+    }
+    return data;
+}
+
+} // namespace dnasim

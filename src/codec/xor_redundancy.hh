@@ -1,0 +1,58 @@
+/**
+ * @file
+ * XOR-group logical redundancy (Bornholt et al. [4]): every group of
+ * g data blocks gains one parity block equal to their byte-wise XOR,
+ * so any single missing block per group can be regenerated. Cheaper
+ * but weaker than Reed-Solomon — exactly the trade-off the archival
+ * pipeline lets callers choose between.
+ */
+
+#ifndef DNASIM_CODEC_XOR_REDUNDANCY_HH
+#define DNASIM_CODEC_XOR_REDUNDANCY_HH
+
+#include <optional>
+#include <vector>
+
+#include "codec/dna_codec.hh"
+
+namespace dnasim
+{
+
+/** XOR-parity redundancy over fixed-size byte blocks. */
+class XorRedundancy
+{
+  public:
+    /** @param group_size number of data blocks per parity block. */
+    explicit XorRedundancy(size_t group_size);
+
+    size_t groupSize() const { return group_size_; }
+
+    /** Number of blocks after encoding @p num_data blocks. */
+    size_t encodedCount(size_t num_data) const;
+
+    /**
+     * Append parity blocks: after every @p group_size data blocks
+     * (the last group may be short) one parity block is inserted.
+     * All blocks must share one size.
+     */
+    std::vector<Bytes> encode(const std::vector<Bytes> &blocks) const;
+
+    /**
+     * Recover the data blocks from a (possibly incomplete) encoded
+     * sequence.
+     *
+     * @param blocks  encoded blocks where a missing block is
+     *                std::nullopt
+     * @return the data blocks, or std::nullopt if some group lost
+     *         two or more blocks
+     */
+    std::optional<std::vector<Bytes>>
+    decode(const std::vector<std::optional<Bytes>> &blocks) const;
+
+  private:
+    size_t group_size_;
+};
+
+} // namespace dnasim
+
+#endif // DNASIM_CODEC_XOR_REDUNDANCY_HH

@@ -1,0 +1,52 @@
+#include "core/channel_simulator.hh"
+
+#include "base/logging.hh"
+
+namespace dnasim
+{
+
+ChannelSimulator::ChannelSimulator(const ErrorModel &model)
+    : model_(model)
+{}
+
+Cluster
+ChannelSimulator::simulateCluster(const Strand &reference, size_t n,
+                                  Rng &rng) const
+{
+    Cluster cluster;
+    cluster.reference = reference;
+    cluster.copies.reserve(n);
+    for (size_t k = 0; k < n; ++k)
+        cluster.copies.push_back(model_.transmit(reference, rng));
+    return cluster;
+}
+
+Dataset
+ChannelSimulator::simulate(const std::vector<Strand> &references,
+                           const CoverageModel &coverage,
+                           Rng &rng) const
+{
+    Dataset dataset;
+    dataset.clusters().reserve(references.size());
+    for (size_t i = 0; i < references.size(); ++i) {
+        Rng cluster_rng = rng.fork(i);
+        size_t n = coverage.sample(i, cluster_rng);
+        dataset.add(simulateCluster(references[i], n, cluster_rng));
+    }
+    return dataset;
+}
+
+Dataset
+ChannelSimulator::simulateLike(const Dataset &shape, Rng &rng) const
+{
+    Dataset dataset;
+    dataset.clusters().reserve(shape.size());
+    for (size_t i = 0; i < shape.size(); ++i) {
+        Rng cluster_rng = rng.fork(i);
+        dataset.add(simulateCluster(shape[i].reference,
+                                    shape[i].coverage(), cluster_rng));
+    }
+    return dataset;
+}
+
+} // namespace dnasim

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The channel simulator: drives an ErrorModel over a library of
+ * reference strands under a CoverageModel, producing a clustered
+ * dataset — the simulator's counterpart of one sequencing run.
+ */
+
+#ifndef DNASIM_CORE_CHANNEL_SIMULATOR_HH
+#define DNASIM_CORE_CHANNEL_SIMULATOR_HH
+
+#include <vector>
+
+#include "core/coverage.hh"
+#include "core/error_model.hh"
+#include "data/dataset.hh"
+
+namespace dnasim
+{
+
+/**
+ * Generates clustered noisy datasets from reference strands.
+ *
+ * The simulator forks one RNG stream per cluster so the data for a
+ * given (seed, cluster index) pair is identical regardless of how
+ * many clusters are generated — experiments at different scales stay
+ * comparable.
+ */
+class ChannelSimulator
+{
+  public:
+    /** @p model must outlive the simulator. */
+    explicit ChannelSimulator(const ErrorModel &model);
+
+    const ErrorModel &model() const { return model_; }
+
+    /**
+     * Transmit every strand of @p references through the channel,
+     * with per-cluster coverage from @p coverage.
+     */
+    Dataset simulate(const std::vector<Strand> &references,
+                     const CoverageModel &coverage, Rng &rng) const;
+
+    /**
+     * Simulate with coverage copied cluster-for-cluster from
+     * @p shape (Table 2.1's "custom coverage" protocol): cluster i
+     * of the result has exactly as many copies as cluster i of
+     * @p shape, and re-uses its reference strand.
+     */
+    Dataset simulateLike(const Dataset &shape, Rng &rng) const;
+
+    /** One cluster: @p n transmissions of @p reference. */
+    Cluster simulateCluster(const Strand &reference, size_t n,
+                            Rng &rng) const;
+
+  private:
+    const ErrorModel &model_;
+};
+
+} // namespace dnasim
+
+#endif // DNASIM_CORE_CHANNEL_SIMULATOR_HH

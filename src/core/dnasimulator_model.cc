@@ -1,0 +1,102 @@
+#include "core/dnasimulator_model.hh"
+
+#include "base/logging.hh"
+
+namespace dnasim
+{
+
+DnaSimulatorModel::DnaSimulatorModel(
+    std::array<DnaSimulatorEntry, kNumBases> dictionary,
+    std::string display_name)
+    : dictionary_(dictionary), name_(std::move(display_name))
+{
+    for (const auto &e : dictionary_) {
+        double total = e.p_sub + e.p_ins + e.p_del + e.p_long_del;
+        DNASIM_ASSERT(total >= 0.0 && total <= 1.0,
+                      "bad DNASimulator dictionary entry");
+    }
+}
+
+DnaSimulatorModel
+DnaSimulatorModel::preset(SynthesisTech synth, SequencingTech seq)
+{
+    // Representative per-base dictionaries in the spirit of the
+    // original tool's hard-coded tables. Synthesis contributes
+    // mostly deletions; sequencing dominates the totals (Illumina
+    // low-error, Nanopore high-error).
+    double synth_del;
+    switch (synth) {
+      case SynthesisTech::Twist: synth_del = 9.0e-4; break;
+      case SynthesisTech::CustomArray: synth_del = 2.0e-3; break;
+      case SynthesisTech::Idt: synth_del = 6.0e-4; break;
+      default: DNASIM_PANIC("unknown synthesis technology");
+    }
+
+    std::array<DnaSimulatorEntry, kNumBases> dict{};
+    std::string tag;
+    if (seq == SequencingTech::Illumina) {
+        tag = "dnasimulator(illumina)";
+        for (auto &e : dict) {
+            e.p_sub = 1.2e-3;
+            e.p_ins = 4.0e-4;
+            e.p_del = 6.0e-4 + synth_del;
+            e.p_long_del = 5.0e-5;
+        }
+    } else {
+        tag = "dnasimulator(nanopore)";
+        for (auto &e : dict) {
+            e.p_sub = 2.2e-2;
+            e.p_ins = 1.2e-2;
+            e.p_del = 2.2e-2 + synth_del;
+            e.p_long_del = 3.3e-3;
+        }
+    }
+    return DnaSimulatorModel(dict, tag);
+}
+
+DnaSimulatorModel
+DnaSimulatorModel::fromProfile(const ErrorProfile &profile)
+{
+    std::array<DnaSimulatorEntry, kNumBases> dict{};
+    for (size_t b = 0; b < kNumBases; ++b) {
+        dict[b].p_sub = profile.p_sub_given[b];
+        dict[b].p_ins = profile.p_ins_given[b];
+        dict[b].p_del = profile.p_del_given[b];
+        dict[b].p_long_del = profile.p_long_del;
+    }
+    return DnaSimulatorModel(dict, "dnasimulator");
+}
+
+Strand
+DnaSimulatorModel::transmit(const Strand &ref, Rng &rng) const
+{
+    Strand out;
+    out.reserve(ref.size() + 8);
+    size_t i = 0;
+    while (i < ref.size()) {
+        const char base = ref[i];
+        const auto &e = dictionary_[baseIndex(base)];
+        double prob = rng.uniform();
+        if (prob <= e.p_sub) {
+            // Algorithm 1: replacement uniform over all four bases,
+            // including the original.
+            out.push_back(kBaseChars[rng.index(kNumBases)]);
+        } else if (prob <= e.p_sub + e.p_ins) {
+            out.push_back(base);
+            out.push_back(kBaseChars[rng.index(kNumBases)]);
+        } else if (prob <= e.p_sub + e.p_ins + e.p_del) {
+            // single-base deletion
+        } else if (prob <=
+                   e.p_sub + e.p_ins + e.p_del + e.p_long_del) {
+            // The original tool's "long-deletion" removes a short
+            // run; length 2 matches the dominant observed run length.
+            ++i; // skip one extra base beyond the loop increment
+        } else {
+            out.push_back(base);
+        }
+        ++i;
+    }
+    return out;
+}
+
+} // namespace dnasim

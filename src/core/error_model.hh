@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The error-model interface: a stochastic transformation of one
+ * reference strand into one noisy copy (one transmission through the
+ * IDS channel).
+ */
+
+#ifndef DNASIM_CORE_ERROR_MODEL_HH
+#define DNASIM_CORE_ERROR_MODEL_HH
+
+#include <string>
+
+#include "base/dna.hh"
+#include "base/rng.hh"
+
+namespace dnasim
+{
+
+/**
+ * A noisy channel acting on single strands.
+ *
+ * Implementations must be stateless with respect to transmit():
+ * all randomness flows through the supplied Rng, so a fixed seed
+ * reproduces a dataset exactly.
+ */
+class ErrorModel
+{
+  public:
+    virtual ~ErrorModel() = default;
+
+    /** Transmit @p ref once, returning a noisy copy. */
+    virtual Strand transmit(const Strand &ref, Rng &rng) const = 0;
+
+    /** Short model name for reports (e.g. "naive", "skew"). */
+    virtual std::string name() const = 0;
+};
+
+} // namespace dnasim
+
+#endif // DNASIM_CORE_ERROR_MODEL_HH

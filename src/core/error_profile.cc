@@ -1,0 +1,95 @@
+#include "core/error_profile.hh"
+
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace dnasim
+{
+
+std::string
+SecondOrderKey::str() const
+{
+    std::ostringstream os;
+    switch (type) {
+      case EditOpType::Substitute:
+        os << "sub " << base << "->" << repl;
+        break;
+      case EditOpType::Delete:
+        os << "del " << base;
+        break;
+      case EditOpType::Insert:
+        os << "ins " << base;
+        break;
+      case EditOpType::Equal:
+        os << "equal";
+        break;
+    }
+    return os.str();
+}
+
+double
+ErrorProfile::meanLongDeletionLength() const
+{
+    double mass = 0.0, acc = 0.0;
+    for (size_t i = 0; i < long_del_len_weights.size(); ++i) {
+        mass += long_del_len_weights[i];
+        acc += long_del_len_weights[i] * static_cast<double>(i + 2);
+    }
+    if (mass <= 0.0)
+        return 0.0;
+    return acc / mass;
+}
+
+ErrorProfile
+ErrorProfile::uniform(double total_rate, size_t design_length,
+                      double sub_frac, double ins_frac, double del_frac)
+{
+    DNASIM_ASSERT(total_rate >= 0.0 && total_rate < 1.0,
+                  "bad total error rate ", total_rate);
+    double frac_sum = sub_frac + ins_frac + del_frac;
+    DNASIM_ASSERT(frac_sum > 0.0, "zero error-type fractions");
+
+    ErrorProfile p;
+    p.design_length = design_length;
+    p.p_sub = total_rate * sub_frac / frac_sum;
+    p.p_ins = total_rate * ins_frac / frac_sum;
+    p.p_del = total_rate * del_frac / frac_sum;
+    for (size_t b = 0; b < kNumBases; ++b) {
+        p.p_sub_given[b] = p.p_sub;
+        p.p_ins_given[b] = p.p_ins;
+        p.p_del_given[b] = p.p_del;
+        p.insert_base[b] = 1.0 / kNumBases;
+        for (size_t r = 0; r < kNumBases; ++r)
+            p.confusion[b][r] = (b == r) ? 0.0 : 1.0 / (kNumBases - 1);
+    }
+    return p;
+}
+
+ErrorProfile
+ErrorProfile::withSpatial(PositionProfile new_spatial) const
+{
+    ErrorProfile out = *this;
+    out.spatial = std::move(new_spatial);
+    return out;
+}
+
+std::string
+ErrorProfile::str() const
+{
+    std::ostringstream os;
+    os << "ErrorProfile[len=" << design_length
+       << " p_sub=" << p_sub << " p_ins=" << p_ins << " p_del=" << p_del
+       << " p_long_del=" << p_long_del
+       << " mean_ld_len=" << meanLongDeletionLength()
+       << " hp_mult=" << homopolymer_mult
+       << " spatial=" << spatial.str()
+       << " second_order=" << second_order.size() << " entries]";
+    for (const auto &so : second_order) {
+        os << "\n  " << so.key.str() << " rate=" << so.rate
+           << " count=" << so.count;
+    }
+    return os.str();
+}
+
+} // namespace dnasim

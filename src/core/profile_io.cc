@@ -1,0 +1,228 @@
+#include "core/profile_io.hh"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace dnasim
+{
+
+namespace
+{
+
+constexpr const char *kMagic = "dnasim-profile";
+constexpr int kVersion = 1;
+
+void
+writeVector(std::ostream &os, const std::vector<double> &xs)
+{
+    os << xs.size();
+    for (double x : xs)
+        os << ' ' << x;
+}
+
+void
+writeSpatial(std::ostream &os, const char *key,
+             const PositionProfile &spatial)
+{
+    os << key << ' ';
+    writeVector(os, spatial.multipliers());
+    os << '\n';
+}
+
+std::vector<double>
+readVector(std::istringstream &line, const char *what)
+{
+    size_t n = 0;
+    if (!(line >> n))
+        DNASIM_FATAL("profile: missing length for ", what);
+    std::vector<double> xs(n);
+    for (size_t i = 0; i < n; ++i) {
+        if (!(line >> xs[i]))
+            DNASIM_FATAL("profile: truncated vector for ", what);
+    }
+    return xs;
+}
+
+PositionProfile
+profileFromMultipliers(const std::vector<double> &m)
+{
+    if (m.empty())
+        return PositionProfile();
+    // Rebuild through the histogram path, which renormalizes.
+    Histogram h;
+    for (size_t i = 0; i < m.size(); ++i) {
+        h.add(i, static_cast<uint64_t>(m[i] * 1e6));
+    }
+    return PositionProfile::fromHistogram(h, m.size());
+}
+
+const char *
+opTypeTag(EditOpType t)
+{
+    switch (t) {
+      case EditOpType::Substitute: return "sub";
+      case EditOpType::Delete: return "del";
+      case EditOpType::Insert: return "ins";
+      case EditOpType::Equal: break;
+    }
+    DNASIM_PANIC("unserializable op type");
+}
+
+EditOpType
+opTypeFromTag(const std::string &tag)
+{
+    if (tag == "sub")
+        return EditOpType::Substitute;
+    if (tag == "del")
+        return EditOpType::Delete;
+    if (tag == "ins")
+        return EditOpType::Insert;
+    DNASIM_FATAL("profile: unknown error type '", tag, "'");
+}
+
+} // anonymous namespace
+
+void
+writeProfile(const ErrorProfile &p, std::ostream &os)
+{
+    os << std::setprecision(12);
+    os << kMagic << ' ' << kVersion << '\n';
+    os << "design_length " << p.design_length << '\n';
+    os << "aggregate " << p.p_sub << ' ' << p.p_ins << ' ' << p.p_del
+       << '\n';
+    os << "conditional";
+    for (size_t b = 0; b < kNumBases; ++b) {
+        os << ' ' << p.p_sub_given[b] << ' ' << p.p_ins_given[b]
+           << ' ' << p.p_del_given[b];
+    }
+    os << '\n';
+    for (size_t b = 0; b < kNumBases; ++b) {
+        os << "confusion " << kBaseChars[b];
+        for (size_t r = 0; r < kNumBases; ++r)
+            os << ' ' << p.confusion[b][r];
+        os << '\n';
+    }
+    os << "insert_base";
+    for (size_t b = 0; b < kNumBases; ++b)
+        os << ' ' << p.insert_base[b];
+    os << '\n';
+    os << "long_del " << p.p_long_del << ' ';
+    writeVector(os, p.long_del_len_weights);
+    os << '\n';
+    os << "homopolymer_mult " << p.homopolymer_mult << '\n';
+    writeSpatial(os, "spatial", p.spatial);
+    for (const auto &so : p.second_order) {
+        os << "second_order " << opTypeTag(so.key.type) << ' '
+           << so.key.base << ' '
+           << (so.key.repl == '\0' ? '-' : so.key.repl) << ' '
+           << so.rate << ' ' << so.count << ' ';
+        writeVector(os, so.spatial.multipliers());
+        os << '\n';
+    }
+    os << "end\n";
+}
+
+void
+writeProfileFile(const ErrorProfile &profile, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        DNASIM_FATAL("cannot open '", path, "' for writing");
+    writeProfile(profile, out);
+    if (!out)
+        DNASIM_FATAL("I/O error while writing '", path, "'");
+}
+
+ErrorProfile
+readProfile(std::istream &is)
+{
+    ErrorProfile p;
+    std::string line;
+    bool saw_magic = false, saw_end = false;
+    while (std::getline(is, line)) {
+        if (line.empty() || line[0] == '#')
+            continue;
+        std::istringstream in(line);
+        std::string key;
+        in >> key;
+        if (!saw_magic) {
+            int version = 0;
+            if (key != kMagic || !(in >> version) ||
+                version != kVersion) {
+                DNASIM_FATAL("not a dnasim profile (expected '",
+                             kMagic, ' ', kVersion, "' header)");
+            }
+            saw_magic = true;
+            continue;
+        }
+        if (key == "design_length") {
+            in >> p.design_length;
+        } else if (key == "aggregate") {
+            in >> p.p_sub >> p.p_ins >> p.p_del;
+        } else if (key == "conditional") {
+            for (size_t b = 0; b < kNumBases; ++b) {
+                in >> p.p_sub_given[b] >> p.p_ins_given[b] >>
+                    p.p_del_given[b];
+            }
+        } else if (key == "confusion") {
+            char base = 0;
+            in >> base;
+            if (!isBaseChar(base))
+                DNASIM_FATAL("profile: bad confusion base");
+            for (size_t r = 0; r < kNumBases; ++r)
+                in >> p.confusion[baseIndex(base)][r];
+        } else if (key == "insert_base") {
+            for (size_t b = 0; b < kNumBases; ++b)
+                in >> p.insert_base[b];
+        } else if (key == "long_del") {
+            in >> p.p_long_del;
+            p.long_del_len_weights = readVector(in, "long_del");
+        } else if (key == "homopolymer_mult") {
+            in >> p.homopolymer_mult;
+        } else if (key == "spatial") {
+            p.spatial =
+                profileFromMultipliers(readVector(in, "spatial"));
+        } else if (key == "second_order") {
+            std::string tag;
+            char base = 0, repl = 0;
+            SecondOrderSpec spec;
+            in >> tag >> base >> repl >> spec.rate >> spec.count;
+            spec.key.type = opTypeFromTag(tag);
+            if (!isBaseChar(base))
+                DNASIM_FATAL("profile: bad second-order base");
+            spec.key.base = base;
+            spec.key.repl = repl == '-' ? '\0' : repl;
+            if (spec.key.repl != '\0' && !isBaseChar(spec.key.repl))
+                DNASIM_FATAL("profile: bad second-order replacement");
+            spec.spatial = profileFromMultipliers(
+                readVector(in, "second_order"));
+            p.second_order.push_back(std::move(spec));
+        } else if (key == "end") {
+            saw_end = true;
+            break;
+        } else {
+            DNASIM_FATAL("profile: unknown key '", key, "'");
+        }
+        if (in.fail())
+            DNASIM_FATAL("profile: malformed line '", line, "'");
+    }
+    if (!saw_magic)
+        DNASIM_FATAL("profile: empty input");
+    if (!saw_end)
+        DNASIM_FATAL("profile: missing 'end' terminator");
+    return p;
+}
+
+ErrorProfile
+readProfileFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        DNASIM_FATAL("cannot open '", path, "' for reading");
+    return readProfile(in);
+}
+
+} // namespace dnasim

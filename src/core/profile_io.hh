@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Text serialization of calibrated ErrorProfiles, so a profile
+ * calibrated once (an expensive pass over every read) can be saved
+ * and re-used across simulator runs and shared between machines.
+ *
+ * The format is a line-oriented key/value file:
+ *
+ * @verbatim
+ * dnasim-profile 1
+ * design_length 110
+ * p_sub 0.026 ...
+ * confusion A 0 0.2 0.55 0.25
+ * spatial 110 1.2 0.9 ...
+ * second_order sub G C 0.013 110 0.8 ...
+ * end
+ * @endverbatim
+ */
+
+#ifndef DNASIM_CORE_PROFILE_IO_HH
+#define DNASIM_CORE_PROFILE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "core/error_profile.hh"
+
+namespace dnasim
+{
+
+/** Serialize @p profile to @p os. */
+void writeProfile(const ErrorProfile &profile, std::ostream &os);
+
+/** Serialize @p profile to the file at @p path (fatal on error). */
+void writeProfileFile(const ErrorProfile &profile,
+                      const std::string &path);
+
+/** Parse a profile from @p is (fatal on malformed input). */
+ErrorProfile readProfile(std::istream &is);
+
+/** Parse a profile from the file at @p path (fatal on error). */
+ErrorProfile readProfileFile(const std::string &path);
+
+} // namespace dnasim
+
+#endif // DNASIM_CORE_PROFILE_IO_HH

@@ -1,0 +1,264 @@
+#include "core/profiler.hh"
+
+#include <algorithm>
+#include <map>
+
+#include "align/edit_distance.hh"
+#include "align/gestalt.hh"
+#include "base/logging.hh"
+#include "stats/histogram.hh"
+
+namespace dnasim
+{
+
+namespace
+{
+
+/** Ordering for use as a map key. */
+struct KeyLess
+{
+    bool
+    operator()(const SecondOrderKey &a, const SecondOrderKey &b) const
+    {
+        if (a.type != b.type)
+            return a.type < b.type;
+        if (a.base != b.base)
+            return a.base < b.base;
+        return a.repl < b.repl;
+    }
+};
+
+struct SecondOrderCount
+{
+    uint64_t count = 0;
+    Histogram positions;
+};
+
+} // anonymous namespace
+
+ErrorProfiler::ErrorProfiler(ProfilerOptions options)
+    : options_(options)
+{
+    DNASIM_ASSERT(options_.spatial_floor >= 0.0 &&
+                      options_.second_order_floor >= 0.0,
+                  "negative smoothing floor");
+}
+
+ErrorProfile
+ErrorProfiler::calibrate(const Dataset &data) const
+{
+    Rng rng(options_.seed);
+
+    std::array<uint64_t, kNumBases> base_occurrences{};
+    std::array<uint64_t, kNumBases> sub_counts{};
+    std::array<uint64_t, kNumBases> ins_counts{};
+    std::array<uint64_t, kNumBases> single_del_counts{};
+    std::array<std::array<uint64_t, kNumBases>, kNumBases> confusion{};
+    std::array<uint64_t, kNumBases> insert_base_counts{};
+    uint64_t total_positions = 0;
+    uint64_t total_subs = 0, total_ins = 0, total_deleted_bases = 0;
+    uint64_t long_del_starts = 0;
+    Histogram long_del_lengths;
+    Histogram spatial;
+    Histogram spatial_gestalt;
+    uint64_t positions_in_runs = 0, positions_outside_runs = 0;
+    uint64_t errors_in_runs = 0, errors_outside_runs = 0;
+    std::map<SecondOrderKey, SecondOrderCount, KeyLess> census;
+    size_t design_length = 0;
+
+    for (const auto &cluster : data) {
+        const Strand &ref = cluster.reference;
+        if (ref.empty() || cluster.copies.empty())
+            continue;
+        design_length = std::max(design_length, ref.size());
+
+        auto ref_bases = baseCounts(ref);
+        auto run_mask = homopolymerRunMask(
+            ref, ErrorProfile::kHomopolymerRunLength);
+        size_t run_positions = 0;
+        for (bool b : run_mask)
+            run_positions += b ? 1 : 0;
+
+        size_t n_copies = cluster.copies.size();
+        if (options_.max_copies_per_cluster > 0) {
+            n_copies = std::min(n_copies,
+                                options_.max_copies_per_cluster);
+        }
+        for (size_t c = 0; c < n_copies; ++c) {
+            const Strand &copy = cluster.copies[c];
+
+            auto ops = editOps(ref, copy, &rng);
+            if (options_.max_copy_error_frac > 0.0 &&
+                static_cast<double>(numErrors(ops)) >
+                    options_.max_copy_error_frac *
+                        static_cast<double>(ref.size())) {
+                // Alien or truncated read — a clustering artifact,
+                // not a channel observation.
+                continue;
+            }
+            total_positions += ref.size();
+            for (size_t b = 0; b < kNumBases; ++b)
+                base_occurrences[b] += ref_bases[b];
+            positions_in_runs += run_positions;
+            positions_outside_runs += ref.size() - run_positions;
+            for (const auto &op : ops) {
+                if (op.type == EditOpType::Equal)
+                    continue;
+                size_t pos = std::min(op.ref_pos, ref.size() - 1);
+                if (run_mask[pos])
+                    ++errors_in_runs;
+                else
+                    ++errors_outside_runs;
+            }
+
+            if (options_.spatial_from_gestalt) {
+                for (size_t pos : gestaltErrorPositions(ref, copy))
+                    spatial_gestalt.add(pos);
+            }
+
+            auto clamp_pos = [&](size_t p) {
+                return std::min(p, ref.size() - 1);
+            };
+
+            // Non-deletion ops first; deletions handled per run.
+            for (const auto &op : ops) {
+                switch (op.type) {
+                  case EditOpType::Equal:
+                  case EditOpType::Delete:
+                    break;
+                  case EditOpType::Substitute: {
+                    size_t b = baseIndex(op.ref_base);
+                    size_t r = baseIndex(op.copy_base);
+                    ++sub_counts[b];
+                    ++confusion[b][r];
+                    ++total_subs;
+                    spatial.add(op.ref_pos);
+                    SecondOrderKey key{EditOpType::Substitute,
+                                       op.ref_base, op.copy_base};
+                    auto &entry = census[key];
+                    ++entry.count;
+                    entry.positions.add(op.ref_pos);
+                    break;
+                  }
+                  case EditOpType::Insert: {
+                    size_t pos = clamp_pos(op.ref_pos);
+                    size_t b = baseIndex(ref[pos]);
+                    ++ins_counts[b];
+                    ++insert_base_counts[baseIndex(op.copy_base)];
+                    ++total_ins;
+                    spatial.add(pos);
+                    SecondOrderKey key{EditOpType::Insert,
+                                       op.copy_base, '\0'};
+                    auto &entry = census[key];
+                    ++entry.count;
+                    entry.positions.add(pos);
+                    break;
+                  }
+                }
+            }
+
+            for (const auto &run : deletionRuns(ops)) {
+                total_deleted_bases += run.length;
+                for (size_t k = 0; k < run.length; ++k)
+                    spatial.add(run.ref_pos + k);
+                if (run.length == 1) {
+                    size_t b = baseIndex(ref[run.ref_pos]);
+                    ++single_del_counts[b];
+                    SecondOrderKey key{EditOpType::Delete,
+                                       ref[run.ref_pos], '\0'};
+                    auto &entry = census[key];
+                    ++entry.count;
+                    entry.positions.add(run.ref_pos);
+                } else {
+                    ++long_del_starts;
+                    long_del_lengths.add(run.length);
+                }
+            }
+        }
+    }
+
+    if (total_positions == 0)
+        DNASIM_FATAL("cannot calibrate: dataset has no "
+                     "(reference, copy) pairs");
+
+    ErrorProfile p;
+    p.design_length = design_length;
+
+    auto rate = [](uint64_t num, uint64_t den) {
+        return den == 0 ? 0.0
+                        : static_cast<double>(num) /
+                              static_cast<double>(den);
+    };
+
+    p.p_sub = rate(total_subs, total_positions);
+    p.p_ins = rate(total_ins, total_positions);
+    p.p_del = rate(total_deleted_bases, total_positions);
+
+    for (size_t b = 0; b < kNumBases; ++b) {
+        p.p_sub_given[b] = rate(sub_counts[b], base_occurrences[b]);
+        p.p_ins_given[b] = rate(ins_counts[b], base_occurrences[b]);
+        p.p_del_given[b] =
+            rate(single_del_counts[b], base_occurrences[b]);
+        for (size_t r = 0; r < kNumBases; ++r)
+            p.confusion[b][r] = rate(confusion[b][r], sub_counts[b]);
+    }
+
+    uint64_t total_inserted = 0;
+    for (uint64_t c : insert_base_counts)
+        total_inserted += c;
+    for (size_t b = 0; b < kNumBases; ++b)
+        p.insert_base[b] = rate(insert_base_counts[b], total_inserted);
+
+    p.p_long_del = rate(long_del_starts, total_positions);
+    if (long_del_lengths.numBins() > 2) {
+        // Bin i of the histogram is run length i; weights start at 2.
+        for (size_t len = 2; len < long_del_lengths.numBins(); ++len) {
+            p.long_del_len_weights.push_back(
+                static_cast<double>(long_del_lengths.count(len)));
+        }
+    }
+
+    p.spatial = PositionProfile::fromHistogram(
+        options_.spatial_from_gestalt ? spatial_gestalt : spatial,
+        design_length, options_.spatial_floor);
+
+    if (positions_in_runs > 0 && positions_outside_runs > 0 &&
+        errors_outside_runs > 0) {
+        double rate_in = rate(errors_in_runs, positions_in_runs);
+        double rate_out =
+            rate(errors_outside_runs, positions_outside_runs);
+        p.homopolymer_mult = rate_in / rate_out;
+    }
+
+    // Top-K second-order errors by count.
+    std::vector<std::pair<SecondOrderKey, const SecondOrderCount *>>
+        ranked;
+    ranked.reserve(census.size());
+    for (const auto &[key, entry] : census)
+        ranked.emplace_back(key, &entry);
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto &a, const auto &b) {
+                  return a.second->count > b.second->count;
+              });
+    size_t keep = std::min(options_.top_second_order, ranked.size());
+    for (size_t i = 0; i < keep; ++i) {
+        const auto &[key, entry] = ranked[i];
+        SecondOrderSpec spec;
+        spec.key = key;
+        spec.count = entry->count;
+        if (key.type == EditOpType::Insert) {
+            spec.rate = rate(entry->count, total_positions);
+        } else {
+            spec.rate = rate(entry->count,
+                             base_occurrences[baseIndex(key.base)]);
+        }
+        spec.spatial = PositionProfile::fromHistogram(
+            entry->positions, design_length,
+            options_.second_order_floor);
+        p.second_order.push_back(std::move(spec));
+    }
+
+    return p;
+}
+
+} // namespace dnasim

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * A composable multi-stage channel.
+ *
+ * The paper's section 4.2 identifies the aggregate single-pass model
+ * as a key limitation: "an ideal simulator should allow for a
+ * multi-stage, composable simulation process". This module provides
+ * that: the storage pipeline's noisy steps (synthesis, storage
+ * decay, PCR amplification, read sampling, sequencing) are
+ * independent stages transforming a pool of physical molecules, each
+ * molecule tagged with the reference it descends from so the output
+ * regroups into clusters.
+ */
+
+#ifndef DNASIM_CORE_STAGES_HH
+#define DNASIM_CORE_STAGES_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/error_profile.hh"
+#include "core/ids_model.hh"
+#include "data/dataset.hh"
+
+namespace dnasim
+{
+
+/** One physical DNA molecule in the pool. */
+struct Molecule
+{
+    Strand seq;
+    uint32_t origin = 0; ///< index of the reference it descends from
+};
+
+/** A noisy transformation of the molecule pool. */
+class ChannelStage
+{
+  public:
+    virtual ~ChannelStage() = default;
+
+    virtual void apply(std::vector<Molecule> &pool, Rng &rng) const = 0;
+    virtual std::string name() const = 0;
+};
+
+/**
+ * Synthesis: expands each molecule into @p copies physical copies,
+ * each independently corrupted by a deletion-dominated low-rate IDS
+ * model (synthesis errors are dominated by deletions; Heckel et
+ * al.).
+ */
+class SynthesisStage : public ChannelStage
+{
+  public:
+    SynthesisStage(double error_rate, size_t copies_per_molecule);
+
+    void apply(std::vector<Molecule> &pool, Rng &rng) const override;
+    std::string name() const override { return "synthesis"; }
+
+  private:
+    IdsChannelModel model_;
+    size_t copies_;
+};
+
+/**
+ * Storage decay: each molecule independently survives with a
+ * half-life model; surviving molecules may suffer strand breaks that
+ * truncate them.
+ */
+class DecayStage : public ChannelStage
+{
+  public:
+    /**
+     * @param years     storage duration
+     * @param half_life molecule half-life in years
+     * @param p_break   per-surviving-molecule probability of a
+     *                  single random truncating break
+     */
+    DecayStage(double years, double half_life, double p_break);
+
+    void apply(std::vector<Molecule> &pool, Rng &rng) const override;
+    std::string name() const override { return "decay"; }
+
+  private:
+    double survival_;
+    double p_break_;
+};
+
+/**
+ * PCR amplification: @p cycles rounds in which each molecule
+ * duplicates with probability efficiency * bias(origin), where the
+ * per-origin bias is log-normal (PCR prefers some sequences over
+ * others; Heckel et al.). Copies may acquire substitutions. The
+ * pool is capped by uniform subsampling to bound memory.
+ */
+class PcrStage : public ChannelStage
+{
+  public:
+    PcrStage(unsigned cycles, double efficiency, double bias_sigma,
+             double sub_rate, size_t max_pool = 1 << 20);
+
+    void apply(std::vector<Molecule> &pool, Rng &rng) const override;
+    std::string name() const override { return "pcr"; }
+
+  private:
+    unsigned cycles_;
+    double efficiency_;
+    double bias_sigma_;
+    double sub_rate_;
+    size_t max_pool_;
+};
+
+/** Read sampling: draw @p num_reads molecules with replacement. */
+class SamplingStage : public ChannelStage
+{
+  public:
+    explicit SamplingStage(size_t num_reads);
+
+    void apply(std::vector<Molecule> &pool, Rng &rng) const override;
+    std::string name() const override { return "sampling"; }
+
+  private:
+    size_t num_reads_;
+};
+
+/** Sequencing: every molecule passes once through an IDS model. */
+class SequencingStage : public ChannelStage
+{
+  public:
+    explicit SequencingStage(ErrorProfile profile);
+
+    void apply(std::vector<Molecule> &pool, Rng &rng) const override;
+    std::string name() const override { return "sequencing"; }
+
+  private:
+    IdsChannelModel model_;
+};
+
+/** An ordered composition of channel stages. */
+class StagedChannel
+{
+  public:
+    StagedChannel() = default;
+
+    /** Append a stage; stages run in insertion order. */
+    StagedChannel &add(std::unique_ptr<ChannelStage> stage);
+
+    size_t numStages() const { return stages_.size(); }
+
+    /** Stage names in execution order. */
+    std::vector<std::string> stageNames() const;
+
+    /**
+     * Run the pipeline: the pool starts as one pristine molecule per
+     * reference; after all stages the pool regroups by origin into a
+     * clustered dataset (perfect clustering). References that lost
+     * every molecule appear as erasure clusters.
+     */
+    Dataset run(const std::vector<Strand> &references, Rng &rng) const;
+
+  private:
+    std::vector<std::unique_ptr<ChannelStage>> stages_;
+};
+
+} // namespace dnasim
+
+#endif // DNASIM_CORE_STAGES_HH

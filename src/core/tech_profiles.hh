@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Ready-made error profiles for the sequencing technologies the
+ * paper surveys (Table 1.1), and preset staged channels for
+ * archival-storage studies.
+ *
+ * Magnitudes follow Table 1.1 and the cited characterization
+ * studies: Sanger ~0.005% error, Illumina ~0.5%, Nanopore ~5.9%
+ * (with the wetlab channel's terminal skew and affinity-biased
+ * confusion structure). These are synthetic presets for simulation
+ * studies — calibrate from your own data with ErrorProfiler when
+ * you have it.
+ */
+
+#ifndef DNASIM_CORE_TECH_PROFILES_HH
+#define DNASIM_CORE_TECH_PROFILES_HH
+
+#include "core/error_profile.hh"
+#include "core/stages.hh"
+
+namespace dnasim
+{
+
+/** Sequencing technology generations from Table 1.1. */
+enum class SequencerGeneration
+{
+    Sanger,   ///< 1st gen: ~0.005% error, short runs, expensive
+    Illumina, ///< 2nd gen: ~0.5% error, 25-150 bp reads
+    Nanopore, ///< 3rd gen: ~5.9% error, very long reads
+};
+
+/** Printable name of a generation. */
+const char *sequencerName(SequencerGeneration gen);
+
+/** Nominal aggregate per-base error rate of a generation. */
+double sequencerErrorRate(SequencerGeneration gen);
+
+/**
+ * A full ErrorProfile for @p gen at strand length @p strand_length.
+ * Nanopore carries the wetlab channel's structure (terminal skew,
+ * biased confusion, long deletions); Sanger and Illumina are
+ * substitution-dominated and spatially uniform.
+ */
+ErrorProfile sequencerProfile(SequencerGeneration gen,
+                              size_t strand_length);
+
+/**
+ * A composable archival channel preset: synthesis at
+ * @p synthesis_error, @p storage_years of decay, PCR amplification
+ * for random access, sampling to @p mean_coverage reads per
+ * reference, and sequencing with @p gen's profile.
+ *
+ * @param num_references  library size (used to size the sampling
+ *                        stage: reads = mean_coverage * references)
+ */
+StagedChannel makeArchivalChannel(SequencerGeneration gen,
+                                  size_t strand_length,
+                                  size_t num_references,
+                                  double mean_coverage,
+                                  double storage_years = 0.0,
+                                  double synthesis_error = 0.002);
+
+} // namespace dnasim
+
+#endif // DNASIM_CORE_TECH_PROFILES_HH

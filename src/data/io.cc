@@ -1,0 +1,114 @@
+#include "data/io.hh"
+
+#include <fstream>
+#include <sstream>
+
+#include "base/logging.hh"
+
+namespace dnasim
+{
+
+namespace
+{
+
+const char *kSeparator = "*****************************";
+
+bool
+isSeparatorLine(const std::string &line)
+{
+    if (line.empty())
+        return false;
+    for (char c : line)
+        if (c != '*')
+            return false;
+    return true;
+}
+
+std::string
+stripCr(std::string line)
+{
+    if (!line.empty() && line.back() == '\r')
+        line.pop_back();
+    return line;
+}
+
+} // anonymous namespace
+
+void
+writeEvyat(const Dataset &dataset, std::ostream &os)
+{
+    for (const auto &cluster : dataset) {
+        os << cluster.reference << "\n" << kSeparator << "\n";
+        for (const auto &copy : cluster.copies)
+            os << copy << "\n";
+        os << "\n\n";
+    }
+}
+
+void
+writeEvyatFile(const Dataset &dataset, const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        DNASIM_FATAL("cannot open '", path, "' for writing");
+    writeEvyat(dataset, out);
+    if (!out)
+        DNASIM_FATAL("I/O error while writing '", path, "'");
+}
+
+Dataset
+readEvyat(std::istream &is)
+{
+    Dataset dataset;
+    std::string line;
+    size_t line_no = 0;
+    while (std::getline(is, line)) {
+        ++line_no;
+        line = stripCr(line);
+        if (line.empty())
+            continue;
+
+        // A non-empty line starts a cluster: reference, then the
+        // separator, then copies until a blank line or EOF.
+        Cluster cluster;
+        cluster.reference = line;
+        if (!isValidStrand(cluster.reference)) {
+            DNASIM_FATAL("line ", line_no,
+                         ": reference is not a DNA strand: '", line, "'");
+        }
+        if (!std::getline(is, line)) {
+            DNASIM_FATAL("line ", line_no,
+                         ": unexpected EOF, separator expected");
+        }
+        ++line_no;
+        line = stripCr(line);
+        if (!isSeparatorLine(line)) {
+            DNASIM_FATAL("line ", line_no, ": expected separator, got '",
+                         line, "'");
+        }
+        while (std::getline(is, line)) {
+            ++line_no;
+            line = stripCr(line);
+            if (line.empty())
+                break;
+            if (!isValidStrand(line)) {
+                DNASIM_FATAL("line ", line_no,
+                             ": copy is not a DNA strand: '", line, "'");
+            }
+            cluster.copies.push_back(line);
+        }
+        dataset.add(std::move(cluster));
+    }
+    return dataset;
+}
+
+Dataset
+readEvyatFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        DNASIM_FATAL("cannot open '", path, "' for reading");
+    return readEvyat(in);
+}
+
+} // namespace dnasim

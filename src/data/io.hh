@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Clustered-dataset text I/O in the "evyat" format used by the
+ * Microsoft Nanopore dataset release and by DNASimulator:
+ *
+ * @verbatim
+ * <reference strand>
+ * *****************************
+ * <noisy copy 1>
+ * <noisy copy 2>
+ *
+ *
+ * <next reference strand>
+ * ...
+ * @endverbatim
+ *
+ * Empty clusters (erasures) appear as a reference with no copies.
+ */
+
+#ifndef DNASIM_DATA_IO_HH
+#define DNASIM_DATA_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "data/dataset.hh"
+
+namespace dnasim
+{
+
+/** Write @p dataset to @p os in evyat format. */
+void writeEvyat(const Dataset &dataset, std::ostream &os);
+
+/** Write @p dataset to the file at @p path (fatal on I/O error). */
+void writeEvyatFile(const Dataset &dataset, const std::string &path);
+
+/** Parse an evyat-format stream (fatal on malformed input). */
+Dataset readEvyat(std::istream &is);
+
+/** Parse the evyat-format file at @p path (fatal on I/O error). */
+Dataset readEvyatFile(const std::string &path);
+
+} // namespace dnasim
+
+#endif // DNASIM_DATA_IO_HH

@@ -1,0 +1,102 @@
+#include "data/strand_factory.hh"
+
+#include <array>
+
+#include "base/logging.hh"
+
+namespace dnasim
+{
+
+StrandFactory::StrandFactory(StrandConstraints constraints)
+    : constraints_(constraints)
+{}
+
+bool
+StrandFactory::satisfies(const Strand &s) const
+{
+    if (constraints_.min_gc <= constraints_.max_gc) {
+        double gc = gcRatio(s);
+        if (gc < constraints_.min_gc || gc > constraints_.max_gc)
+            return false;
+    }
+    if (constraints_.max_homopolymer > 0 &&
+        maxHomopolymerRun(s) > constraints_.max_homopolymer) {
+        return false;
+    }
+    return true;
+}
+
+char
+StrandFactory::drawBase(const Strand &prefix, Rng &rng) const
+{
+    const size_t limit = constraints_.max_homopolymer;
+    for (;;) {
+        char c = kBaseChars[rng.index(kNumBases)];
+        if (limit == 0)
+            return c;
+        // Reject a base that would extend a maximal run past limit.
+        size_t run = 1;
+        for (auto it = prefix.rbegin();
+             it != prefix.rend() && *it == c; ++it) {
+            ++run;
+        }
+        if (run <= limit)
+            return c;
+    }
+}
+
+Strand
+StrandFactory::make(size_t len, Rng &rng) const
+{
+    DNASIM_ASSERT(len > 0, "strand of zero length");
+    // Homopolymer limit is enforced during construction; the GC
+    // window by rejection sampling with a bounded retry count and a
+    // local repair fallback (swap A/T <-> G/C at random positions).
+    constexpr int max_attempts = 64;
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+        Strand s;
+        s.reserve(len);
+        for (size_t i = 0; i < len; ++i)
+            s.push_back(drawBase(s, rng));
+        if (satisfies(s))
+            return s;
+        // Repair GC-ratio by flipping bases toward the window.
+        for (int repair = 0; repair < 256 && !satisfies(s); ++repair) {
+            double gc = gcRatio(s);
+            bool need_more_gc = gc < constraints_.min_gc;
+            size_t pos = rng.index(s.size());
+            char c = s[pos];
+            char repl;
+            if (need_more_gc)
+                repl = (c == 'A') ? 'G' : (c == 'T') ? 'C' : c;
+            else
+                repl = (c == 'G') ? 'A' : (c == 'C') ? 'T' : c;
+            if (repl == c)
+                continue;
+            char saved = s[pos];
+            s[pos] = repl;
+            if (constraints_.max_homopolymer > 0 &&
+                maxHomopolymerRun(s) > constraints_.max_homopolymer) {
+                s[pos] = saved;
+            }
+        }
+        if (satisfies(s))
+            return s;
+    }
+    DNASIM_FATAL("could not generate a strand of length ", len,
+                 " meeting constraints (gc in [", constraints_.min_gc,
+                 ", ", constraints_.max_gc, "], homopolymer <= ",
+                 constraints_.max_homopolymer, ")");
+}
+
+std::vector<Strand>
+StrandFactory::makeMany(size_t count, size_t len, Rng &rng) const
+{
+    std::vector<Strand> out;
+    out.reserve(count);
+    for (size_t i = 0; i < count; ++i)
+        out.push_back(make(len, rng));
+    return out;
+}
+
+} // namespace dnasim

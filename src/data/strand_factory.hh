@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Generation of synthetic reference strands.
+ *
+ * Real DNA-storage encoders constrain reference strands to be
+ * synthesizable and sequenceable: GC-ratio near 50% and bounded
+ * homopolymer runs (section 1.2). The factory produces random
+ * strands under configurable versions of those constraints so
+ * simulated libraries look like encoded payloads rather than
+ * arbitrary noise.
+ */
+
+#ifndef DNASIM_DATA_STRAND_FACTORY_HH
+#define DNASIM_DATA_STRAND_FACTORY_HH
+
+#include <vector>
+
+#include "base/dna.hh"
+#include "base/rng.hh"
+
+namespace dnasim
+{
+
+/** Constraints on generated reference strands. */
+struct StrandConstraints
+{
+    /// Inclusive GC-ratio window; the factory retries or repairs
+    /// strands outside it. Set min > max to disable the constraint.
+    double min_gc = 0.40;
+    double max_gc = 0.60;
+    /// Longest allowed homopolymer run; 0 disables the constraint.
+    size_t max_homopolymer = 3;
+};
+
+/** Produces random reference strands meeting StrandConstraints. */
+class StrandFactory
+{
+  public:
+    explicit StrandFactory(StrandConstraints constraints = {});
+
+    const StrandConstraints &constraints() const { return constraints_; }
+
+    /** One random strand of length @p len meeting the constraints. */
+    Strand make(size_t len, Rng &rng) const;
+
+    /** @p count independent strands of length @p len. */
+    std::vector<Strand> makeMany(size_t count, size_t len,
+                                 Rng &rng) const;
+
+    /** True iff @p s meets the configured constraints. */
+    bool satisfies(const Strand &s) const;
+
+  private:
+    /** Draw a base that would not violate the homopolymer limit. */
+    char drawBase(const Strand &prefix, Rng &rng) const;
+
+    StrandConstraints constraints_;
+};
+
+} // namespace dnasim
+
+#endif // DNASIM_DATA_STRAND_FACTORY_HH

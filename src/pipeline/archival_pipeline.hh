@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The end-to-end archival pipeline of section 1.1: encode a byte
+ * stream into addressable strands with logical redundancy,
+ * transmit them through a noisy channel at some physical redundancy
+ * (coverage), reconstruct, and decode with erasure/corruption
+ * accounting.
+ *
+ * Logical redundancy runs *across* strands: frames are grouped into
+ * stripes and each stripe gains Reed-Solomon parity frames (or
+ * XOR-group parity), so strands lost to erasures or rejected by
+ * their CRC can be regenerated (section 1.1.3).
+ */
+
+#ifndef DNASIM_PIPELINE_ARCHIVAL_PIPELINE_HH
+#define DNASIM_PIPELINE_ARCHIVAL_PIPELINE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codec/dna_codec.hh"
+#include "codec/framing.hh"
+#include "core/channel_simulator.hh"
+#include "core/coverage.hh"
+#include "core/error_model.hh"
+#include "data/dataset.hh"
+#include "reconstruct/reconstructor.hh"
+
+namespace dnasim
+{
+
+/** Logical-redundancy scheme selection. */
+enum class RedundancyScheme
+{
+    None,        ///< erasures are unrecoverable
+    XorGroups,   ///< one parity frame per group (Bornholt et al. [4])
+    ReedSolomon, ///< RS parity frames per stripe (Grass et al. [12])
+};
+
+/** Pipeline configuration. */
+struct PipelineConfig
+{
+    /// Payload bytes carried per strand.
+    size_t payload_bytes = 18;
+    /// Width of the frame index field.
+    size_t index_bytes = 2;
+    /// Homopolymer-free rotating codec (true) or the dense trivial
+    /// 2-bit codec (false).
+    bool rotating_codec = true;
+
+    RedundancyScheme redundancy = RedundancyScheme::ReedSolomon;
+    /// Data frames per RS stripe.
+    size_t rs_stripe_data = 32;
+    /// Parity frames per RS stripe.
+    size_t rs_parity = 8;
+    /// Data frames per XOR group.
+    size_t xor_group = 7;
+};
+
+/** Outcome counters of a retrieval. */
+struct RetrievalStats
+{
+    size_t clusters = 0;
+    size_t erasure_clusters = 0;   ///< empty clusters
+    size_t undecodable_strands = 0; ///< codec failures
+    size_t crc_failures = 0;
+    size_t frames_recovered = 0;    ///< via logical redundancy
+    size_t stripes_failed = 0;      ///< redundancy exceeded
+};
+
+/** A stored object: the strand library plus its directory entry. */
+struct StoredObject
+{
+    std::vector<Strand> strands;
+    size_t file_size = 0;
+    size_t num_data_frames = 0;
+    size_t num_total_frames = 0;
+};
+
+/** Result of a retrieval. */
+struct RetrievedObject
+{
+    Bytes data;
+    bool success = false;
+    RetrievalStats stats;
+};
+
+/** The archival pipeline. */
+class ArchivalPipeline
+{
+  public:
+    explicit ArchivalPipeline(PipelineConfig config = {});
+
+    const PipelineConfig &config() const { return config_; }
+
+    /** The strand length this configuration produces. */
+    size_t strandLength() const;
+
+    /** Encode @p file into a strand library. */
+    StoredObject store(const Bytes &file) const;
+
+    /**
+     * Decode a clustered read-out of a stored object.
+     *
+     * @param clusters clustered noisy copies, one cluster per strand
+     *                 (order need not match; frames carry indices)
+     * @param algo     trace-reconstruction algorithm
+     * @param object   the directory entry produced by store()
+     */
+    RetrievedObject retrieve(const Dataset &clusters,
+                             const Reconstructor &algo,
+                             const StoredObject &object,
+                             Rng &rng) const;
+
+    /**
+     * Convenience: store, transmit through @p model at @p coverage,
+     * reconstruct with @p algo, and decode.
+     */
+    RetrievedObject roundTrip(const Bytes &file,
+                              const ErrorModel &model,
+                              const CoverageModel &coverage,
+                              const Reconstructor &algo,
+                              Rng &rng) const;
+
+  private:
+    const DnaCodec &codec() const;
+
+    PipelineConfig config_;
+    FrameCodec frame_codec_;
+    TrivialCodec trivial_;
+    RotatingCodec rotating_;
+};
+
+} // namespace dnasim
+
+#endif // DNASIM_PIPELINE_ARCHIVAL_PIPELINE_HH

@@ -1,0 +1,248 @@
+#include "reconstruct/consensus.hh"
+
+#include <algorithm>
+#include <limits>
+
+#include "align/edit_distance.hh"
+#include "base/logging.hh"
+
+namespace dnasim
+{
+
+char
+BaseVote::winner(Rng &rng) const
+{
+    double best = -1.0;
+    size_t num_best = 0;
+    std::array<size_t, kNumBases> tied{};
+    for (size_t b = 0; b < kNumBases; ++b) {
+        if (counts_[b] > best) {
+            best = counts_[b];
+            tied[0] = b;
+            num_best = 1;
+        } else if (counts_[b] == best) {
+            tied[num_best++] = b;
+        }
+    }
+    DNASIM_ASSERT(num_best > 0, "vote with no candidates");
+    size_t pick = num_best == 1 ? tied[0] : tied[rng.index(num_best)];
+    return kBaseChars[pick];
+}
+
+char
+pluralityChar(std::span<const char> votes, Rng &rng)
+{
+    if (votes.empty())
+        return 'A';
+    BaseVote vote;
+    for (char c : votes)
+        vote.add(c);
+    return vote.winner(rng);
+}
+
+Strand
+positionalPlurality(std::span<const Strand> copies, size_t design_len,
+                    Rng &rng, std::span<const double> weights)
+{
+    DNASIM_ASSERT(weights.empty() || weights.size() == copies.size(),
+                  "weight/copy count mismatch");
+    Strand out;
+    out.reserve(design_len);
+    BaseVote vote;
+    for (size_t pos = 0; pos < design_len; ++pos) {
+        vote.clear();
+        for (size_t k = 0; k < copies.size(); ++k) {
+            if (pos >= copies[k].size())
+                continue;
+            double w = weights.empty() ? 1.0 : weights[k];
+            if (w > 0.0)
+                vote.add(copies[k][pos], w);
+        }
+        out.push_back(vote.empty() ? 'A' : vote.winner(rng));
+    }
+    return out;
+}
+
+Strand
+alignedConsensus(const Strand &estimate,
+                 std::span<const Strand> copies, Rng &rng,
+                 std::span<const double> weights)
+{
+    DNASIM_ASSERT(weights.empty() || weights.size() == copies.size(),
+                  "weight/copy count mismatch");
+    const size_t len = estimate.size();
+
+    std::vector<BaseVote> base_votes(len);
+    std::vector<double> del_votes(len, 0.0);
+    // Insertion votes for the gap before position i (i == len is an
+    // append).
+    std::vector<std::array<double, kNumBases>> ins_votes(
+        len + 1, std::array<double, kNumBases>{});
+    double total_weight = 0.0;
+
+    for (size_t c = 0; c < copies.size(); ++c) {
+        double w = weights.empty() ? 1.0 : weights[c];
+        if (w <= 0.0)
+            continue;
+        total_weight += w;
+        // Deterministic (leftmost) alignments keep equally-minimal
+        // edit scripts attributed to the same positions across
+        // copies, so their votes reinforce instead of spreading.
+        for (const auto &op : editOps(estimate, copies[c])) {
+            switch (op.type) {
+              case EditOpType::Equal:
+              case EditOpType::Substitute:
+                base_votes[op.ref_pos].add(op.copy_base, w);
+                break;
+              case EditOpType::Delete:
+                del_votes[op.ref_pos] += w;
+                break;
+              case EditOpType::Insert:
+                ins_votes[op.ref_pos][baseIndex(op.copy_base)] += w;
+                break;
+            }
+        }
+    }
+
+    Strand out;
+    out.reserve(len + 4);
+    const double half = total_weight / 2.0;
+    for (size_t i = 0; i <= len; ++i) {
+        // Materialize at most one majority-supported insertion per
+        // gap.
+        size_t best = 0;
+        for (size_t b = 1; b < kNumBases; ++b)
+            if (ins_votes[i][b] > ins_votes[i][best])
+                best = b;
+        if (ins_votes[i][best] > half)
+            out.push_back(kBaseChars[best]);
+        if (i == len)
+            break;
+        if (del_votes[i] > half)
+            continue; // majority says this position never existed
+        out.push_back(base_votes[i].empty()
+                          ? estimate[i]
+                          : base_votes[i].winner(rng));
+    }
+    return out;
+}
+
+size_t
+totalEditDistance(const Strand &estimate,
+                  std::span<const Strand> copies)
+{
+    size_t total = 0;
+    for (const auto &c : copies)
+        total += levenshtein(estimate, c);
+    return total;
+}
+
+Strand
+enforceDesignLength(Strand estimate, std::span<const Strand> copies,
+                    size_t design_len, Rng &rng)
+{
+    constexpr size_t max_candidates = 8;
+    size_t guard = 8;
+
+    while (estimate.size() != design_len && guard-- > 0) {
+        const size_t len = estimate.size();
+
+        // Vote over indel attributions against the current estimate.
+        std::vector<double> del_votes(len, 0.0);
+        std::vector<std::array<double, kNumBases>> ins_votes(
+            len + 1, std::array<double, kNumBases>{});
+        for (const auto &copy : copies) {
+            for (const auto &op : editOps(estimate, copy)) {
+                if (op.type == EditOpType::Delete)
+                    del_votes[op.ref_pos] += 1.0;
+                else if (op.type == EditOpType::Insert)
+                    ins_votes[op.ref_pos][baseIndex(op.copy_base)] +=
+                        1.0;
+            }
+        }
+
+        std::vector<Strand> candidates;
+        if (len > design_len) {
+            // Rank positions by deletion votes; always include the
+            // last position as a fallback.
+            std::vector<size_t> order(len);
+            for (size_t i = 0; i < len; ++i)
+                order[i] = i;
+            std::sort(order.begin(), order.end(),
+                      [&](size_t a, size_t b) {
+                          return del_votes[a] > del_votes[b];
+                      });
+            for (size_t k = 0;
+                 k < std::min(max_candidates, order.size()); ++k) {
+                Strand cand = estimate;
+                cand.erase(cand.begin() +
+                           static_cast<ptrdiff_t>(order[k]));
+                candidates.push_back(std::move(cand));
+            }
+            Strand tail = estimate;
+            tail.pop_back();
+            candidates.push_back(std::move(tail));
+        } else {
+            // Rank (gap, base) insertions by votes; fall back to
+            // appending each base at the end.
+            struct GapCand
+            {
+                size_t gap;
+                size_t base;
+                double votes;
+            };
+            std::vector<GapCand> gaps;
+            for (size_t g = 0; g <= len; ++g)
+                for (size_t b = 0; b < kNumBases; ++b)
+                    if (ins_votes[g][b] > 0.0)
+                        gaps.push_back({g, b, ins_votes[g][b]});
+            std::sort(gaps.begin(), gaps.end(),
+                      [](const GapCand &a, const GapCand &b) {
+                          return a.votes > b.votes;
+                      });
+            for (size_t k = 0;
+                 k < std::min(max_candidates, gaps.size()); ++k) {
+                Strand cand = estimate;
+                cand.insert(cand.begin() +
+                                static_cast<ptrdiff_t>(gaps[k].gap),
+                            kBaseChars[gaps[k].base]);
+                candidates.push_back(std::move(cand));
+            }
+            for (char base : kBaseChars) {
+                Strand cand = estimate;
+                cand.push_back(base);
+                candidates.push_back(std::move(cand));
+            }
+        }
+
+        // Pick the maximum-likelihood candidate (minimum total edit
+        // distance to the cluster).
+        size_t best_idx = 0;
+        size_t best_cost = std::numeric_limits<size_t>::max();
+        for (size_t k = 0; k < candidates.size(); ++k) {
+            size_t cost = totalEditDistance(candidates[k], copies);
+            if (cost < best_cost) {
+                best_cost = cost;
+                best_idx = k;
+            }
+        }
+        estimate = std::move(candidates[best_idx]);
+
+        // The length move may unblock further consensus refinement.
+        Strand refined = alignedConsensus(estimate, copies, rng);
+        if (refined.size() == design_len ||
+            (refined.size() != estimate.size() &&
+             totalEditDistance(refined, copies) <= best_cost)) {
+            estimate = std::move(refined);
+        }
+    }
+
+    // Guarantee the length even if the search stalled.
+    if (estimate.size() > design_len)
+        estimate.resize(design_len);
+    while (estimate.size() < design_len)
+        estimate.push_back('A');
+    return estimate;
+}
+
+} // namespace dnasim

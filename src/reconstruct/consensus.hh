@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Shared consensus helpers for the reconstruction algorithms.
+ */
+
+#ifndef DNASIM_RECONSTRUCT_CONSENSUS_HH
+#define DNASIM_RECONSTRUCT_CONSENSUS_HH
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "base/dna.hh"
+#include "base/rng.hh"
+
+namespace dnasim
+{
+
+/**
+ * Per-position plurality vote over copies (direct indexing, no
+ * alignment): position i collects copy[i] from every copy longer
+ * than i. The result has exactly @p design_len characters; positions
+ * where no copy votes are filled with 'A'. Ties break uniformly at
+ * random via @p rng.
+ *
+ * Optional @p weights (same size as @p copies) weight each copy's
+ * vote; pass an empty span for unweighted voting.
+ */
+Strand positionalPlurality(std::span<const Strand> copies,
+                           size_t design_len, Rng &rng,
+                           std::span<const double> weights = {});
+
+/**
+ * Plurality vote over a set of single characters with random
+ * tie-breaking. Returns 'A' when @p votes is empty.
+ */
+char pluralityChar(std::span<const char> votes, Rng &rng);
+
+/**
+ * One round of alignment-based (star-MSA) consensus refinement.
+ *
+ * Every copy is aligned to @p estimate by minimum edit distance;
+ * each estimate position then collects base votes (from equal and
+ * substituted characters), deletion votes, and insertion votes for
+ * the gaps between positions. The refined string keeps a position's
+ * plurality base, drops positions whose deletion votes exceed half
+ * the (weighted) copies, and materializes insertions supported by
+ * more than half of them.
+ *
+ * Optional @p weights (same size as @p copies) scale each copy's
+ * votes; pass an empty span for unweighted voting.
+ *
+ * The result's length may differ from the estimate's; callers
+ * typically iterate to a fixpoint and then enforce the design
+ * length.
+ */
+Strand alignedConsensus(const Strand &estimate,
+                        std::span<const Strand> copies, Rng &rng,
+                        std::span<const double> weights = {});
+
+/**
+ * Enforce the design length on a converged consensus estimate by
+ * maximum-likelihood single-indel moves.
+ *
+ * A consensus can converge one or two bases long or short when a
+ * spurious indel inside a homopolymer run stays below the voting
+ * majority (other copies' length differences get traded into
+ * substitution chains elsewhere in their minimum edit scripts). The
+ * design length is side information every DNA-storage system has, so
+ * instead of blind padding/truncation this repeatedly applies the
+ * single insertion or deletion that minimizes the total edit
+ * distance between the estimate and the cluster, with candidates
+ * short-listed by indel votes.
+ */
+Strand enforceDesignLength(Strand estimate,
+                           std::span<const Strand> copies,
+                           size_t design_len, Rng &rng);
+
+/** Sum of edit distances from @p estimate to every copy. */
+size_t totalEditDistance(const Strand &estimate,
+                         std::span<const Strand> copies);
+
+/** Accumulates weighted votes over the four bases. */
+class BaseVote
+{
+  public:
+    void
+    add(char base, double weight = 1.0)
+    {
+        counts_[baseIndex(base)] += weight;
+    }
+
+    bool
+    empty() const
+    {
+        for (double c : counts_)
+            if (c > 0.0)
+                return false;
+        return true;
+    }
+
+    /** Winning base; ties break uniformly at random. */
+    char winner(Rng &rng) const;
+
+    void
+    clear()
+    {
+        counts_.fill(0.0);
+    }
+
+  private:
+    std::array<double, kNumBases> counts_{};
+};
+
+} // namespace dnasim
+
+#endif // DNASIM_RECONSTRUCT_CONSENSUS_HH

@@ -1,0 +1,115 @@
+#include "reconstruct/divider_bma.hh"
+
+#include "reconstruct/consensus.hh"
+
+namespace dnasim
+{
+
+namespace
+{
+
+/**
+ * Realign a copy assumed to contain net deletions against the guide:
+ * walk both strings, marking a guide position as deleted (gap) when
+ * the copy's current character already matches the next guide
+ * character. Returns a length-|guide| string with '\0' gaps.
+ */
+std::string
+realignShort(const Strand &copy, const Strand &guide)
+{
+    std::string aligned(guide.size(), '\0');
+    size_t c = 0;
+    for (size_t pos = 0; pos < guide.size() && c < copy.size(); ++pos) {
+        if (copy[c] == guide[pos]) {
+            aligned[pos] = copy[c];
+            ++c;
+        } else if (pos + 1 < guide.size() && copy[c] == guide[pos + 1]) {
+            // Deletion of guide[pos]: leave a gap, do not consume.
+        } else {
+            // Treat as substitution to keep the cursor in register.
+            aligned[pos] = copy[c];
+            ++c;
+        }
+    }
+    return aligned;
+}
+
+/**
+ * Realign a copy assumed to contain net insertions: skip copy
+ * characters that do not match when the following one does.
+ */
+std::string
+realignLong(const Strand &copy, const Strand &guide)
+{
+    std::string aligned(guide.size(), '\0');
+    size_t c = 0;
+    for (size_t pos = 0; pos < guide.size() && c < copy.size(); ++pos) {
+        if (copy[c] == guide[pos]) {
+            aligned[pos] = copy[c];
+            ++c;
+        } else if (c + 1 < copy.size() && copy[c + 1] == guide[pos]) {
+            // Insertion: drop the extra character.
+            aligned[pos] = copy[c + 1];
+            c += 2;
+        } else {
+            aligned[pos] = copy[c];
+            ++c;
+        }
+    }
+    return aligned;
+}
+
+} // anonymous namespace
+
+Strand
+DividerBma::reconstruct(const std::vector<Strand> &copies,
+                        size_t design_len, Rng &rng) const
+{
+    if (copies.empty())
+        return Strand();
+
+    std::vector<Strand> equal, shorter, longer;
+    for (const auto &c : copies) {
+        if (c.size() == design_len)
+            equal.push_back(c);
+        else if (c.size() < design_len)
+            shorter.push_back(c);
+        else
+            longer.push_back(c);
+    }
+
+    // The guide consensus: the equal-length copies when available,
+    // otherwise a raw positional plurality. (The algorithm targets
+    // low-error regimes where most copies have the design length; on
+    // high-error data the guide — and with it the realignment of the
+    // other groups — degrades, which is the collapse Table 2.1
+    // reports.)
+    Strand guide = !equal.empty()
+                       ? positionalPlurality(equal, design_len, rng)
+                       : positionalPlurality(copies, design_len, rng);
+
+    // Vote: equal-length copies directly, short/long copies after
+    // deletion-only / insertion-only realignment against the guide.
+    std::vector<std::string> realigned;
+    realigned.reserve(shorter.size() + longer.size());
+    for (const auto &c : shorter)
+        realigned.push_back(realignShort(c, guide));
+    for (const auto &c : longer)
+        realigned.push_back(realignLong(c, guide));
+
+    Strand out;
+    out.reserve(design_len);
+    BaseVote vote;
+    for (size_t pos = 0; pos < design_len; ++pos) {
+        vote.clear();
+        for (const auto &c : equal)
+            vote.add(c[pos]);
+        for (const auto &a : realigned)
+            if (a[pos] != '\0')
+                vote.add(a[pos]);
+        out.push_back(vote.empty() ? guide[pos] : vote.winner(rng));
+    }
+    return out;
+}
+
+} // namespace dnasim

@@ -1,0 +1,44 @@
+#include "reconstruct/iterative.hh"
+
+#include "base/logging.hh"
+#include "reconstruct/bma.hh"
+#include "reconstruct/consensus.hh"
+
+namespace dnasim
+{
+
+Iterative::Iterative(IterativeOptions options)
+    : options_(options)
+{
+    DNASIM_ASSERT(options_.max_rounds > 0, "zero iterative rounds");
+}
+
+Strand
+Iterative::reconstruct(const std::vector<Strand> &copies,
+                       size_t design_len, Rng &rng) const
+{
+    if (copies.empty())
+        return Strand();
+
+    // Seed: a forward cursor-consensus pass, anchored at the strand
+    // start (this is what makes the algorithm one-directional).
+    Strand estimate =
+        BmaLookahead::forwardPass(copies, design_len, rng);
+
+    for (size_t round = 0; round < options_.max_rounds; ++round) {
+        Strand next = alignedConsensus(estimate, copies, rng);
+        if (next == estimate)
+            break;
+        estimate = std::move(next);
+    }
+
+    if (!options_.enforce_length)
+        return estimate;
+    // The design length is side information every DNA-storage
+    // reconstructor has; enforce it with maximum-likelihood
+    // single-indel moves.
+    return enforceDesignLength(std::move(estimate), copies,
+                               design_len, rng);
+}
+
+} // namespace dnasim

@@ -1,0 +1,17 @@
+#include "reconstruct/majority.hh"
+
+#include "reconstruct/consensus.hh"
+
+namespace dnasim
+{
+
+Strand
+MajorityVote::reconstruct(const std::vector<Strand> &copies,
+                          size_t design_len, Rng &rng) const
+{
+    if (copies.empty())
+        return Strand();
+    return positionalPlurality(copies, design_len, rng);
+}
+
+} // namespace dnasim

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * The naive position-wise majority reconstructor.
+ *
+ * No alignment at all: position i of the estimate is the plurality
+ * of position i over all copies. A useful floor baseline — it
+ * degrades quickly once indels shift the copies out of register.
+ */
+
+#ifndef DNASIM_RECONSTRUCT_MAJORITY_HH
+#define DNASIM_RECONSTRUCT_MAJORITY_HH
+
+#include "reconstruct/reconstructor.hh"
+
+namespace dnasim
+{
+
+/** Position-wise plurality with no alignment. */
+class MajorityVote : public Reconstructor
+{
+  public:
+    MajorityVote() = default;
+
+    Strand reconstruct(const std::vector<Strand> &copies,
+                       size_t design_len, Rng &rng) const override;
+    std::string name() const override { return "Majority"; }
+};
+
+} // namespace dnasim
+
+#endif // DNASIM_RECONSTRUCT_MAJORITY_HH

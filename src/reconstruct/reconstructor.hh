@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The trace-reconstruction interface.
+ *
+ * A reconstructor receives a cluster of noisy copies of an unknown
+ * reference strand and produces an estimate of it (section 1.1.2).
+ * All implementations take the design length as side information
+ * (DNA-storage systems fix the synthesized strand length) and an Rng
+ * for tie-breaking, so runs are reproducible.
+ */
+
+#ifndef DNASIM_RECONSTRUCT_RECONSTRUCTOR_HH
+#define DNASIM_RECONSTRUCT_RECONSTRUCTOR_HH
+
+#include <string>
+#include <vector>
+
+#include "base/dna.hh"
+#include "base/rng.hh"
+
+namespace dnasim
+{
+
+/** Estimates a reference strand from its noisy copies. */
+class Reconstructor
+{
+  public:
+    virtual ~Reconstructor() = default;
+
+    /**
+     * Reconstruct from @p copies. Returns the empty strand for an
+     * empty cluster (an erasure).
+     */
+    virtual Strand reconstruct(const std::vector<Strand> &copies,
+                               size_t design_len, Rng &rng) const = 0;
+
+    /** Algorithm name for reports (e.g. "BMA", "Iterative"). */
+    virtual std::string name() const = 0;
+};
+
+} // namespace dnasim
+
+#endif // DNASIM_RECONSTRUCT_RECONSTRUCTOR_HH

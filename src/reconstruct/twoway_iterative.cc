@@ -1,0 +1,42 @@
+#include "reconstruct/twoway_iterative.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace dnasim
+{
+
+TwoWayIterative::TwoWayIterative(IterativeOptions options)
+    : inner_(options)
+{}
+
+Strand
+TwoWayIterative::reconstruct(const std::vector<Strand> &copies,
+                             size_t design_len, Rng &rng) const
+{
+    if (copies.empty())
+        return Strand();
+
+    Strand forward = inner_.reconstruct(copies, design_len, rng);
+
+    std::vector<Strand> reversed;
+    reversed.reserve(copies.size());
+    for (const auto &c : copies)
+        reversed.push_back(reverseStrand(c));
+    Strand backward = inner_.reconstruct(reversed, design_len, rng);
+
+    const size_t front_len = (design_len + 1) / 2;
+    const size_t back_len = design_len - front_len;
+
+    Strand out = forward.substr(0, front_len);
+    Strand back(backward.begin(),
+                backward.begin() + static_cast<ptrdiff_t>(back_len));
+    std::reverse(back.begin(), back.end());
+    out += back;
+    DNASIM_ASSERT(out.size() == design_len,
+                  "two-way iterative length invariant");
+    return out;
+}
+
+} // namespace dnasim

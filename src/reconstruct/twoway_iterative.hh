@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Two-way Iterative reconstruction — the improvement the paper
+ * proposes in section 4.3.
+ *
+ * The one-way Iterative algorithm anchors its consensus at the
+ * strand start, so errors propagate toward the end (Fig. 3.4a). The
+ * two-way variant runs the Iterative algorithm forward on the
+ * cluster and again on the reversed copies, then keeps the first
+ * half of each execution — exactly the trick BMA uses — so both
+ * strand ends are reconstructed from their nearest anchor.
+ */
+
+#ifndef DNASIM_RECONSTRUCT_TWOWAY_ITERATIVE_HH
+#define DNASIM_RECONSTRUCT_TWOWAY_ITERATIVE_HH
+
+#include "reconstruct/iterative.hh"
+#include "reconstruct/reconstructor.hh"
+
+namespace dnasim
+{
+
+/** Forward + backward Iterative with half-and-half stitching. */
+class TwoWayIterative : public Reconstructor
+{
+  public:
+    explicit TwoWayIterative(IterativeOptions options = {});
+
+    Strand reconstruct(const std::vector<Strand> &copies,
+                       size_t design_len, Rng &rng) const override;
+    std::string name() const override { return "Iterative-2way"; }
+
+  private:
+    Iterative inner_;
+};
+
+} // namespace dnasim
+
+#endif // DNASIM_RECONSTRUCT_TWOWAY_ITERATIVE_HH

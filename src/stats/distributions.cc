@@ -1,0 +1,85 @@
+#include "stats/distributions.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace dnasim
+{
+
+TriangularDist::TriangularDist(double a, double c, double b)
+    : a_(a), c_(c), b_(b)
+{
+    DNASIM_ASSERT(a <= c && c <= b && a < b,
+                  "bad triangular params a=", a, " c=", c, " b=", b);
+}
+
+double
+TriangularDist::pdf(double x) const
+{
+    if (x < a_ || x > b_)
+        return 0.0;
+    if (x < c_)
+        return 2.0 * (x - a_) / ((b_ - a_) * (c_ - a_));
+    if (x > c_)
+        return 2.0 * (b_ - x) / ((b_ - a_) * (b_ - c_));
+    return 2.0 / (b_ - a_);
+}
+
+double
+TriangularDist::cdf(double x) const
+{
+    if (x <= a_)
+        return 0.0;
+    if (x >= b_)
+        return 1.0;
+    if (x <= c_)
+        return (x - a_) * (x - a_) / ((b_ - a_) * (c_ - a_));
+    return 1.0 - (b_ - x) * (b_ - x) / ((b_ - a_) * (b_ - c_));
+}
+
+double
+TriangularDist::sample(Rng &rng) const
+{
+    double u = rng.uniform();
+    double fc = (c_ - a_) / (b_ - a_);
+    if (u < fc)
+        return a_ + std::sqrt(u * (b_ - a_) * (c_ - a_));
+    return b_ - std::sqrt((1.0 - u) * (b_ - a_) * (b_ - c_));
+}
+
+CumulativeSampler::CumulativeSampler(std::vector<double> weights)
+{
+    double acc = 0.0;
+    cumulative_.reserve(weights.size());
+    for (double w : weights) {
+        DNASIM_ASSERT(w >= 0.0, "negative weight in CumulativeSampler");
+        acc += w;
+        cumulative_.push_back(acc);
+    }
+    DNASIM_ASSERT(acc > 0.0, "CumulativeSampler with zero total weight");
+    for (double &c : cumulative_)
+        c /= acc;
+}
+
+size_t
+CumulativeSampler::sample(Rng &rng) const
+{
+    DNASIM_ASSERT(valid(), "sampling from empty CumulativeSampler");
+    double u = rng.uniform();
+    auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+    if (it == cumulative_.end())
+        return cumulative_.size() - 1;
+    return static_cast<size_t>(it - cumulative_.begin());
+}
+
+double
+CumulativeSampler::probability(size_t i) const
+{
+    DNASIM_ASSERT(i < cumulative_.size(), "category out of range");
+    double lo = i == 0 ? 0.0 : cumulative_[i - 1];
+    return cumulative_[i] - lo;
+}
+
+} // namespace dnasim

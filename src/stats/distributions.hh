@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Samplers beyond what base/rng.hh provides directly: triangular
+ * distributions (the paper's A-shaped spatial curve) and reusable
+ * cumulative samplers over discrete weights.
+ */
+
+#ifndef DNASIM_STATS_DISTRIBUTIONS_HH
+#define DNASIM_STATS_DISTRIBUTIONS_HH
+
+#include <vector>
+
+#include "base/rng.hh"
+
+namespace dnasim
+{
+
+/**
+ * Triangular distribution on [a, b] with mode c.
+ *
+ * Used for the paper's A-shaped spatial error distribution
+ * (a = 0, b = 0.30, mean 0.15, i.e. mode at the midpoint).
+ */
+class TriangularDist
+{
+  public:
+    TriangularDist(double a, double c, double b);
+
+    double a() const { return a_; }
+    double c() const { return c_; }
+    double b() const { return b_; }
+
+    /** Probability density at @p x. */
+    double pdf(double x) const;
+
+    /** Cumulative distribution function at @p x. */
+    double cdf(double x) const;
+
+    /** Draw a sample via inverse-CDF. */
+    double sample(Rng &rng) const;
+
+    /** Mean (a + b + c) / 3. */
+    double mean() const { return (a_ + b_ + c_) / 3.0; }
+
+  private:
+    double a_, c_, b_;
+};
+
+/**
+ * Precomputed cumulative sampler over fixed non-negative weights.
+ *
+ * O(log n) sampling; used on hot paths (confusion-matrix rows,
+ * long-deletion length draws) where rebuilding a discrete
+ * distribution per draw would dominate.
+ */
+class CumulativeSampler
+{
+  public:
+    CumulativeSampler() = default;
+
+    /** Build from unnormalized non-negative weights (sum must be > 0). */
+    explicit CumulativeSampler(std::vector<double> weights);
+
+    /** True once built with valid weights. */
+    bool valid() const { return !cumulative_.empty(); }
+
+    /** Number of categories. */
+    size_t size() const { return cumulative_.size(); }
+
+    /** Draw a category index. */
+    size_t sample(Rng &rng) const;
+
+    /** Normalized probability of category @p i. */
+    double probability(size_t i) const;
+
+  private:
+    std::vector<double> cumulative_;
+};
+
+} // namespace dnasim
+
+#endif // DNASIM_STATS_DISTRIBUTIONS_HH

@@ -1,0 +1,67 @@
+#include "stats/summary.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace dnasim
+{
+
+std::string
+Summary::str() const
+{
+    std::ostringstream os;
+    os << "n=" << count << " mean=" << mean << " sd=" << stddev
+       << " min=" << min << " med=" << median << " max=" << max;
+    return os.str();
+}
+
+Summary
+summarize(std::span<const double> xs)
+{
+    Summary s;
+    s.count = xs.size();
+    if (xs.empty())
+        return s;
+
+    double sum = 0.0;
+    s.min = xs[0];
+    s.max = xs[0];
+    for (double x : xs) {
+        sum += x;
+        s.min = std::min(s.min, x);
+        s.max = std::max(s.max, x);
+    }
+    s.mean = sum / static_cast<double>(xs.size());
+
+    double ss = 0.0;
+    for (double x : xs) {
+        double d = x - s.mean;
+        ss += d * d;
+    }
+    s.variance = ss / static_cast<double>(xs.size());
+    s.stddev = std::sqrt(s.variance);
+    s.median = quantile(xs, 0.5);
+    return s;
+}
+
+double
+quantile(std::span<const double> xs, double q)
+{
+    DNASIM_ASSERT(!xs.empty(), "quantile of empty sample");
+    DNASIM_ASSERT(q >= 0.0 && q <= 1.0, "quantile q out of range: ", q);
+    std::vector<double> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1)
+        return sorted[0];
+    double pos = q * static_cast<double>(sorted.size() - 1);
+    size_t lo = static_cast<size_t>(pos);
+    size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+} // namespace dnasim

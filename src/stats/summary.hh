@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Summary statistics over samples.
+ */
+
+#ifndef DNASIM_STATS_SUMMARY_HH
+#define DNASIM_STATS_SUMMARY_HH
+
+#include <span>
+#include <string>
+
+namespace dnasim
+{
+
+/** Basic descriptive statistics of a sample. */
+struct Summary
+{
+    size_t count = 0;
+    double mean = 0.0;
+    double variance = 0.0; ///< population variance
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    double median = 0.0;
+
+    /** One-line human-readable rendering. */
+    std::string str() const;
+};
+
+/** Compute summary statistics of @p xs (empty input yields zeros). */
+Summary summarize(std::span<const double> xs);
+
+/**
+ * The @p q quantile (0 <= q <= 1) of @p xs using linear interpolation
+ * between order statistics. Asserts on empty input.
+ */
+double quantile(std::span<const double> xs, double q);
+
+} // namespace dnasim
+
+#endif // DNASIM_STATS_SUMMARY_HH

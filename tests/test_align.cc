@@ -1,0 +1,442 @@
+/**
+ * @file
+ * Unit and property tests for the alignment library: Levenshtein
+ * distance, edit-operation backtraces (Appendix B), gestalt pattern
+ * matching, and Hamming comparison.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "align/edit_distance.hh"
+#include "align/gestalt.hh"
+#include "align/hamming.hh"
+#include "base/rng.hh"
+#include "core/ids_model.hh"
+#include "data/strand_factory.hh"
+
+namespace dnasim
+{
+namespace
+{
+
+TEST(Levenshtein, Basics)
+{
+    EXPECT_EQ(levenshtein("", ""), 0u);
+    EXPECT_EQ(levenshtein("ACGT", "ACGT"), 0u);
+    EXPECT_EQ(levenshtein("ACGT", ""), 4u);
+    EXPECT_EQ(levenshtein("", "ACGT"), 4u);
+    EXPECT_EQ(levenshtein("ACGT", "AGGT"), 1u); // sub
+    EXPECT_EQ(levenshtein("ACGT", "ACT"), 1u);  // del
+    EXPECT_EQ(levenshtein("ACGT", "ACGTT"), 1u); // ins
+}
+
+TEST(Levenshtein, PaperExample)
+{
+    // r = AGCG, c = AGG: one deletion suffices.
+    EXPECT_EQ(levenshtein("AGCG", "AGG"), 1u);
+}
+
+TEST(Levenshtein, MetricProperties)
+{
+    StrandFactory factory;
+    Rng rng(21);
+    for (int trial = 0; trial < 30; ++trial) {
+        Strand a = factory.make(20 + rng.index(30), rng);
+        Strand b = factory.make(20 + rng.index(30), rng);
+        Strand c = factory.make(20 + rng.index(30), rng);
+        // symmetry
+        EXPECT_EQ(levenshtein(a, b), levenshtein(b, a));
+        // identity
+        EXPECT_EQ(levenshtein(a, a), 0u);
+        // triangle inequality
+        EXPECT_LE(levenshtein(a, c),
+                  levenshtein(a, b) + levenshtein(b, c));
+        // length-difference lower bound, max-length upper bound
+        size_t diff = a.size() > b.size() ? a.size() - b.size()
+                                          : b.size() - a.size();
+        EXPECT_GE(levenshtein(a, b), diff);
+        EXPECT_LE(levenshtein(a, b), std::max(a.size(), b.size()));
+    }
+}
+
+TEST(Levenshtein, BandedFastPathMatchesFullMatrix)
+{
+    // The banded implementation must agree with the textbook DP on
+    // arbitrary pairs, including very dissimilar ones where the
+    // band has to widen all the way out.
+    auto full = [](std::string_view a, std::string_view b) {
+        std::vector<size_t> prev(b.size() + 1), cur(b.size() + 1);
+        for (size_t j = 0; j <= b.size(); ++j)
+            prev[j] = j;
+        for (size_t i = 1; i <= a.size(); ++i) {
+            cur[0] = i;
+            for (size_t j = 1; j <= b.size(); ++j) {
+                size_t diag =
+                    prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+                cur[j] = std::min(
+                    {diag, prev[j] + 1, cur[j - 1] + 1});
+            }
+            std::swap(prev, cur);
+        }
+        return prev[b.size()];
+    };
+
+    StrandFactory factory;
+    Rng rng(33);
+    for (int trial = 0; trial < 40; ++trial) {
+        size_t la = 1 + rng.index(120);
+        size_t lb = 1 + rng.index(120);
+        Strand a = factory.make(la, rng);
+        Strand b = factory.make(lb, rng);
+        EXPECT_EQ(levenshtein(a, b), full(a, b))
+            << a << " vs " << b;
+    }
+    // Similar pairs (the intended fast path).
+    ErrorProfile profile = ErrorProfile::uniform(0.08, 100);
+    IdsChannelModel channel = IdsChannelModel::naive(profile);
+    for (int trial = 0; trial < 40; ++trial) {
+        Strand a = factory.make(100, rng);
+        Strand b = channel.transmit(a, rng);
+        EXPECT_EQ(levenshtein(a, b), full(a, b));
+    }
+}
+
+TEST(EditOps, EqualStringsAllEqualOps)
+{
+    auto ops = editOps("ACGT", "ACGT");
+    ASSERT_EQ(ops.size(), 4u);
+    for (const auto &op : ops)
+        EXPECT_EQ(op.type, EditOpType::Equal);
+    EXPECT_EQ(numErrors(ops), 0u);
+}
+
+TEST(EditOps, CountsMatchLevenshtein)
+{
+    StrandFactory factory;
+    Rng rng(22);
+    ErrorProfile profile = ErrorProfile::uniform(0.15, 40);
+    IdsChannelModel channel = IdsChannelModel::naive(profile);
+    for (int trial = 0; trial < 50; ++trial) {
+        Strand ref = factory.make(40, rng);
+        Strand copy = channel.transmit(ref, rng);
+        auto ops = editOps(ref, copy, &rng);
+        EXPECT_EQ(numErrors(ops), levenshtein(ref, copy));
+    }
+}
+
+TEST(EditOps, ApplyReproducesCopy)
+{
+    StrandFactory factory;
+    Rng rng(23);
+    ErrorProfile profile = ErrorProfile::uniform(0.2, 60);
+    IdsChannelModel channel = IdsChannelModel::naive(profile);
+    for (int trial = 0; trial < 50; ++trial) {
+        Strand ref = factory.make(60, rng);
+        Strand copy = channel.transmit(ref, rng);
+        // Both deterministic and randomized backtraces must
+        // reproduce the copy exactly.
+        EXPECT_EQ(applyEditOps(ref, editOps(ref, copy)), copy);
+        EXPECT_EQ(applyEditOps(ref, editOps(ref, copy, &rng)), copy);
+    }
+}
+
+TEST(EditOps, CoversEveryReferencePositionOnce)
+{
+    StrandFactory factory;
+    Rng rng(24);
+    ErrorProfile profile = ErrorProfile::uniform(0.2, 50);
+    IdsChannelModel channel = IdsChannelModel::naive(profile);
+    for (int trial = 0; trial < 30; ++trial) {
+        Strand ref = factory.make(50, rng);
+        Strand copy = channel.transmit(ref, rng);
+        auto ops = editOps(ref, copy, &rng);
+        size_t consumed = 0;
+        for (const auto &op : ops) {
+            if (op.type == EditOpType::Insert)
+                continue;
+            EXPECT_EQ(op.ref_pos, consumed);
+            EXPECT_EQ(op.ref_base, ref[consumed]);
+            ++consumed;
+        }
+        EXPECT_EQ(consumed, ref.size());
+    }
+}
+
+TEST(EditOps, DeterministicPrefersDeletionForPaperExample)
+{
+    // Appendix B's worked example: AGCG -> AGG should be explained
+    // as the deletion of C.
+    auto ops = editOps("AGCG", "AGG");
+    std::vector<EditOp> errors;
+    for (const auto &op : ops)
+        if (op.type != EditOpType::Equal)
+            errors.push_back(op);
+    ASSERT_EQ(errors.size(), 1u);
+    EXPECT_EQ(errors[0].type, EditOpType::Delete);
+    EXPECT_EQ(errors[0].ref_base, 'C');
+    EXPECT_EQ(errors[0].ref_pos, 2u);
+}
+
+TEST(EditOps, RandomTieBreakingStaysMinimal)
+{
+    Rng rng(25);
+    // Ambiguous case: many minimum-cost scripts exist.
+    Strand ref = "AAAATTTT";
+    Strand copy = "AAATTT";
+    for (int trial = 0; trial < 20; ++trial) {
+        auto ops = editOps(ref, copy, &rng);
+        EXPECT_EQ(numErrors(ops), levenshtein(ref, copy));
+        EXPECT_EQ(applyEditOps(ref, ops), copy);
+    }
+}
+
+TEST(EditOps, RandomTieBreakingExploresAlternatives)
+{
+    Rng rng(26);
+    // A deletion inside a homopolymer can be attributed to any of
+    // the run's positions; the randomized backtrace should not
+    // always pick the same one.
+    std::set<size_t> positions;
+    for (int trial = 0; trial < 100; ++trial) {
+        auto ops = editOps("AAAA", "AAA", &rng);
+        for (const auto &op : ops)
+            if (op.type == EditOpType::Delete)
+                positions.insert(op.ref_pos);
+    }
+    EXPECT_GT(positions.size(), 1u);
+}
+
+TEST(EditOps, InsertPositionSemantics)
+{
+    // Insertion before position 2 of the reference.
+    auto ops = editOps("AACC", "AATCC");
+    Strand rebuilt = applyEditOps("AACC", ops);
+    EXPECT_EQ(rebuilt, "AATCC");
+    size_t inserts = 0;
+    for (const auto &op : ops) {
+        if (op.type == EditOpType::Insert) {
+            ++inserts;
+            EXPECT_EQ(op.copy_base, 'T');
+        }
+    }
+    EXPECT_EQ(inserts, 1u);
+}
+
+TEST(EditOps, EmptyInputs)
+{
+    auto del_all = editOps("ACG", "");
+    EXPECT_EQ(numErrors(del_all), 3u);
+    for (const auto &op : del_all)
+        EXPECT_EQ(op.type, EditOpType::Delete);
+
+    auto ins_all = editOps("", "ACG");
+    EXPECT_EQ(numErrors(ins_all), 3u);
+    for (const auto &op : ins_all)
+        EXPECT_EQ(op.type, EditOpType::Insert);
+
+    EXPECT_TRUE(editOps("", "").empty());
+}
+
+TEST(DeletionRuns, FindsMaximalRuns)
+{
+    // ref = ACGTACGT, copy missing GTA (positions 2-4).
+    auto ops = editOps("ACGTACGT", "ACCGT");
+    auto runs = deletionRuns(ops);
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_EQ(runs[0].length, 3u);
+}
+
+TEST(DeletionRuns, SeparatesDisjointRuns)
+{
+    // Two isolated single deletions.
+    auto ops = editOps("ACGTAA", "CGTA");
+    auto runs = deletionRuns(ops);
+    size_t total = 0;
+    for (const auto &r : runs)
+        total += r.length;
+    EXPECT_EQ(total, 2u);
+}
+
+TEST(EditOpTypeName, AllNamed)
+{
+    EXPECT_STREQ(editOpTypeName(EditOpType::Equal), "equal");
+    EXPECT_STREQ(editOpTypeName(EditOpType::Substitute), "sub");
+    EXPECT_STREQ(editOpTypeName(EditOpType::Delete), "del");
+    EXPECT_STREQ(editOpTypeName(EditOpType::Insert), "ins");
+}
+
+TEST(Gestalt, PaperWikiExample)
+{
+    // Fig 3.1: WIKIMEDIA vs WIKIMANIA — matched blocks WIKIM?, IA...
+    // Km = |WIKIM| + |IA| + |A between? | — difflib yields ratio
+    // 2*7/18.
+    double score = gestaltScore("WIKIMEDIA", "WIKIMANIA");
+    EXPECT_NEAR(score, 2.0 * 7.0 / 18.0, 1e-9);
+}
+
+TEST(Gestalt, ScoreBounds)
+{
+    EXPECT_DOUBLE_EQ(gestaltScore("", ""), 1.0);
+    EXPECT_DOUBLE_EQ(gestaltScore("ACGT", "ACGT"), 1.0);
+    EXPECT_DOUBLE_EQ(gestaltScore("AAAA", "TTTT"), 0.0);
+    double s = gestaltScore("ACGT", "AGT");
+    EXPECT_GT(s, 0.0);
+    EXPECT_LT(s, 1.0);
+}
+
+TEST(Gestalt, MatchingBlocksTerminatedBySentinel)
+{
+    auto blocks = matchingBlocks("ACGT", "ACGT");
+    ASSERT_GE(blocks.size(), 2u);
+    EXPECT_EQ(blocks.front().len, 4u);
+    EXPECT_EQ(blocks.back().len, 0u);
+    EXPECT_EQ(blocks.back().a_pos, 4u);
+    EXPECT_EQ(blocks.back().b_pos, 4u);
+}
+
+TEST(Gestalt, BlocksAreConsistent)
+{
+    StrandFactory factory;
+    Rng rng(27);
+    ErrorProfile profile = ErrorProfile::uniform(0.15, 50);
+    IdsChannelModel channel = IdsChannelModel::naive(profile);
+    for (int trial = 0; trial < 30; ++trial) {
+        Strand a = factory.make(50, rng);
+        Strand b = channel.transmit(a, rng);
+        size_t prev_a = 0, prev_b = 0;
+        for (const auto &blk : matchingBlocks(a, b)) {
+            EXPECT_GE(blk.a_pos, prev_a);
+            EXPECT_GE(blk.b_pos, prev_b);
+            // Block content actually matches.
+            for (size_t k = 0; k < blk.len; ++k)
+                EXPECT_EQ(a[blk.a_pos + k], b[blk.b_pos + k]);
+            prev_a = blk.a_pos + blk.len;
+            prev_b = blk.b_pos + blk.len;
+        }
+    }
+}
+
+TEST(Gestalt, GapClassification)
+{
+    // sub in the middle
+    auto gaps = alignedGaps("AACCGGTT", "AACTGGTT");
+    ASSERT_EQ(gaps.size(), 1u);
+    EXPECT_EQ(gaps[0].type, GapType::Substitution);
+
+    // deletion
+    gaps = alignedGaps("AACCGGTT", "AACGGTT");
+    ASSERT_EQ(gaps.size(), 1u);
+    EXPECT_EQ(gaps[0].type, GapType::Deletion);
+
+    // insertion
+    gaps = alignedGaps("AACGGTT", "AACCGGTT");
+    ASSERT_EQ(gaps.size(), 1u);
+    EXPECT_EQ(gaps[0].type, GapType::Insertion);
+}
+
+TEST(Gestalt, PaperErrorPositionExample)
+{
+    // r = AGTC, c = ATC: Hamming marks c1, c2, c3; gestalt marks
+    // only the deletion of G at position 1.
+    auto positions = gestaltErrorPositions("AGTC", "ATC");
+    ASSERT_EQ(positions.size(), 1u);
+    EXPECT_EQ(positions[0], 1u);
+}
+
+TEST(Gestalt, ErrorPositionsEmptyForExactCopy)
+{
+    EXPECT_TRUE(gestaltErrorPositions("ACGTACGT", "ACGTACGT").empty());
+}
+
+TEST(Gestalt, ErrorPositionsWithinReference)
+{
+    StrandFactory factory;
+    Rng rng(28);
+    ErrorProfile profile = ErrorProfile::uniform(0.2, 40);
+    IdsChannelModel channel = IdsChannelModel::naive(profile);
+    for (int trial = 0; trial < 30; ++trial) {
+        Strand ref = factory.make(40, rng);
+        Strand copy = channel.transmit(ref, rng);
+        for (size_t pos : gestaltErrorPositions(ref, copy))
+            EXPECT_LT(pos, ref.size());
+    }
+}
+
+TEST(Gestalt, FewerAlignedThanHammingErrors)
+{
+    // The paper: "The magnitude of gestalt-aligned errors is thus
+    // always lower than that of Hamming errors" (for indel-shifted
+    // copies).
+    StrandFactory factory;
+    Rng rng(29);
+    ErrorProfile profile =
+        ErrorProfile::uniform(0.10, 60, 0.0, 0.0, 1.0); // del-only
+    IdsChannelModel channel = IdsChannelModel::naive(profile);
+    for (int trial = 0; trial < 20; ++trial) {
+        Strand ref = factory.make(60, rng);
+        Strand copy = channel.transmit(ref, rng);
+        if (copy == ref)
+            continue;
+        EXPECT_LE(gestaltErrorPositions(ref, copy).size(),
+                  hammingErrorPositions(ref, copy).size());
+    }
+}
+
+TEST(Hamming, PaperExample)
+{
+    // r = AGTC, c = ATC: errors at copy positions 1 and 2 (c too
+    // short for position 3).
+    auto positions = hammingErrorPositions("AGTC", "ATC");
+    EXPECT_EQ(positions, (std::vector<size_t>{1, 2}));
+}
+
+TEST(Hamming, DistanceCountsLengthDifference)
+{
+    EXPECT_EQ(hammingDistance("ACGT", "ACGT"), 0u);
+    EXPECT_EQ(hammingDistance("ACGT", "ACG"), 1u);
+    EXPECT_EQ(hammingDistance("ACGT", "TGCA"), 4u);
+    EXPECT_EQ(hammingDistance("", "ACG"), 3u);
+}
+
+TEST(Hamming, LongerCopyMarksTrailingPositions)
+{
+    auto positions = hammingErrorPositions("AC", "ACGT");
+    EXPECT_EQ(positions, (std::vector<size_t>{2, 3}));
+}
+
+struct AlignCase
+{
+    size_t len;
+    double error_rate;
+};
+
+class EditOpsProperty : public ::testing::TestWithParam<AlignCase>
+{};
+
+TEST_P(EditOpsProperty, RoundTripAndMinimality)
+{
+    auto [len, rate] = GetParam();
+    StrandFactory factory;
+    Rng rng(31 + len);
+    ErrorProfile profile = ErrorProfile::uniform(rate, len);
+    IdsChannelModel channel = IdsChannelModel::naive(profile);
+    for (int trial = 0; trial < 20; ++trial) {
+        Strand ref = factory.make(len, rng);
+        Strand copy = channel.transmit(ref, rng);
+        auto ops = editOps(ref, copy, &rng);
+        EXPECT_EQ(applyEditOps(ref, ops), copy);
+        EXPECT_EQ(numErrors(ops), levenshtein(ref, copy));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EditOpsProperty,
+    ::testing::Values(AlignCase{10, 0.05}, AlignCase{10, 0.30},
+                      AlignCase{50, 0.05}, AlignCase{50, 0.30},
+                      AlignCase{110, 0.06}, AlignCase{110, 0.15},
+                      AlignCase{200, 0.10}));
+
+} // namespace
+} // namespace dnasim

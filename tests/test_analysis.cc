@@ -1,0 +1,383 @@
+/**
+ * @file
+ * Tests for the analysis library: accuracy scoring, positional
+ * Hamming/gestalt profiles, profile bucketing and shape
+ * classification, residual-error attribution, and the second-order
+ * census.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/accuracy.hh"
+#include "analysis/clustered_accuracy.hh"
+#include "analysis/dataset_distance.hh"
+#include "analysis/error_positions.hh"
+#include "analysis/residual.hh"
+#include "analysis/second_order.hh"
+#include "core/channel_simulator.hh"
+#include "core/coverage.hh"
+#include "core/ids_model.hh"
+#include "data/strand_factory.hh"
+#include "reconstruct/iterative.hh"
+#include "reconstruct/majority.hh"
+
+namespace dnasim
+{
+namespace
+{
+
+Dataset
+tinyDataset()
+{
+    Dataset data;
+    Cluster a;
+    a.reference = "ACGTACGTAC";
+    a.copies = {"ACGTACGTAC", "ACGTACGTAC", "AGGTACGTAC"};
+    data.add(a);
+    Cluster b;
+    b.reference = "TTTTCCCCGG";
+    b.copies = {"TTTTCCCCGG", "TTTTCCCCGG"};
+    data.add(b);
+    return data;
+}
+
+TEST(Accuracy, PerfectEstimates)
+{
+    Dataset data = tinyDataset();
+    std::vector<Strand> estimates = {data[0].reference,
+                                     data[1].reference};
+    AccuracyResult result = scoreReconstructions(data, estimates);
+    EXPECT_EQ(result.num_clusters, 2u);
+    EXPECT_EQ(result.num_perfect, 2u);
+    EXPECT_DOUBLE_EQ(result.perStrand(), 1.0);
+    EXPECT_DOUBLE_EQ(result.perChar(), 1.0);
+}
+
+TEST(Accuracy, PartialCredit)
+{
+    Dataset data = tinyDataset();
+    Strand wrong = data[0].reference;
+    wrong[0] = wrong[0] == 'A' ? 'C' : 'A';
+    std::vector<Strand> estimates = {wrong, data[1].reference};
+    AccuracyResult result = scoreReconstructions(data, estimates);
+    EXPECT_EQ(result.num_perfect, 1u);
+    EXPECT_DOUBLE_EQ(result.perStrand(), 0.5);
+    EXPECT_DOUBLE_EQ(result.perChar(), 19.0 / 20.0);
+}
+
+TEST(Accuracy, ShortEstimatesLoseTailCredit)
+{
+    Dataset data = tinyDataset();
+    std::vector<Strand> estimates = {
+        data[0].reference.substr(0, 5), data[1].reference};
+    AccuracyResult result = scoreReconstructions(data, estimates);
+    EXPECT_DOUBLE_EQ(result.perChar(), 15.0 / 20.0);
+}
+
+TEST(Accuracy, EmptyEstimateScoresZeroChars)
+{
+    Dataset data = tinyDataset();
+    std::vector<Strand> estimates = {Strand(), data[1].reference};
+    AccuracyResult result = scoreReconstructions(data, estimates);
+    EXPECT_DOUBLE_EQ(result.perChar(), 0.5);
+}
+
+TEST(Accuracy, ReconstructAllDeterministic)
+{
+    Dataset data = tinyDataset();
+    MajorityVote algo;
+    Rng a(200), b(200);
+    EXPECT_EQ(reconstructAll(data, algo, a),
+              reconstructAll(data, algo, b));
+}
+
+TEST(Accuracy, EvaluateMatchesScoreOfReconstructAll)
+{
+    Dataset data = tinyDataset();
+    MajorityVote algo;
+    Rng a(201), b(201);
+    auto estimates = reconstructAll(data, algo, a);
+    AccuracyResult direct = evaluateAccuracy(data, algo, b);
+    AccuracyResult indirect = scoreReconstructions(data, estimates);
+    EXPECT_EQ(direct.num_perfect, indirect.num_perfect);
+    EXPECT_EQ(direct.num_chars_correct, indirect.num_chars_correct);
+}
+
+TEST(ErrorPositions, PreHammingCountsEveryMismatch)
+{
+    Dataset data;
+    Cluster c;
+    c.reference = "AGTC";
+    c.copies = {"ATC"}; // the paper's example
+    data.add(c);
+    Histogram h = hammingProfilePre(data);
+    EXPECT_EQ(h.count(0), 0u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.count(2), 1u);
+    EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(ErrorPositions, PreGestaltCountsSources)
+{
+    Dataset data;
+    Cluster c;
+    c.reference = "AGTC";
+    c.copies = {"ATC"};
+    data.add(c);
+    Histogram h = gestaltProfilePre(data);
+    EXPECT_EQ(h.total(), 1u);
+    EXPECT_EQ(h.count(1), 1u); // the deleted G
+}
+
+TEST(ErrorPositions, PostProfilesSkipErasures)
+{
+    Dataset data = tinyDataset();
+    std::vector<Strand> estimates = {Strand(), data[1].reference};
+    EXPECT_EQ(hammingProfilePost(data, estimates).total(), 0u);
+    EXPECT_EQ(gestaltProfilePost(data, estimates).total(), 0u);
+}
+
+TEST(ErrorPositions, BucketProfilePartitions)
+{
+    Histogram h;
+    for (size_t pos = 0; pos < 100; ++pos)
+        h.add(pos, pos < 50 ? 1 : 3);
+    auto buckets = bucketProfile(h, 100, 4);
+    ASSERT_EQ(buckets.size(), 4u);
+    EXPECT_EQ(buckets[0].lo, 0u);
+    EXPECT_EQ(buckets[3].hi, 100u);
+    uint64_t total = 0;
+    double share = 0.0;
+    for (const auto &b : buckets) {
+        total += b.errors;
+        share += b.share;
+    }
+    EXPECT_EQ(total, h.total());
+    EXPECT_NEAR(share, 1.0, 1e-12);
+    EXPECT_GT(buckets[3].errors, buckets[0].errors);
+}
+
+TEST(ErrorPositions, ShapeClassification)
+{
+    auto make = [](std::initializer_list<uint64_t> thirds) {
+        Histogram h;
+        size_t pos = 0;
+        for (uint64_t mass : thirds) {
+            for (size_t k = 0; k < 10; ++k)
+                h.add(pos++, mass);
+        }
+        return h;
+    };
+    EXPECT_EQ(classifyShape(make({5, 5, 5}), 30), ProfileShape::Flat);
+    EXPECT_EQ(classifyShape(make({1, 5, 10}), 30),
+              ProfileShape::Rising);
+    EXPECT_EQ(classifyShape(make({10, 5, 1}), 30),
+              ProfileShape::Falling);
+    EXPECT_EQ(classifyShape(make({1, 10, 1}), 30),
+              ProfileShape::AShape);
+    EXPECT_EQ(classifyShape(make({10, 1, 10}), 30),
+              ProfileShape::VShape);
+}
+
+TEST(ErrorPositions, ShapeNames)
+{
+    EXPECT_STREQ(profileShapeName(ProfileShape::Flat), "flat");
+    EXPECT_STREQ(profileShapeName(ProfileShape::AShape), "A-shape");
+    EXPECT_STREQ(profileShapeName(ProfileShape::VShape), "V-shape");
+}
+
+TEST(Residual, CountsByType)
+{
+    Dataset data;
+    Cluster c;
+    c.reference = "AACCGGTTAA";
+    data.add(c);
+    // estimate: one substitution + one deletion.
+    std::vector<Strand> estimates = {"ATCCGGTTA"};
+    ResidualErrorStats stats = residualErrors(data, estimates);
+    EXPECT_EQ(stats.substitutions, 1u);
+    EXPECT_EQ(stats.deletions, 1u);
+    EXPECT_EQ(stats.insertions, 0u);
+    EXPECT_DOUBLE_EQ(stats.delShare(), 0.5);
+    EXPECT_DOUBLE_EQ(stats.total(), 2u);
+}
+
+TEST(Residual, SkipsErasures)
+{
+    Dataset data = tinyDataset();
+    std::vector<Strand> estimates = {Strand(), data[1].reference};
+    ResidualErrorStats stats = residualErrors(data, estimates);
+    EXPECT_EQ(stats.total(), 0u);
+}
+
+TEST(SecondOrderCensusTest, CountsSpecificErrors)
+{
+    Dataset data;
+    Cluster c;
+    c.reference = "ACGTACGTACGTAC";
+    // One copy with G->T substitutions at both G positions... use a
+    // single well-defined error per copy instead:
+    c.copies = {"ACTTACGTACGTAC",  // sub G->T at position 2
+                "ACTTACGTACGTAC",  // same again
+                "ACGTACGTACGTA"};  // deletion of final C
+    data.add(c);
+    SecondOrderCensus census = secondOrderCensus(data);
+    EXPECT_EQ(census.total_errors, 3u);
+    ASSERT_FALSE(census.entries.empty());
+    EXPECT_EQ(census.entries[0].key.type, EditOpType::Substitute);
+    EXPECT_EQ(census.entries[0].key.base, 'G');
+    EXPECT_EQ(census.entries[0].key.repl, 'T');
+    EXPECT_EQ(census.entries[0].count, 2u);
+    EXPECT_NEAR(census.entries[0].share, 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(census.topShare(10), 1.0, 1e-12);
+}
+
+TEST(SecondOrderCensusTest, LongDeletionsAreDistinct)
+{
+    Dataset data;
+    Cluster c;
+    c.reference = "ACGTACGTAC";
+    c.copies = {"ACACGTAC"}; // deletes GT (positions 2-3), one run
+    data.add(c);
+    SecondOrderCensus census = secondOrderCensus(data);
+    EXPECT_EQ(census.total_errors, 1u);
+    EXPECT_EQ(census.entries[0].key.repl, '+'); // long-run marker
+}
+
+TEST(SecondOrderCensusTest, EmptyDataset)
+{
+    SecondOrderCensus census = secondOrderCensus(Dataset{});
+    EXPECT_EQ(census.total_errors, 0u);
+    EXPECT_TRUE(census.entries.empty());
+    EXPECT_DOUBLE_EQ(census.topShare(10), 0.0);
+}
+
+TEST(ClusteredAccuracy, PerfectReadsFullRecovery)
+{
+    // Clean, well-separated clusters: re-clustering recovers every
+    // reference exactly.
+    StrandFactory factory;
+    Rng rng(220);
+    Dataset data;
+    for (int i = 0; i < 10; ++i) {
+        Cluster c;
+        c.reference = factory.make(110, rng);
+        c.copies.assign(5, c.reference);
+        data.add(std::move(c));
+    }
+    MajorityVote majority;
+    ClusterOptions options;
+    Rng eval(221);
+    ClusteredAccuracy result =
+        evaluateWithClustering(data, options, majority, eval);
+    EXPECT_EQ(result.num_references, 10u);
+    EXPECT_EQ(result.num_clusters, 10u);
+    EXPECT_EQ(result.recovered_exact, 10u);
+    EXPECT_DOUBLE_EQ(result.perStrand(), 1.0);
+}
+
+TEST(ClusteredAccuracy, EmptyDataset)
+{
+    MajorityVote majority;
+    Rng rng(222);
+    ClusteredAccuracy result = evaluateWithClustering(
+        Dataset{}, ClusterOptions{}, majority, rng);
+    EXPECT_EQ(result.num_references, 0u);
+    EXPECT_DOUBLE_EQ(result.perStrand(), 0.0);
+}
+
+TEST(ClusteredAccuracy, NoisyReadsStillMostlyRecovered)
+{
+    StrandFactory factory;
+    Rng rng(223);
+    ErrorProfile profile = ErrorProfile::uniform(0.04, 110);
+    IdsChannelModel model = IdsChannelModel::naive(profile);
+    ChannelSimulator sim(model);
+    auto refs = factory.makeMany(15, 110, rng);
+    FixedCoverage cov(8);
+    Dataset data = sim.simulate(refs, cov, rng);
+
+    Iterative iterative;
+    ClusterOptions options;
+    options.distance_threshold = 18;
+    Rng eval(224);
+    ClusteredAccuracy result =
+        evaluateWithClustering(data, options, iterative, eval);
+    EXPECT_GT(result.perStrand(), 0.6);
+}
+
+Dataset
+simulatedDataset(const ErrorProfile &profile, bool use_skew,
+                 uint64_t seed)
+{
+    StrandFactory factory;
+    Rng rng(seed);
+    auto refs = factory.makeMany(25, 110, rng);
+    IdsChannelModel model = use_skew
+                                ? IdsChannelModel::skew(profile)
+                                : IdsChannelModel::naive(profile);
+    ChannelSimulator sim(model);
+    FixedCoverage cov(8);
+    return sim.simulate(refs, cov, rng);
+}
+
+TEST(DatasetDistanceTest, SelfDistanceIsSmall)
+{
+    ErrorProfile p = ErrorProfile::uniform(0.06, 110);
+    Dataset a = simulatedDataset(p, false, 210);
+    Dataset b = simulatedDataset(p, false, 211);
+    DatasetDistance d = datasetDistance(a, b);
+    EXPECT_LT(d.mean(), 0.08);
+    EXPECT_LT(d.positions, 0.05);
+}
+
+TEST(DatasetDistanceTest, DetectsRateMismatch)
+{
+    Dataset low =
+        simulatedDataset(ErrorProfile::uniform(0.03, 110), false,
+                         212);
+    Dataset high =
+        simulatedDataset(ErrorProfile::uniform(0.12, 110), false,
+                         213);
+    DatasetDistance near = datasetDistance(low, low);
+    DatasetDistance far = datasetDistance(low, high);
+    EXPECT_GT(far.errors_per_copy, near.errors_per_copy + 0.05);
+    EXPECT_GT(far.mean(), near.mean());
+}
+
+TEST(DatasetDistanceTest, DetectsSpatialMismatch)
+{
+    ErrorProfile uniform = ErrorProfile::uniform(0.08, 110);
+    ErrorProfile skewed = uniform.withSpatial(
+        PositionProfile::terminalSkew(110, 6.0, 12.0));
+    Dataset flat = simulatedDataset(uniform, false, 214);
+    Dataset skew_a = simulatedDataset(skewed, true, 215);
+    Dataset skew_b = simulatedDataset(skewed, true, 216);
+
+    double same_shape = datasetDistance(skew_a, skew_b).positions;
+    double diff_shape = datasetDistance(flat, skew_a).positions;
+    EXPECT_GT(diff_shape, 3.0 * same_shape);
+}
+
+TEST(DatasetDistanceTest, SignatureCountsCopies)
+{
+    ErrorProfile p = ErrorProfile::uniform(0.05, 110);
+    Dataset data = simulatedDataset(p, false, 217);
+    DatasetSignature sig = datasetSignature(data);
+    EXPECT_EQ(sig.copies, data.totalCopies());
+    EXPECT_EQ(sig.lengths.total(), data.totalCopies());
+    EXPECT_EQ(sig.gestalt_scores.total(), data.totalCopies());
+}
+
+TEST(DatasetDistanceTest, StrReportsComponents)
+{
+    ErrorProfile p = ErrorProfile::uniform(0.05, 110);
+    Dataset data = simulatedDataset(p, false, 218);
+    DatasetDistance d = datasetDistance(data, data);
+    std::string s = d.str();
+    EXPECT_NE(s.find("types="), std::string::npos);
+    EXPECT_NE(s.find("mean="), std::string::npos);
+}
+
+} // namespace
+} // namespace dnasim

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Tests for the command-line layer: flag parsing and the dnasim
+ * subcommands run end-to-end against temporary files.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "base/logging.hh"
+#include "cli/args.hh"
+#include "cli/commands.hh"
+#include "data/io.hh"
+
+namespace dnasim
+{
+namespace
+{
+
+Args
+makeArgs(std::vector<std::string> tokens)
+{
+    std::vector<const char *> argv;
+    argv.reserve(tokens.size());
+    for (const auto &t : tokens)
+        argv.push_back(t.c_str());
+    return Args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, Positionals)
+{
+    Args args = makeArgs({"reconstruct", "file.evyat"});
+    ASSERT_EQ(args.positional().size(), 2u);
+    EXPECT_EQ(args.positional()[0], "reconstruct");
+    EXPECT_EQ(args.positional()[1], "file.evyat");
+}
+
+TEST(Args, SpaceSeparatedOption)
+{
+    Args args = makeArgs({"--algo", "bma", "--coverage", "5"});
+    EXPECT_TRUE(args.has("algo"));
+    EXPECT_EQ(args.get("algo"), "bma");
+    EXPECT_EQ(args.getInt("coverage", 0), 5);
+}
+
+TEST(Args, EqualsFormOption)
+{
+    Args args = makeArgs({"--rate=0.06", "--name=x"});
+    EXPECT_DOUBLE_EQ(args.getDouble("rate", 0.0), 0.06);
+    EXPECT_EQ(args.get("name"), "x");
+}
+
+TEST(Args, ValuelessFlagBeforeAnotherFlag)
+{
+    Args args = makeArgs({"--verbose", "--out", "f.txt"});
+    EXPECT_TRUE(args.has("verbose"));
+    EXPECT_EQ(args.get("verbose"), "");
+    EXPECT_EQ(args.get("out"), "f.txt");
+}
+
+TEST(Args, DefaultsWhenAbsent)
+{
+    Args args = makeArgs({});
+    EXPECT_FALSE(args.has("x"));
+    EXPECT_EQ(args.get("x", "fallback"), "fallback");
+    EXPECT_EQ(args.getInt("x", 42), 42);
+    EXPECT_DOUBLE_EQ(args.getDouble("x", 2.5), 2.5);
+    EXPECT_EQ(args.getSeed("x", 7u), 7u);
+}
+
+TEST(Args, SeedAcceptsHex)
+{
+    Args args = makeArgs({"--seed", "0xff"});
+    EXPECT_EQ(args.getSeed("seed", 0), 255u);
+}
+
+TEST(Args, MalformedNumberIsFatal)
+{
+    Args args = makeArgs({"--coverage", "five"});
+    EXPECT_THROW(args.getInt("coverage", 0), FatalError);
+    Args args2 = makeArgs({"--rate", "fast"});
+    EXPECT_THROW(args2.getDouble("rate", 0.0), FatalError);
+}
+
+TEST(Args, BareDoubleDashIsFatal)
+{
+    EXPECT_THROW(makeArgs({"--"}), FatalError);
+}
+
+class CliCommands : public ::testing::Test
+{
+  protected:
+    std::string
+    tmpPath(const std::string &name)
+    {
+        return ::testing::TempDir() + "/dnasim_cli_" + name;
+    }
+
+    void
+    TearDown() override
+    {
+        for (const auto &path : cleanup_)
+            std::remove(path.c_str());
+    }
+
+    std::vector<std::string> cleanup_;
+};
+
+TEST_F(CliCommands, GenerateCalibrateReconstructFlow)
+{
+    std::string dataset = tmpPath("flow.evyat");
+    cleanup_.push_back(dataset);
+
+    Args gen = makeArgs({"generate", "--clusters", "30", "--out",
+                         dataset, "--seed", "11"});
+    EXPECT_EQ(cmdGenerate(gen), 0);
+
+    Dataset parsed = readEvyatFile(dataset);
+    EXPECT_EQ(parsed.size(), 30u);
+
+    Args cal = makeArgs({"calibrate", dataset});
+    EXPECT_EQ(cmdCalibrate(cal), 0);
+
+    Args rec = makeArgs({"reconstruct", dataset, "--algo",
+                         "iterative", "--coverage", "5"});
+    EXPECT_EQ(cmdReconstruct(rec), 0);
+
+    Args ana = makeArgs({"analyze", dataset});
+    EXPECT_EQ(cmdAnalyze(ana), 0);
+}
+
+TEST_F(CliCommands, SimulateProducesDataset)
+{
+    std::string dataset = tmpPath("sim_in.evyat");
+    std::string simulated = tmpPath("sim_out.evyat");
+    cleanup_.push_back(dataset);
+    cleanup_.push_back(simulated);
+
+    Args gen = makeArgs({"generate", "--clusters", "25", "--out",
+                         dataset, "--seed", "12"});
+    ASSERT_EQ(cmdGenerate(gen), 0);
+
+    Args sim = makeArgs({"simulate", dataset, "--model", "skew",
+                         "--out", simulated});
+    EXPECT_EQ(cmdSimulate(sim), 0);
+
+    Dataset in = readEvyatFile(dataset);
+    Dataset out = readEvyatFile(simulated);
+    ASSERT_EQ(out.size(), in.size());
+    for (size_t i = 0; i < in.size(); ++i) {
+        EXPECT_EQ(out[i].reference, in[i].reference);
+        EXPECT_EQ(out[i].coverage(), in[i].coverage());
+    }
+}
+
+TEST_F(CliCommands, ReconstructUnknownAlgoIsFatal)
+{
+    std::string dataset = tmpPath("bad_algo.evyat");
+    cleanup_.push_back(dataset);
+    Args gen = makeArgs({"generate", "--clusters", "5", "--out",
+                         dataset});
+    ASSERT_EQ(cmdGenerate(gen), 0);
+    Args rec = makeArgs({"reconstruct", dataset, "--algo", "magic"});
+    EXPECT_THROW(cmdReconstruct(rec), FatalError);
+}
+
+TEST_F(CliCommands, SimulateUnknownModelIsFatal)
+{
+    std::string dataset = tmpPath("bad_model.evyat");
+    cleanup_.push_back(dataset);
+    Args gen = makeArgs({"generate", "--clusters", "5", "--out",
+                         dataset});
+    ASSERT_EQ(cmdGenerate(gen), 0);
+    Args sim = makeArgs({"simulate", dataset, "--model", "magic"});
+    EXPECT_THROW(cmdSimulate(sim), FatalError);
+}
+
+TEST_F(CliCommands, RoundtripStoresAndRetrieves)
+{
+    std::string payload = tmpPath("payload.bin");
+    cleanup_.push_back(payload);
+    {
+        std::ofstream out(payload, std::ios::binary);
+        out << "the quick brown fox stores itself in dna";
+    }
+    Args rt = makeArgs({"roundtrip", payload, "--coverage", "6",
+                        "--error-rate", "0.03"});
+    EXPECT_EQ(cmdRoundtrip(rt), 0);
+}
+
+TEST_F(CliCommands, RoundtripMissingFileIsFatal)
+{
+    Args rt = makeArgs({"roundtrip", "/nonexistent/file.bin"});
+    EXPECT_THROW(cmdRoundtrip(rt), FatalError);
+}
+
+TEST_F(CliCommands, MissingPositionalIsFatal)
+{
+    EXPECT_THROW(cmdCalibrate(makeArgs({"calibrate"})), FatalError);
+    EXPECT_THROW(cmdReconstruct(makeArgs({"reconstruct"})),
+                 FatalError);
+    EXPECT_THROW(cmdAnalyze(makeArgs({"analyze"})), FatalError);
+    EXPECT_THROW(cmdSimulate(makeArgs({"simulate"})), FatalError);
+}
+
+} // namespace
+} // namespace dnasim

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for the read-clustering substrate: greedy edit-distance
+ * clustering of an unordered read pool and purity scoring.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cluster/greedy_cluster.hh"
+#include "core/ids_model.hh"
+#include "data/strand_factory.hh"
+
+namespace dnasim
+{
+namespace
+{
+
+/** A shuffled pool of noisy reads with ground-truth origins. */
+struct Pool
+{
+    std::vector<Strand> reads;
+    std::vector<size_t> origins;
+    std::vector<Strand> references;
+};
+
+Pool
+makePool(size_t num_refs, size_t copies_per_ref, double error_rate,
+         uint64_t seed)
+{
+    Pool pool;
+    StrandFactory factory;
+    Rng rng(seed);
+    pool.references = factory.makeMany(num_refs, 110, rng);
+    ErrorProfile profile = ErrorProfile::uniform(error_rate, 110);
+    IdsChannelModel model = IdsChannelModel::naive(profile);
+    for (size_t i = 0; i < num_refs; ++i) {
+        for (size_t k = 0; k < copies_per_ref; ++k) {
+            pool.reads.push_back(
+                model.transmit(pool.references[i], rng));
+            pool.origins.push_back(i);
+        }
+    }
+    // Shuffle reads and origins together.
+    std::vector<size_t> order(pool.reads.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    rng.shuffle(order);
+    Pool shuffled;
+    shuffled.references = pool.references;
+    for (size_t idx : order) {
+        shuffled.reads.push_back(pool.reads[idx]);
+        shuffled.origins.push_back(pool.origins[idx]);
+    }
+    return shuffled;
+}
+
+TEST(GreedyCluster, EmptyPool)
+{
+    auto clusters = clusterReads({});
+    EXPECT_TRUE(clusters.empty());
+}
+
+TEST(GreedyCluster, IdenticalReadsOneCluster)
+{
+    std::vector<Strand> reads(5, Strand(60, 'A') + Strand(50, 'C'));
+    auto clusters = clusterReads(reads);
+    ASSERT_EQ(clusters.size(), 1u);
+    EXPECT_EQ(clusters[0].members.size(), 5u);
+}
+
+TEST(GreedyCluster, SeparatesDistantReads)
+{
+    StrandFactory factory;
+    Rng rng(150);
+    std::vector<Strand> reads;
+    for (int i = 0; i < 4; ++i) {
+        Strand ref = factory.make(110, rng);
+        reads.push_back(ref);
+        reads.push_back(ref);
+    }
+    auto clusters = clusterReads(reads);
+    EXPECT_EQ(clusters.size(), 4u);
+}
+
+TEST(GreedyCluster, HighPurityOnLowErrorPool)
+{
+    Pool pool = makePool(20, 8, 0.03, 151);
+    auto clusters = clusterReads(pool.reads);
+    auto purity = scoreClustering(clusters, pool.origins);
+    EXPECT_EQ(purity.num_reads, pool.reads.size());
+    EXPECT_GT(purity.purity(), 0.95);
+    // Cluster count near the true reference count (some splits are
+    // tolerable, merges are not).
+    EXPECT_GE(clusters.size(), 20u);
+    EXPECT_LE(clusters.size(), 40u);
+}
+
+TEST(GreedyCluster, DegradesGracefullyAtHighError)
+{
+    Pool pool = makePool(10, 6, 0.12, 152);
+    auto clusters = clusterReads(pool.reads);
+    auto purity = scoreClustering(clusters, pool.origins);
+    // Purity stays decent (splits hurt coverage, not purity).
+    EXPECT_GT(purity.purity(), 0.80);
+}
+
+TEST(GreedyCluster, ThresholdControlsMerging)
+{
+    Pool pool = makePool(10, 5, 0.04, 153);
+    ClusterOptions tight;
+    tight.distance_threshold = 2;
+    auto many = clusterReads(pool.reads, tight);
+    ClusterOptions loose;
+    loose.distance_threshold = 25;
+    auto few = clusterReads(pool.reads, loose);
+    EXPECT_GT(many.size(), few.size());
+}
+
+TEST(GreedyCluster, EveryReadAssignedExactlyOnce)
+{
+    Pool pool = makePool(8, 7, 0.06, 154);
+    auto clusters = clusterReads(pool.reads);
+    std::vector<int> seen(pool.reads.size(), 0);
+    for (const auto &cluster : clusters)
+        for (size_t member : cluster.members)
+            ++seen[member];
+    for (size_t i = 0; i < seen.size(); ++i)
+        EXPECT_EQ(seen[i], 1) << "read " << i;
+}
+
+TEST(ScoreClustering, PerfectClusteringIsPure)
+{
+    std::vector<ReadCluster> clusters(2);
+    clusters[0].members = {0, 1};
+    clusters[1].members = {2, 3};
+    std::vector<size_t> origins = {7, 7, 9, 9};
+    auto purity = scoreClustering(clusters, origins);
+    EXPECT_DOUBLE_EQ(purity.purity(), 1.0);
+}
+
+TEST(ScoreClustering, MixedClusterPenalized)
+{
+    std::vector<ReadCluster> clusters(1);
+    clusters[0].members = {0, 1, 2};
+    std::vector<size_t> origins = {1, 1, 2};
+    auto purity = scoreClustering(clusters, origins);
+    EXPECT_NEAR(purity.purity(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ScoreClustering, EmptyClustering)
+{
+    auto purity = scoreClustering({}, {});
+    EXPECT_EQ(purity.num_reads, 0u);
+    EXPECT_DOUBLE_EQ(purity.purity(), 0.0);
+}
+
+} // namespace
+} // namespace dnasim

@@ -1,0 +1,449 @@
+/**
+ * @file
+ * Unit and property tests for the codec library: GF(256)
+ * arithmetic, Reed-Solomon coding, the DNA codecs, framing with
+ * CRC-8, and XOR-group redundancy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "base/rng.hh"
+#include "codec/dna_codec.hh"
+#include "codec/framing.hh"
+#include "codec/gf256.hh"
+#include "codec/reed_solomon.hh"
+#include "codec/xor_redundancy.hh"
+
+namespace dnasim
+{
+namespace
+{
+
+Bytes
+randomBytes(size_t n, Rng &rng)
+{
+    Bytes out(n);
+    for (auto &b : out)
+        b = static_cast<uint8_t>(rng.uniformInt(0, 255));
+    return out;
+}
+
+TEST(Gf256, MultiplicationAxioms)
+{
+    Rng rng(130);
+    for (int trial = 0; trial < 200; ++trial) {
+        uint8_t a = static_cast<uint8_t>(rng.uniformInt(0, 255));
+        uint8_t b = static_cast<uint8_t>(rng.uniformInt(0, 255));
+        uint8_t c = static_cast<uint8_t>(rng.uniformInt(0, 255));
+        // commutativity and associativity
+        EXPECT_EQ(gf256::mul(a, b), gf256::mul(b, a));
+        EXPECT_EQ(gf256::mul(gf256::mul(a, b), c),
+                  gf256::mul(a, gf256::mul(b, c)));
+        // identity and zero
+        EXPECT_EQ(gf256::mul(a, 1), a);
+        EXPECT_EQ(gf256::mul(a, 0), 0);
+        // distributivity over XOR (field addition)
+        EXPECT_EQ(gf256::mul(a, b ^ c),
+                  gf256::mul(a, b) ^ gf256::mul(a, c));
+    }
+}
+
+TEST(Gf256, InverseAndDivision)
+{
+    for (int a = 1; a < 256; ++a) {
+        uint8_t inv = gf256::inv(static_cast<uint8_t>(a));
+        EXPECT_EQ(gf256::mul(static_cast<uint8_t>(a), inv), 1)
+            << "a=" << a;
+        EXPECT_EQ(gf256::div(static_cast<uint8_t>(a),
+                             static_cast<uint8_t>(a)),
+                  1);
+    }
+    EXPECT_EQ(gf256::div(0, 7), 0);
+}
+
+TEST(Gf256, PowAndLog)
+{
+    EXPECT_EQ(gf256::alphaPow(0), 1);
+    EXPECT_EQ(gf256::alphaPow(1), 2);
+    EXPECT_EQ(gf256::alphaPow(255), 1); // order of the group
+    for (int e = 0; e < 255; ++e) {
+        uint8_t x = gf256::alphaPow(e);
+        EXPECT_EQ(gf256::alphaLog(x), e);
+    }
+    EXPECT_EQ(gf256::pow(2, -1), gf256::inv(2));
+}
+
+TEST(Gf256, PolyEval)
+{
+    // p(x) = x^2 + 1 evaluated at alpha: alpha^2 ^ 1.
+    std::vector<uint8_t> p = {1, 0, 1};
+    EXPECT_EQ(gf256::polyEval(p, 2),
+              static_cast<uint8_t>(gf256::mul(2, 2) ^ 1));
+    EXPECT_EQ(gf256::polyEval({}, 5), 0);
+}
+
+TEST(Gf256, PolyMulDegrees)
+{
+    std::vector<uint8_t> a = {1, 2};    // x + 2
+    std::vector<uint8_t> b = {1, 0, 3}; // x^2 + 3
+    auto c = gf256::polyMul(a, b);
+    ASSERT_EQ(c.size(), 4u);
+    EXPECT_EQ(c[0], 1); // leading coefficient
+}
+
+TEST(ReedSolomon, EncodeAppendsParity)
+{
+    ReedSolomon rs(8);
+    Bytes data = {1, 2, 3, 4, 5};
+    auto codeword = rs.encode(data);
+    ASSERT_EQ(codeword.size(), 13u);
+    EXPECT_TRUE(std::equal(data.begin(), data.end(),
+                           codeword.begin()));
+    EXPECT_TRUE(rs.isValid(codeword));
+}
+
+TEST(ReedSolomon, CleanDecode)
+{
+    ReedSolomon rs(6);
+    Rng rng(131);
+    Bytes data = randomBytes(40, rng);
+    auto decoded = rs.decode(rs.encode(data));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, data);
+}
+
+TEST(ReedSolomon, CorrectsErrorsUpToHalfParity)
+{
+    ReedSolomon rs(8); // corrects up to 4 errors
+    Rng rng(132);
+    for (int trial = 0; trial < 20; ++trial) {
+        Bytes data = randomBytes(30, rng);
+        auto codeword = rs.encode(data);
+        for (int e = 0; e < 4; ++e) {
+            size_t pos = rng.index(codeword.size());
+            codeword[pos] ^= static_cast<uint8_t>(
+                rng.uniformInt(1, 255));
+        }
+        auto decoded = rs.decode(codeword);
+        ASSERT_TRUE(decoded.has_value()) << "trial " << trial;
+        EXPECT_EQ(*decoded, data);
+    }
+}
+
+TEST(ReedSolomon, CorrectsErasuresUpToParity)
+{
+    ReedSolomon rs(8); // corrects up to 8 erasures
+    Rng rng(133);
+    for (int trial = 0; trial < 20; ++trial) {
+        Bytes data = randomBytes(30, rng);
+        auto codeword = rs.encode(data);
+        std::vector<size_t> erasures;
+        while (erasures.size() < 8) {
+            size_t pos = rng.index(codeword.size());
+            if (std::find(erasures.begin(), erasures.end(), pos) ==
+                erasures.end()) {
+                erasures.push_back(pos);
+            }
+        }
+        for (size_t pos : erasures)
+            codeword[pos] = 0; // erased symbols read as zero
+        auto decoded = rs.decode(codeword, erasures);
+        ASSERT_TRUE(decoded.has_value()) << "trial " << trial;
+        EXPECT_EQ(*decoded, data);
+    }
+}
+
+TEST(ReedSolomon, CorrectsMixedErrataWithinBudget)
+{
+    ReedSolomon rs(8); // 2e + s <= 8
+    Rng rng(134);
+    for (int trial = 0; trial < 20; ++trial) {
+        Bytes data = randomBytes(25, rng);
+        auto codeword = rs.encode(data);
+        // 2 errors + 4 erasures: 2*2 + 4 = 8, exactly the budget.
+        std::vector<size_t> positions;
+        while (positions.size() < 6) {
+            size_t pos = rng.index(codeword.size());
+            if (std::find(positions.begin(), positions.end(), pos) ==
+                positions.end()) {
+                positions.push_back(pos);
+            }
+        }
+        std::vector<size_t> erasures(positions.begin(),
+                                     positions.begin() + 4);
+        for (size_t pos : erasures)
+            codeword[pos] = 0;
+        for (size_t k = 4; k < 6; ++k)
+            codeword[positions[k]] ^= 0x5a;
+        auto decoded = rs.decode(codeword, erasures);
+        ASSERT_TRUE(decoded.has_value()) << "trial " << trial;
+        EXPECT_EQ(*decoded, data);
+    }
+}
+
+TEST(ReedSolomon, FailsBeyondBudget)
+{
+    ReedSolomon rs(4); // corrects up to 2 errors
+    Rng rng(135);
+    Bytes data = randomBytes(20, rng);
+    size_t failures = 0;
+    for (int trial = 0; trial < 30; ++trial) {
+        auto codeword = rs.encode(data);
+        // 5 errors: beyond any RS(n, k) with 4 parity symbols.
+        std::vector<size_t> positions;
+        while (positions.size() < 5) {
+            size_t pos = rng.index(codeword.size());
+            if (std::find(positions.begin(), positions.end(), pos) ==
+                positions.end()) {
+                positions.push_back(pos);
+            }
+        }
+        for (size_t pos : positions)
+            codeword[pos] ^= static_cast<uint8_t>(
+                rng.uniformInt(1, 255));
+        auto decoded = rs.decode(codeword, {});
+        // Either detection (nullopt) or, rarely, miscorrection to a
+        // different codeword — but never a silent wrong "success"
+        // that still equals the data.
+        if (!decoded.has_value())
+            ++failures;
+        else
+            EXPECT_NE(*decoded, data);
+    }
+    EXPECT_GT(failures, 20u);
+}
+
+TEST(ReedSolomon, RejectsOversizedErasureList)
+{
+    ReedSolomon rs(4);
+    Bytes data = {1, 2, 3};
+    auto codeword = rs.encode(data);
+    std::vector<size_t> erasures = {0, 1, 2, 3, 4};
+    EXPECT_FALSE(rs.decode(codeword, erasures).has_value());
+}
+
+class ReedSolomonParity : public ::testing::TestWithParam<size_t>
+{};
+
+TEST_P(ReedSolomonParity, FullErasureBudget)
+{
+    size_t parity = GetParam();
+    ReedSolomon rs(parity);
+    Rng rng(136 + parity);
+    Bytes data = randomBytes(20, rng);
+    auto codeword = rs.encode(data);
+    // Distinct erasure positions spread over the codeword.
+    std::vector<size_t> all_positions(codeword.size());
+    for (size_t i = 0; i < all_positions.size(); ++i)
+        all_positions[i] = i;
+    rng.shuffle(all_positions);
+    std::vector<size_t> erasures(all_positions.begin(),
+                                 all_positions.begin() +
+                                     static_cast<ptrdiff_t>(parity));
+    for (size_t pos : erasures)
+        codeword[pos] = 0xff;
+    auto decoded = rs.decode(codeword, erasures);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(ParitySweep, ReedSolomonParity,
+                         ::testing::Values(2, 4, 8, 16, 32));
+
+TEST(TrivialCodec, RoundTrip)
+{
+    TrivialCodec codec;
+    Rng rng(137);
+    for (size_t n : {size_t(0), size_t(1), size_t(5), size_t(21)}) {
+        Bytes data = randomBytes(n, rng);
+        Strand strand = codec.encode(data);
+        EXPECT_EQ(strand.size(), codec.encodedLength(n));
+        auto decoded = codec.decode(strand, n);
+        ASSERT_TRUE(decoded.has_value());
+        EXPECT_EQ(*decoded, data);
+    }
+}
+
+TEST(TrivialCodec, DensityIsFourBasesPerByte)
+{
+    TrivialCodec codec;
+    EXPECT_EQ(codec.encodedLength(10), 40u);
+}
+
+TEST(TrivialCodec, TooShortStrandFails)
+{
+    TrivialCodec codec;
+    EXPECT_FALSE(codec.decode("ACG", 1).has_value());
+}
+
+TEST(RotatingCodecTest, RoundTrip)
+{
+    RotatingCodec codec;
+    Rng rng(138);
+    for (size_t n : {size_t(0), size_t(1), size_t(5), size_t(13),
+                     size_t(40)}) {
+        Bytes data = randomBytes(n, rng);
+        Strand strand = codec.encode(data);
+        EXPECT_EQ(strand.size(), codec.encodedLength(n));
+        auto decoded = codec.decode(strand, n);
+        ASSERT_TRUE(decoded.has_value());
+        EXPECT_EQ(*decoded, data);
+    }
+}
+
+TEST(RotatingCodecTest, NoHomopolymers)
+{
+    RotatingCodec codec;
+    Rng rng(139);
+    for (int trial = 0; trial < 20; ++trial) {
+        Bytes data = randomBytes(25, rng);
+        Strand strand = codec.encode(data);
+        EXPECT_LE(maxHomopolymerRun(strand), 1u);
+    }
+    // Worst case: all-zero and all-ones payloads.
+    EXPECT_LE(maxHomopolymerRun(codec.encode(Bytes(20, 0x00))), 1u);
+    EXPECT_LE(maxHomopolymerRun(codec.encode(Bytes(20, 0xff))), 1u);
+}
+
+TEST(RotatingCodecTest, DetectsRepeatedBaseCorruption)
+{
+    RotatingCodec codec;
+    Bytes data = {1, 2, 3, 4, 5};
+    Strand strand = codec.encode(data);
+    // Force a homopolymer, which is invalid for the rotating code.
+    strand[3] = strand[2];
+    EXPECT_FALSE(codec.decode(strand, data.size()).has_value());
+}
+
+TEST(Crc8, DetectsSingleByteCorruption)
+{
+    Rng rng(140);
+    for (int trial = 0; trial < 50; ++trial) {
+        Bytes data = randomBytes(16, rng);
+        uint8_t crc = crc8(data);
+        size_t pos = rng.index(data.size());
+        data[pos] ^= static_cast<uint8_t>(rng.uniformInt(1, 255));
+        EXPECT_NE(crc8(data), crc);
+    }
+}
+
+TEST(FrameCodecTest, SplitPadsAndIndexes)
+{
+    FrameCodec codec(4);
+    Bytes data = {1, 2, 3, 4, 5, 6};
+    auto frames = codec.split(data);
+    ASSERT_EQ(frames.size(), 2u);
+    EXPECT_EQ(frames[0].index, 0u);
+    EXPECT_EQ(frames[1].index, 1u);
+    EXPECT_EQ(frames[1].payload, (Bytes{5, 6, 0, 0}));
+}
+
+TEST(FrameCodecTest, PackUnpackRoundTrip)
+{
+    FrameCodec codec(6, 2);
+    Frame f;
+    f.index = 0x1234;
+    f.payload = {9, 8, 7, 6, 5, 4};
+    Bytes raw = codec.pack(f);
+    EXPECT_EQ(raw.size(), codec.frameBytes());
+    auto parsed = codec.unpack(raw);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->index, 0x1234u);
+    EXPECT_EQ(parsed->payload, f.payload);
+}
+
+TEST(FrameCodecTest, UnpackRejectsCorruption)
+{
+    FrameCodec codec(6);
+    Frame f;
+    f.index = 3;
+    f.payload = {1, 2, 3, 4, 5, 6};
+    Bytes raw = codec.pack(f);
+    raw[4] ^= 0x40;
+    EXPECT_FALSE(codec.unpack(raw).has_value());
+    Bytes wrong_size(raw.begin(), raw.end() - 1);
+    EXPECT_FALSE(codec.unpack(wrong_size).has_value());
+}
+
+TEST(FrameCodecTest, ReassembleReportsMissing)
+{
+    FrameCodec codec(2);
+    std::vector<Frame> frames = {{2, {5, 6}}, {0, {1, 2}}};
+    std::vector<uint32_t> missing;
+    Bytes stream = codec.reassemble(frames, 3, &missing);
+    EXPECT_EQ(stream, (Bytes{1, 2, 0, 0, 5, 6}));
+    EXPECT_EQ(missing, (std::vector<uint32_t>{1}));
+}
+
+TEST(FrameCodecTest, SplitEmptyMakesOneFrame)
+{
+    FrameCodec codec(8);
+    auto frames = codec.split({});
+    ASSERT_EQ(frames.size(), 1u);
+    EXPECT_EQ(frames[0].payload, Bytes(8, 0));
+}
+
+TEST(XorRedundancyTest, EncodeAddsParityPerGroup)
+{
+    XorRedundancy xr(2);
+    std::vector<Bytes> blocks = {{1, 1}, {2, 2}, {3, 3}};
+    auto encoded = xr.encode(blocks);
+    // groups: [b0, b1, p01], [b2, p2]
+    ASSERT_EQ(encoded.size(), 5u);
+    EXPECT_EQ(encoded[2], (Bytes{3, 3})); // 1^2, 1^2
+    EXPECT_EQ(encoded[4], (Bytes{3, 3}));
+    EXPECT_EQ(xr.encodedCount(3), 5u);
+}
+
+TEST(XorRedundancyTest, RecoversSingleLossPerGroup)
+{
+    XorRedundancy xr(3);
+    Rng rng(141);
+    std::vector<Bytes> blocks;
+    for (int i = 0; i < 7; ++i)
+        blocks.push_back(randomBytes(10, rng));
+    auto encoded = xr.encode(blocks);
+
+    // Drop one block in each group.
+    std::vector<std::optional<Bytes>> received;
+    for (const auto &b : encoded)
+        received.emplace_back(b);
+    received[1].reset(); // group 1 data block
+    received[5].reset(); // group 2 data block
+
+    auto decoded = xr.decode(received);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, blocks);
+}
+
+TEST(XorRedundancyTest, FailsOnDoubleLoss)
+{
+    XorRedundancy xr(3);
+    std::vector<Bytes> blocks = {{1}, {2}, {3}};
+    auto encoded = xr.encode(blocks);
+    std::vector<std::optional<Bytes>> received;
+    for (const auto &b : encoded)
+        received.emplace_back(b);
+    received[0].reset();
+    received[1].reset();
+    EXPECT_FALSE(xr.decode(received).has_value());
+}
+
+TEST(XorRedundancyTest, LostParityIsHarmless)
+{
+    XorRedundancy xr(2);
+    std::vector<Bytes> blocks = {{1}, {2}};
+    auto encoded = xr.encode(blocks);
+    std::vector<std::optional<Bytes>> received;
+    for (const auto &b : encoded)
+        received.emplace_back(b);
+    received[2].reset(); // the parity block
+    auto decoded = xr.decode(received);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, blocks);
+}
+
+} // namespace
+} // namespace dnasim

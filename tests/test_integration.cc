@@ -1,0 +1,217 @@
+/**
+ * @file
+ * Cross-module integration tests: the paper's full experimental loop
+ * (wetlab data -> calibration -> simulation -> reconstruction ->
+ * accuracy comparison) and the imperfect-clustering path, at small
+ * scale so they stay fast.
+ */
+
+#include <gtest/gtest.h>
+
+#include "analysis/accuracy.hh"
+#include "analysis/error_positions.hh"
+#include "cluster/greedy_cluster.hh"
+#include "core/channel_simulator.hh"
+#include "core/ids_model.hh"
+#include "core/profiler.hh"
+#include "core/wetlab.hh"
+#include "data/io.hh"
+#include "reconstruct/bma.hh"
+#include "reconstruct/iterative.hh"
+
+#include <sstream>
+
+namespace dnasim
+{
+namespace
+{
+
+struct Lab
+{
+    Dataset wetlab;
+    ErrorProfile profile;
+};
+
+const Lab &
+lab()
+{
+    static const Lab instance = [] {
+        Lab l;
+        WetlabConfig config;
+        config.num_clusters = 120;
+        NanoporeDatasetGenerator generator(config);
+        Rng rng(0x17e9);
+        l.wetlab = generator.generate(rng);
+        ErrorProfiler profiler;
+        l.profile = profiler.calibrate(l.wetlab);
+        return l;
+    }();
+    return instance;
+}
+
+Dataset
+fixedCoverageProtocol(const Dataset &data, size_t n, uint64_t seed)
+{
+    Dataset shuffled = data;
+    Rng rng(seed);
+    shuffled.shuffleWithinClusters(rng);
+    return shuffled.fixedCoverage(n, 10);
+}
+
+TEST(Integration, CalibratedRateTracksWetlabStructuralRate)
+{
+    // The profiler filters junk reads, so the calibrated rate lands
+    // near the structural 5.9% even though the dataset's raw
+    // aggregate (with aliens and truncations) is higher.
+    EXPECT_GT(lab().profile.totalRate(), 0.04);
+    EXPECT_LT(lab().profile.totalRate(), 0.09);
+}
+
+TEST(Integration, CalibratedSpatialIsEndHeavy)
+{
+    const auto &spatial = lab().profile.spatial;
+    double head = spatial.multiplier(0, 110);
+    double mid = spatial.multiplier(55, 110);
+    double tail = spatial.multiplier(109, 110);
+    EXPECT_GT(head, mid);
+    EXPECT_GT(tail, mid);
+    EXPECT_GT(tail, head); // end ~2x the beginning
+}
+
+TEST(Integration, SimulatedDataEasierThanReal)
+{
+    // The core finding of Tables 2.2/3.1: at fixed low coverage,
+    // naive-simulated data reconstructs better than the real data.
+    Dataset real5 = fixedCoverageProtocol(lab().wetlab, 5, 0x51);
+
+    IdsChannelModel naive = IdsChannelModel::naive(lab().profile);
+    ChannelSimulator sim(naive);
+    std::vector<Strand> refs;
+    for (const auto &c : real5)
+        refs.push_back(c.reference);
+    FixedCoverage cov(5);
+    Rng sim_rng(0x52);
+    Dataset naive5 = sim.simulate(refs, cov, sim_rng);
+
+    Iterative iterative;
+    Rng r1(0x53), r2(0x54);
+    double real_acc =
+        evaluateAccuracy(real5, iterative, r1).perChar();
+    double sim_acc =
+        evaluateAccuracy(naive5, iterative, r2).perChar();
+    EXPECT_GT(sim_acc, real_acc);
+}
+
+TEST(Integration, SkewModelHurtsMoreThanNaive)
+{
+    // Adding spatial skew makes simulated data harder (Table 3.1's
+    // BMA column falls toward the real row).
+    std::vector<Strand> refs;
+    for (const auto &c : lab().wetlab)
+        refs.push_back(c.reference);
+    FixedCoverage cov(5);
+
+    IdsChannelModel naive = IdsChannelModel::naive(lab().profile);
+    IdsChannelModel skew = IdsChannelModel::skew(lab().profile);
+    Rng g1(0x61), g2(0x62);
+    Dataset naive5 =
+        ChannelSimulator(naive).simulate(refs, cov, g1);
+    Dataset skew5 = ChannelSimulator(skew).simulate(refs, cov, g2);
+
+    BmaLookahead bma;
+    Rng r1(0x63), r2(0x64);
+    double naive_acc = evaluateAccuracy(naive5, bma, r1).perChar();
+    double skew_acc = evaluateAccuracy(skew5, bma, r2).perChar();
+    EXPECT_GT(naive_acc, skew_acc);
+}
+
+TEST(Integration, IterativeResidualsEndHeavyOnRealData)
+{
+    // Fig 3.4: the Iterative algorithm's residual Hamming errors
+    // grow toward the strand end.
+    Dataset real5 = fixedCoverageProtocol(lab().wetlab, 5, 0x71);
+    Iterative iterative;
+    Rng rng(0x72);
+    auto estimates = reconstructAll(real5, iterative, rng);
+    auto thirds = bucketProfile(
+        hammingProfilePost(real5, estimates), 110, 3);
+    EXPECT_GT(thirds[2].errors, thirds[0].errors);
+}
+
+TEST(Integration, BmaResidualsMidHeavyOnUniformData)
+{
+    // Fig 3.7: on uniform noise, two-way BMA pushes residual errors
+    // to the middle of the strand.
+    std::vector<Strand> refs;
+    for (const auto &c : lab().wetlab)
+        refs.push_back(c.reference);
+    ErrorProfile uniform = ErrorProfile::uniform(0.12, 110);
+    IdsChannelModel model = IdsChannelModel::naive(uniform);
+    FixedCoverage cov(5);
+    Rng g(0x81);
+    Dataset data = ChannelSimulator(model).simulate(refs, cov, g);
+
+    BmaLookahead bma;
+    Rng rng(0x82);
+    auto estimates = reconstructAll(data, bma, rng);
+    auto thirds = bucketProfile(
+        hammingProfilePost(data, estimates), 110, 3);
+    EXPECT_GT(thirds[1].errors, thirds[0].errors);
+    EXPECT_GT(thirds[1].errors, thirds[2].errors);
+}
+
+TEST(Integration, EvyatRoundTripPreservesAccuracy)
+{
+    Dataset real5 = fixedCoverageProtocol(lab().wetlab, 5, 0x91);
+    std::ostringstream out;
+    writeEvyat(real5, out);
+    std::istringstream in(out.str());
+    Dataset parsed = readEvyat(in);
+
+    Iterative iterative;
+    Rng r1(0x92), r2(0x92);
+    AccuracyResult direct = evaluateAccuracy(real5, iterative, r1);
+    AccuracyResult via_io = evaluateAccuracy(parsed, iterative, r2);
+    EXPECT_EQ(direct.num_perfect, via_io.num_perfect);
+    EXPECT_EQ(direct.num_chars_correct, via_io.num_chars_correct);
+}
+
+TEST(Integration, ImperfectClusteringPath)
+{
+    // Pool the reads, recluster them, and verify the clusters are
+    // usable for reconstruction: section 3.1's imperfect-clustering
+    // evaluation mode.
+    WetlabConfig config;
+    config.num_clusters = 25;
+    config.mean_coverage = 8.0;
+    NanoporeDatasetGenerator generator(config);
+    Rng rng(0xa1);
+    Dataset data = generator.generate(rng);
+
+    auto pool = data.pooledReads();
+    std::vector<size_t> origins;
+    for (size_t i = 0; i < data.size(); ++i)
+        for (size_t k = 0; k < data[i].coverage(); ++k)
+            origins.push_back(i);
+
+    ClusterOptions options;
+    options.distance_threshold = 20;
+    auto clusters = clusterReads(pool, options);
+    auto purity = scoreClustering(clusters, origins);
+    EXPECT_GT(purity.purity(), 0.80);
+}
+
+TEST(Integration, HigherCoverageNeverHurtsMuch)
+{
+    // Fig 3.3's monotone region on the real data.
+    Iterative iterative;
+    Dataset at3 = fixedCoverageProtocol(lab().wetlab, 3, 0xb1);
+    Dataset at8 = fixedCoverageProtocol(lab().wetlab, 8, 0xb1);
+    Rng r1(0xb2), r2(0xb3);
+    double acc3 = evaluateAccuracy(at3, iterative, r1).perChar();
+    double acc8 = evaluateAccuracy(at8, iterative, r2).perChar();
+    EXPECT_GT(acc8, acc3 - 0.01);
+}
+
+} // namespace
+} // namespace dnasim

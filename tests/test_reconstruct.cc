@@ -1,0 +1,505 @@
+/**
+ * @file
+ * Unit, behavioural, and property tests for the reconstruction
+ * library: consensus helpers, Majority, BMA Look-Ahead, Divider BMA,
+ * Iterative, and the two-way / weighted extensions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "align/edit_distance.hh"
+#include "analysis/accuracy.hh"
+#include "core/channel_simulator.hh"
+#include "core/coverage.hh"
+#include "core/ids_model.hh"
+#include "data/strand_factory.hh"
+#include "reconstruct/bma.hh"
+#include "reconstruct/consensus.hh"
+#include "reconstruct/divider_bma.hh"
+#include "reconstruct/iterative.hh"
+#include "reconstruct/majority.hh"
+#include "reconstruct/twoway_iterative.hh"
+#include "reconstruct/weighted_iterative.hh"
+
+namespace dnasim
+{
+namespace
+{
+
+std::vector<const Reconstructor *>
+allAlgorithms()
+{
+    static MajorityVote majority;
+    static BmaLookahead bma;
+    static BmaLookahead bma_oneway{BmaOptions{false}};
+    static DividerBma divider;
+    static Iterative iterative;
+    static TwoWayIterative twoway;
+    static WeightedIterative weighted;
+    return {&majority, &bma, &bma_oneway, &divider, &iterative,
+            &twoway, &weighted};
+}
+
+/** A noisy cluster of @p coverage copies at @p error_rate. */
+std::vector<Strand>
+noisyCluster(const Strand &ref, size_t coverage, double error_rate,
+             Rng &rng)
+{
+    ErrorProfile profile =
+        ErrorProfile::uniform(error_rate, ref.size());
+    IdsChannelModel model = IdsChannelModel::naive(profile);
+    std::vector<Strand> copies;
+    copies.reserve(coverage);
+    for (size_t i = 0; i < coverage; ++i)
+        copies.push_back(model.transmit(ref, rng));
+    return copies;
+}
+
+TEST(Consensus, BaseVoteWinner)
+{
+    Rng rng(90);
+    BaseVote vote;
+    EXPECT_TRUE(vote.empty());
+    vote.add('G');
+    vote.add('G');
+    vote.add('T');
+    EXPECT_EQ(vote.winner(rng), 'G');
+    vote.clear();
+    EXPECT_TRUE(vote.empty());
+}
+
+TEST(Consensus, BaseVoteWeighted)
+{
+    Rng rng(91);
+    BaseVote vote;
+    vote.add('A', 1.0);
+    vote.add('C', 2.5);
+    EXPECT_EQ(vote.winner(rng), 'C');
+}
+
+TEST(Consensus, PluralityCharEmpty)
+{
+    Rng rng(92);
+    EXPECT_EQ(pluralityChar({}, rng), 'A');
+}
+
+TEST(Consensus, PositionalPluralityBasics)
+{
+    Rng rng(93);
+    std::vector<Strand> copies = {"ACGT", "ACGT", "AGGT"};
+    EXPECT_EQ(positionalPlurality(copies, 4, rng), "ACGT");
+}
+
+TEST(Consensus, PositionalPluralityShortCopiesAbstain)
+{
+    Rng rng(94);
+    std::vector<Strand> copies = {"AC", "ACGT"};
+    Strand out = positionalPlurality(copies, 4, rng);
+    EXPECT_EQ(out.substr(2), "GT"); // only the long copy votes
+}
+
+TEST(Consensus, PositionalPluralityWeights)
+{
+    Rng rng(95);
+    std::vector<Strand> copies = {"AAAA", "CCCC"};
+    std::vector<double> weights = {0.1, 5.0};
+    EXPECT_EQ(positionalPlurality(copies, 4, rng, weights), "CCCC");
+}
+
+TEST(Consensus, AlignedConsensusKeepsTruth)
+{
+    // The true reference is a fixpoint given noisy copies.
+    StrandFactory factory;
+    Rng rng(96);
+    for (int trial = 0; trial < 20; ++trial) {
+        Strand ref = factory.make(80, rng);
+        auto copies = noisyCluster(ref, 8, 0.06, rng);
+        Strand refined = alignedConsensus(ref, copies, rng);
+        EXPECT_EQ(refined, ref) << "trial " << trial;
+    }
+}
+
+TEST(Consensus, AlignedConsensusFixesSubstitution)
+{
+    StrandFactory factory;
+    Rng rng(97);
+    Strand ref = factory.make(60, rng);
+    std::vector<Strand> copies(5, ref);
+    Strand corrupted = ref;
+    corrupted[30] = corrupted[30] == 'A' ? 'C' : 'A';
+    EXPECT_EQ(alignedConsensus(corrupted, copies, rng), ref);
+}
+
+TEST(Consensus, AlignedConsensusFixesIndels)
+{
+    StrandFactory factory;
+    Rng rng(98);
+    Strand ref = factory.make(60, rng);
+    std::vector<Strand> copies(5, ref);
+
+    Strand missing = ref;
+    missing.erase(20, 1);
+    EXPECT_EQ(alignedConsensus(missing, copies, rng), ref);
+
+    Strand extra = ref;
+    extra.insert(extra.begin() + 40, 'G');
+    EXPECT_EQ(alignedConsensus(extra, copies, rng), ref);
+}
+
+TEST(Consensus, EnforceDesignLengthRepairsDrift)
+{
+    StrandFactory factory;
+    Rng rng(99);
+    for (int trial = 0; trial < 20; ++trial) {
+        Strand ref = factory.make(70, rng);
+        auto copies = noisyCluster(ref, 7, 0.05, rng);
+
+        Strand broken = ref;
+        broken.erase(35, 1); // one char short
+        Strand fixed =
+            enforceDesignLength(broken, copies, ref.size(), rng);
+        EXPECT_EQ(fixed.size(), ref.size());
+        EXPECT_LE(levenshtein(fixed, ref), 1u);
+    }
+}
+
+TEST(Consensus, EnforceDesignLengthNoOpWhenCorrect)
+{
+    StrandFactory factory;
+    Rng rng(100);
+    Strand ref = factory.make(50, rng);
+    std::vector<Strand> copies(4, ref);
+    EXPECT_EQ(enforceDesignLength(ref, copies, 50, rng), ref);
+}
+
+TEST(Consensus, TotalEditDistance)
+{
+    std::vector<Strand> copies = {"ACGT", "ACG", "ACGTT"};
+    EXPECT_EQ(totalEditDistance("ACGT", copies), 2u);
+}
+
+TEST(AllReconstructors, EmptyClusterIsErasure)
+{
+    Rng rng(101);
+    for (const auto *algo : allAlgorithms())
+        EXPECT_TRUE(algo->reconstruct({}, 110, rng).empty())
+            << algo->name();
+}
+
+TEST(AllReconstructors, PerfectCopiesReconstructExactly)
+{
+    StrandFactory factory;
+    Rng rng(102);
+    Strand ref = factory.make(110, rng);
+    std::vector<Strand> copies(5, ref);
+    for (const auto *algo : allAlgorithms())
+        EXPECT_EQ(algo->reconstruct(copies, 110, rng), ref)
+            << algo->name();
+}
+
+TEST(AllReconstructors, OutputHasDesignLength)
+{
+    StrandFactory factory;
+    Rng rng(103);
+    Strand ref = factory.make(110, rng);
+    auto copies = noisyCluster(ref, 6, 0.10, rng);
+    for (const auto *algo : allAlgorithms()) {
+        if (algo->name() == "Iterative-raw")
+            continue; // deliberately variable-length
+        EXPECT_EQ(algo->reconstruct(copies, 110, rng).size(), 110u)
+            << algo->name();
+    }
+}
+
+TEST(AllReconstructors, SubstitutionOnlyErrorsAreEasy)
+{
+    // With substitution-only noise and decent coverage, every
+    // aligner-based algorithm should reconstruct exactly.
+    StrandFactory factory;
+    Rng rng(104);
+    Strand ref = factory.make(110, rng);
+    ErrorProfile profile =
+        ErrorProfile::uniform(0.10, 110, 1.0, 0.0, 0.0);
+    IdsChannelModel model = IdsChannelModel::naive(profile);
+    std::vector<Strand> copies;
+    for (int i = 0; i < 9; ++i)
+        copies.push_back(model.transmit(ref, rng));
+    for (const auto *algo : allAlgorithms())
+        EXPECT_EQ(algo->reconstruct(copies, 110, rng), ref)
+            << algo->name();
+}
+
+TEST(Bma, ForwardPassAnchorsAtStart)
+{
+    // A copy set with heavy errors at the end: the forward pass
+    // still reconstructs the head correctly.
+    StrandFactory factory;
+    Rng rng(105);
+    Strand ref = factory.make(100, rng);
+    std::vector<Strand> copies;
+    for (int i = 0; i < 5; ++i) {
+        Strand c = ref;
+        c.resize(70 + rng.index(10)); // truncated tails
+        copies.push_back(c);
+    }
+    Strand estimate = BmaLookahead::forwardPass(copies, 100, rng);
+    EXPECT_EQ(estimate.substr(0, 60), ref.substr(0, 60));
+}
+
+TEST(Bma, TwoWayBeatsOneWayOnUniformNoise)
+{
+    StrandFactory factory;
+    Rng rng(106);
+    BmaLookahead twoway;
+    BmaLookahead oneway{BmaOptions{false}};
+    size_t two_correct = 0, one_correct = 0;
+    for (int trial = 0; trial < 60; ++trial) {
+        Strand ref = factory.make(110, rng);
+        auto copies = noisyCluster(ref, 6, 0.08, rng);
+        Rng r1(trial), r2(trial);
+        two_correct +=
+            twoway.reconstruct(copies, 110, r1) == ref ? 1 : 0;
+        one_correct +=
+            oneway.reconstruct(copies, 110, r2) == ref ? 1 : 0;
+    }
+    EXPECT_GE(two_correct, one_correct);
+}
+
+TEST(Bma, WindowOptionIsRespected)
+{
+    // A wider look-ahead window disambiguates indels better on
+    // indel-heavy clusters; window 1 is the classic check.
+    StrandFactory factory;
+    Rng rng(130);
+    ErrorProfile profile =
+        ErrorProfile::uniform(0.08, 110, 0.2, 0.4, 0.4);
+    IdsChannelModel model = IdsChannelModel::naive(profile);
+
+    BmaLookahead narrow{BmaOptions{true, 1}};
+    BmaLookahead wide{BmaOptions{true, 3}};
+    size_t narrow_chars = 0, wide_chars = 0;
+    for (int trial = 0; trial < 50; ++trial) {
+        Strand ref = factory.make(110, rng);
+        std::vector<Strand> copies;
+        for (int i = 0; i < 6; ++i)
+            copies.push_back(model.transmit(ref, rng));
+        Rng r1(trial), r2(trial);
+        Strand a = narrow.reconstruct(copies, 110, r1);
+        Strand b = wide.reconstruct(copies, 110, r2);
+        for (size_t i = 0; i < 110; ++i) {
+            narrow_chars += a[i] == ref[i] ? 1 : 0;
+            wide_chars += b[i] == ref[i] ? 1 : 0;
+        }
+    }
+    EXPECT_GE(wide_chars, narrow_chars);
+}
+
+TEST(Bma, NameReflectsMode)
+{
+    EXPECT_EQ(BmaLookahead().name(), "BMA");
+    EXPECT_EQ(BmaLookahead(BmaOptions{false}).name(), "BMA-oneway");
+}
+
+TEST(DividerBmaTest, ExactOnCleanEqualLengthCopies)
+{
+    StrandFactory factory;
+    Rng rng(107);
+    Strand ref = factory.make(110, rng);
+    // A couple of substitution-corrupted copies of exact length.
+    std::vector<Strand> copies(5, ref);
+    copies[0][10] = copies[0][10] == 'A' ? 'C' : 'A';
+    copies[1][90] = copies[1][90] == 'G' ? 'T' : 'G';
+    EXPECT_EQ(DividerBma().reconstruct(copies, 110, rng), ref);
+}
+
+TEST(DividerBmaTest, DegradesOnIndelHeavyClusters)
+{
+    // The collapse from Table 2.1: with indel-heavy copies the
+    // divider heuristic falls well behind Iterative.
+    StrandFactory factory;
+    Rng rng(108);
+    DividerBma divider;
+    Iterative iterative;
+    size_t div_correct = 0, iter_correct = 0;
+    for (int trial = 0; trial < 40; ++trial) {
+        Strand ref = factory.make(110, rng);
+        auto copies = noisyCluster(ref, 10, 0.06, rng);
+        Rng r1(trial), r2(trial);
+        div_correct +=
+            divider.reconstruct(copies, 110, r1) == ref ? 1 : 0;
+        iter_correct +=
+            iterative.reconstruct(copies, 110, r2) == ref ? 1 : 0;
+    }
+    EXPECT_LT(div_correct + 10, iter_correct);
+}
+
+TEST(IterativeTest, SingleCopyReturnsCopyDerivedEstimate)
+{
+    StrandFactory factory;
+    Rng rng(109);
+    Strand ref = factory.make(110, rng);
+    std::vector<Strand> copies = {ref};
+    EXPECT_EQ(Iterative().reconstruct(copies, 110, rng), ref);
+}
+
+TEST(IterativeTest, RawVariantMayBeShort)
+{
+    // Deletion-only noise: the raw variant's consensus tends to lose
+    // characters, the enforced variant never does.
+    StrandFactory factory;
+    Rng rng(110);
+    ErrorProfile profile =
+        ErrorProfile::uniform(0.12, 110, 0.0, 0.0, 1.0);
+    IdsChannelModel model = IdsChannelModel::naive(profile);
+    IterativeOptions raw_options;
+    raw_options.enforce_length = false;
+    Iterative raw(raw_options);
+    Iterative enforced;
+
+    size_t raw_short = 0;
+    for (int trial = 0; trial < 30; ++trial) {
+        Strand ref = factory.make(110, rng);
+        std::vector<Strand> copies;
+        for (int i = 0; i < 4; ++i)
+            copies.push_back(model.transmit(ref, rng));
+        Rng r1(trial), r2(trial);
+        Strand raw_est = raw.reconstruct(copies, 110, r1);
+        raw_short += raw_est.size() < 110 ? 1 : 0;
+        EXPECT_EQ(enforced.reconstruct(copies, 110, r2).size(),
+                  110u);
+    }
+    EXPECT_GT(raw_short, 0u);
+}
+
+TEST(IterativeTest, BeatsMajorityOnIndelNoise)
+{
+    StrandFactory factory;
+    Rng rng(111);
+    Iterative iterative;
+    MajorityVote majority;
+    size_t iter_correct = 0, maj_correct = 0;
+    for (int trial = 0; trial < 40; ++trial) {
+        Strand ref = factory.make(110, rng);
+        auto copies = noisyCluster(ref, 6, 0.06, rng);
+        Rng r1(trial), r2(trial);
+        iter_correct +=
+            iterative.reconstruct(copies, 110, r1) == ref ? 1 : 0;
+        maj_correct +=
+            majority.reconstruct(copies, 110, r2) == ref ? 1 : 0;
+    }
+    EXPECT_GT(iter_correct, maj_correct + 10);
+}
+
+TEST(IterativeTest, NamesReflectMode)
+{
+    EXPECT_EQ(Iterative().name(), "Iterative");
+    IterativeOptions raw;
+    raw.enforce_length = false;
+    EXPECT_EQ(Iterative(raw).name(), "Iterative-raw");
+}
+
+TEST(TwoWayIterativeTest, MatchesOneWayOnCleanData)
+{
+    StrandFactory factory;
+    Rng rng(112);
+    Strand ref = factory.make(110, rng);
+    std::vector<Strand> copies(5, ref);
+    EXPECT_EQ(TwoWayIterative().reconstruct(copies, 110, rng), ref);
+}
+
+TEST(WeightedIterativeTest, DownweightsAlienCopies)
+{
+    // Clusters polluted with alien copies: weighting should never be
+    // worse, and usually better, than unweighted voting.
+    StrandFactory factory;
+    Rng rng(113);
+    Iterative plain;
+    WeightedIterative weighted;
+    size_t plain_correct = 0, weighted_correct = 0;
+    for (int trial = 0; trial < 40; ++trial) {
+        Strand ref = factory.make(110, rng);
+        auto copies = noisyCluster(ref, 5, 0.05, rng);
+        // Two aliens from another reference.
+        Strand alien = factory.make(110, rng);
+        copies.push_back(alien);
+        copies.push_back(alien);
+        Rng r1(trial), r2(trial);
+        plain_correct +=
+            plain.reconstruct(copies, 110, r1) == ref ? 1 : 0;
+        weighted_correct +=
+            weighted.reconstruct(copies, 110, r2) == ref ? 1 : 0;
+    }
+    EXPECT_GE(weighted_correct + 3, plain_correct);
+    EXPECT_GT(weighted_correct, 20u);
+}
+
+struct ReconstructCase
+{
+    double error_rate;
+    size_t coverage;
+    double min_per_char; ///< expected per-char accuracy floor
+};
+
+class ReconstructionQuality
+    : public ::testing::TestWithParam<ReconstructCase>
+{};
+
+TEST_P(ReconstructionQuality, IterativePerCharFloor)
+{
+    auto [rate, coverage, floor] = GetParam();
+    StrandFactory factory;
+    Rng rng(114);
+    ErrorProfile profile = ErrorProfile::uniform(rate, 110);
+    IdsChannelModel model = IdsChannelModel::naive(profile);
+    ChannelSimulator sim(model);
+    auto refs = factory.makeMany(40, 110, rng);
+    FixedCoverage cov(coverage);
+    Dataset data = sim.simulate(refs, cov, rng);
+
+    Iterative iterative;
+    Rng eval(115);
+    AccuracyResult acc = evaluateAccuracy(data, iterative, eval);
+    EXPECT_GT(acc.perChar(), floor)
+        << "rate " << rate << " coverage " << coverage;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ReconstructionQuality,
+    ::testing::Values(ReconstructCase{0.03, 5, 0.97},
+                      ReconstructCase{0.06, 5, 0.93},
+                      ReconstructCase{0.06, 10, 0.97},
+                      ReconstructCase{0.10, 10, 0.93},
+                      ReconstructCase{0.15, 10, 0.85}));
+
+TEST(ReconstructionOrdering, MoreCoverageNeverMuchWorse)
+{
+    // Per-char accuracy at coverage 10 should beat coverage 3 for
+    // the same channel (Fig 3.3's monotone region).
+    StrandFactory factory;
+    Rng rng(116);
+    ErrorProfile profile = ErrorProfile::uniform(0.08, 110);
+    IdsChannelModel model = IdsChannelModel::naive(profile);
+    ChannelSimulator sim(model);
+    auto refs = factory.makeMany(40, 110, rng);
+
+    Iterative iterative;
+    double acc3, acc10;
+    {
+        FixedCoverage cov(3);
+        Rng r(117);
+        Dataset data = sim.simulate(refs, cov, r);
+        Rng eval(118);
+        acc3 = evaluateAccuracy(data, iterative, eval).perChar();
+    }
+    {
+        FixedCoverage cov(10);
+        Rng r(119);
+        Dataset data = sim.simulate(refs, cov, r);
+        Rng eval(120);
+        acc10 = evaluateAccuracy(data, iterative, eval).perChar();
+    }
+    EXPECT_GT(acc10, acc3);
+}
+
+} // namespace
+} // namespace dnasim

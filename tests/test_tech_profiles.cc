@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Tests for the technology presets (Table 1.1 profiles) and the
+ * archival staged-channel factory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "align/edit_distance.hh"
+#include "analysis/accuracy.hh"
+#include "core/channel_simulator.hh"
+#include "core/ids_model.hh"
+#include "core/tech_profiles.hh"
+#include "data/strand_factory.hh"
+#include "reconstruct/iterative.hh"
+
+namespace dnasim
+{
+namespace
+{
+
+TEST(TechProfiles, Names)
+{
+    EXPECT_STREQ(sequencerName(SequencerGeneration::Sanger),
+                 "sanger");
+    EXPECT_STREQ(sequencerName(SequencerGeneration::Illumina),
+                 "illumina");
+    EXPECT_STREQ(sequencerName(SequencerGeneration::Nanopore),
+                 "nanopore");
+}
+
+TEST(TechProfiles, ErrorRatesOrderedByGeneration)
+{
+    // Table 1.1's trend: newer generations trade accuracy for
+    // throughput.
+    double sanger = sequencerErrorRate(SequencerGeneration::Sanger);
+    double illumina =
+        sequencerErrorRate(SequencerGeneration::Illumina);
+    double nanopore =
+        sequencerErrorRate(SequencerGeneration::Nanopore);
+    EXPECT_LT(sanger, illumina);
+    EXPECT_LT(illumina, nanopore);
+    EXPECT_LT(sanger, 1e-4);
+    EXPECT_GT(nanopore, 0.03);
+}
+
+TEST(TechProfiles, ProfileRatesMatchNominal)
+{
+    for (auto gen : {SequencerGeneration::Sanger,
+                     SequencerGeneration::Illumina,
+                     SequencerGeneration::Nanopore}) {
+        ErrorProfile p = sequencerProfile(gen, 110);
+        EXPECT_NEAR(p.totalRate(), sequencerErrorRate(gen),
+                    sequencerErrorRate(gen) * 0.05)
+            << sequencerName(gen);
+        EXPECT_EQ(p.design_length, 110u);
+    }
+}
+
+TEST(TechProfiles, NanoporeIsStructured)
+{
+    ErrorProfile p =
+        sequencerProfile(SequencerGeneration::Nanopore, 110);
+    EXPECT_FALSE(p.spatial.isUniform());
+    EXPECT_FALSE(p.second_order.empty());
+    EXPECT_GT(p.p_long_del, 0.0);
+}
+
+TEST(TechProfiles, IlluminaEndSkew)
+{
+    ErrorProfile p =
+        sequencerProfile(SequencerGeneration::Illumina, 110);
+    EXPECT_GT(p.spatial.multiplier(109, 110),
+              p.spatial.multiplier(55, 110));
+}
+
+TEST(TechProfiles, MeasuredRatesTrackNominal)
+{
+    StrandFactory factory;
+    Rng rng(300);
+    Strand ref = factory.make(110, rng);
+    for (auto gen : {SequencerGeneration::Illumina,
+                     SequencerGeneration::Nanopore}) {
+        IdsChannelModel model =
+            IdsChannelModel::full(sequencerProfile(gen, 110));
+        size_t errors = 0;
+        const int copies = 400;
+        for (int i = 0; i < copies; ++i)
+            errors += levenshtein(ref, model.transmit(ref, rng));
+        double rate = static_cast<double>(errors) / (110.0 * copies);
+        EXPECT_NEAR(rate, sequencerErrorRate(gen),
+                    sequencerErrorRate(gen) * 0.35)
+            << sequencerName(gen);
+    }
+}
+
+TEST(ArchivalChannel, ProducesUsableClusters)
+{
+    StrandFactory factory;
+    Rng rng(301);
+    auto refs = factory.makeMany(12, 110, rng);
+    StagedChannel channel = makeArchivalChannel(
+        SequencerGeneration::Illumina, 110, refs.size(),
+        /*mean_coverage=*/10.0);
+    Dataset data = channel.run(refs, rng);
+    ASSERT_EQ(data.size(), refs.size());
+    EXPECT_EQ(data.totalCopies(), 120u);
+
+    Iterative algo;
+    Rng eval(302);
+    AccuracyResult acc = evaluateAccuracy(data, algo, eval);
+    EXPECT_GT(acc.perChar(), 0.97);
+}
+
+TEST(ArchivalChannel, DecayCostsCoverage)
+{
+    StrandFactory factory;
+    Rng rng(303);
+    auto refs = factory.makeMany(12, 110, rng);
+
+    StagedChannel fresh = makeArchivalChannel(
+        SequencerGeneration::Illumina, 110, refs.size(), 8.0,
+        /*storage_years=*/0.0);
+    StagedChannel aged = makeArchivalChannel(
+        SequencerGeneration::Illumina, 110, refs.size(), 8.0,
+        /*storage_years=*/400.0);
+
+    Rng r1(304), r2(304);
+    Dataset fresh_data = fresh.run(refs, r1);
+    Dataset aged_data = aged.run(refs, r2);
+    // Same sampled read count, but the aged pool contains truncated
+    // molecules, so the mean copy length drops.
+    EXPECT_LT(aged_data.stats(false).mean_copy_length,
+              fresh_data.stats(false).mean_copy_length);
+}
+
+TEST(ArchivalChannel, StageListIsComplete)
+{
+    StagedChannel channel = makeArchivalChannel(
+        SequencerGeneration::Nanopore, 110, 10, 5.0,
+        /*storage_years=*/100.0);
+    auto names = channel.stageNames();
+    ASSERT_EQ(names.size(), 5u);
+    EXPECT_EQ(names[0], "synthesis");
+    EXPECT_EQ(names[1], "decay");
+    EXPECT_EQ(names[2], "pcr");
+    EXPECT_EQ(names[3], "sampling");
+    EXPECT_EQ(names[4], "sequencing");
+}
+
+} // namespace
+} // namespace dnasim
