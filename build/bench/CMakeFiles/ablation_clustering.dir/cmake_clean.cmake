@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_clustering.dir/ablation_clustering.cc.o"
+  "CMakeFiles/ablation_clustering.dir/ablation_clustering.cc.o.d"
+  "CMakeFiles/ablation_clustering.dir/bench_common.cc.o"
+  "CMakeFiles/ablation_clustering.dir/bench_common.cc.o.d"
+  "ablation_clustering"
+  "ablation_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

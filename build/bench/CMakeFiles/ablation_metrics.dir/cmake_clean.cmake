@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_metrics.dir/ablation_metrics.cc.o"
+  "CMakeFiles/ablation_metrics.dir/ablation_metrics.cc.o.d"
+  "CMakeFiles/ablation_metrics.dir/bench_common.cc.o"
+  "CMakeFiles/ablation_metrics.dir/bench_common.cc.o.d"
+  "ablation_metrics"
+  "ablation_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

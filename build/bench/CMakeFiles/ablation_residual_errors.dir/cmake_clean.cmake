@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_residual_errors.dir/ablation_residual_errors.cc.o"
+  "CMakeFiles/ablation_residual_errors.dir/ablation_residual_errors.cc.o.d"
+  "CMakeFiles/ablation_residual_errors.dir/bench_common.cc.o"
+  "CMakeFiles/ablation_residual_errors.dir/bench_common.cc.o.d"
+  "ablation_residual_errors"
+  "ablation_residual_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_residual_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_residual_errors.
+# This may be replaced when dependencies are built.

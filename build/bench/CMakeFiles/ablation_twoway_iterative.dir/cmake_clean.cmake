@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_twoway_iterative.dir/ablation_twoway_iterative.cc.o"
+  "CMakeFiles/ablation_twoway_iterative.dir/ablation_twoway_iterative.cc.o.d"
+  "CMakeFiles/ablation_twoway_iterative.dir/bench_common.cc.o"
+  "CMakeFiles/ablation_twoway_iterative.dir/bench_common.cc.o.d"
+  "ablation_twoway_iterative"
+  "ablation_twoway_iterative.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_twoway_iterative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

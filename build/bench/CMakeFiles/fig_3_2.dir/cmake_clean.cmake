@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_3_2.dir/bench_common.cc.o"
+  "CMakeFiles/fig_3_2.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig_3_2.dir/fig_3_2.cc.o"
+  "CMakeFiles/fig_3_2.dir/fig_3_2.cc.o.d"
+  "fig_3_2"
+  "fig_3_2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_3_2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_3_3.dir/bench_common.cc.o"
+  "CMakeFiles/fig_3_3.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig_3_3.dir/fig_3_3.cc.o"
+  "CMakeFiles/fig_3_3.dir/fig_3_3.cc.o.d"
+  "fig_3_3"
+  "fig_3_3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_3_3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

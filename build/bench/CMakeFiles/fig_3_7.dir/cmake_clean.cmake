@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_3_7.dir/bench_common.cc.o"
+  "CMakeFiles/fig_3_7.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig_3_7.dir/fig_3_7.cc.o"
+  "CMakeFiles/fig_3_7.dir/fig_3_7.cc.o.d"
+  "fig_3_7"
+  "fig_3_7.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_3_7.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_c_overall.dir/bench_common.cc.o"
+  "CMakeFiles/fig_c_overall.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig_c_overall.dir/fig_c_overall.cc.o"
+  "CMakeFiles/fig_c_overall.dir/fig_c_overall.cc.o.d"
+  "fig_c_overall"
+  "fig_c_overall.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_c_overall.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

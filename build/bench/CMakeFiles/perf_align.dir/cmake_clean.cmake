@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_align.dir/perf_align.cc.o"
+  "CMakeFiles/perf_align.dir/perf_align.cc.o.d"
+  "perf_align"
+  "perf_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_channel.dir/perf_channel.cc.o"
+  "CMakeFiles/perf_channel.dir/perf_channel.cc.o.d"
+  "perf_channel"
+  "perf_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

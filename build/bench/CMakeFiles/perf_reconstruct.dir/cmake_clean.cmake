@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_reconstruct.dir/perf_reconstruct.cc.o"
+  "CMakeFiles/perf_reconstruct.dir/perf_reconstruct.cc.o.d"
+  "perf_reconstruct"
+  "perf_reconstruct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_reconstruct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

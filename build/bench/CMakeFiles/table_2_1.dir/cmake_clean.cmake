@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_2_1.dir/bench_common.cc.o"
+  "CMakeFiles/table_2_1.dir/bench_common.cc.o.d"
+  "CMakeFiles/table_2_1.dir/table_2_1.cc.o"
+  "CMakeFiles/table_2_1.dir/table_2_1.cc.o.d"
+  "table_2_1"
+  "table_2_1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_2_1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

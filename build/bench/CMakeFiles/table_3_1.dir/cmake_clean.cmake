@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_3_1.dir/bench_common.cc.o"
+  "CMakeFiles/table_3_1.dir/bench_common.cc.o.d"
+  "CMakeFiles/table_3_1.dir/table_3_1.cc.o"
+  "CMakeFiles/table_3_1.dir/table_3_1.cc.o.d"
+  "table_3_1"
+  "table_3_1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_3_1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

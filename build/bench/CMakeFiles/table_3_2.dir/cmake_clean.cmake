@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table_3_2.dir/bench_common.cc.o"
+  "CMakeFiles/table_3_2.dir/bench_common.cc.o.d"
+  "CMakeFiles/table_3_2.dir/table_3_2.cc.o"
+  "CMakeFiles/table_3_2.dir/table_3_2.cc.o.d"
+  "table_3_2"
+  "table_3_2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table_3_2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

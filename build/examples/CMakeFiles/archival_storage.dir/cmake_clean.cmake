@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archival_storage.dir/archival_storage.cpp.o"
+  "CMakeFiles/archival_storage.dir/archival_storage.cpp.o.d"
+  "archival_storage"
+  "archival_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archival_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calibrate_and_simulate.dir/calibrate_and_simulate.cpp.o"
+  "CMakeFiles/calibrate_and_simulate.dir/calibrate_and_simulate.cpp.o.d"
+  "calibrate_and_simulate"
+  "calibrate_and_simulate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calibrate_and_simulate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/future_sequencer.dir/future_sequencer.cpp.o"
+  "CMakeFiles/future_sequencer.dir/future_sequencer.cpp.o.d"
+  "future_sequencer"
+  "future_sequencer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/future_sequencer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multistage_channel.dir/multistage_channel.cpp.o"
+  "CMakeFiles/multistage_channel.dir/multistage_channel.cpp.o.d"
+  "multistage_channel"
+  "multistage_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multistage_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("stats")
+subdirs("align")
+subdirs("core")
+subdirs("reconstruct")
+subdirs("data")
+subdirs("cluster")
+subdirs("codec")
+subdirs("pipeline")
+subdirs("analysis")
+subdirs("cli")

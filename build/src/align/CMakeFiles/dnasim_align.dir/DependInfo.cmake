@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/align/edit_distance.cc" "src/align/CMakeFiles/dnasim_align.dir/edit_distance.cc.o" "gcc" "src/align/CMakeFiles/dnasim_align.dir/edit_distance.cc.o.d"
+  "/root/repo/src/align/gestalt.cc" "src/align/CMakeFiles/dnasim_align.dir/gestalt.cc.o" "gcc" "src/align/CMakeFiles/dnasim_align.dir/gestalt.cc.o.d"
+  "/root/repo/src/align/hamming.cc" "src/align/CMakeFiles/dnasim_align.dir/hamming.cc.o" "gcc" "src/align/CMakeFiles/dnasim_align.dir/hamming.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/dnasim_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnasim_align.dir/edit_distance.cc.o"
+  "CMakeFiles/dnasim_align.dir/edit_distance.cc.o.d"
+  "CMakeFiles/dnasim_align.dir/gestalt.cc.o"
+  "CMakeFiles/dnasim_align.dir/gestalt.cc.o.d"
+  "CMakeFiles/dnasim_align.dir/hamming.cc.o"
+  "CMakeFiles/dnasim_align.dir/hamming.cc.o.d"
+  "libdnasim_align.a"
+  "libdnasim_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnasim_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

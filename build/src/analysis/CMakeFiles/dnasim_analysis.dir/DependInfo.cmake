@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/accuracy.cc" "src/analysis/CMakeFiles/dnasim_analysis.dir/accuracy.cc.o" "gcc" "src/analysis/CMakeFiles/dnasim_analysis.dir/accuracy.cc.o.d"
+  "/root/repo/src/analysis/clustered_accuracy.cc" "src/analysis/CMakeFiles/dnasim_analysis.dir/clustered_accuracy.cc.o" "gcc" "src/analysis/CMakeFiles/dnasim_analysis.dir/clustered_accuracy.cc.o.d"
+  "/root/repo/src/analysis/dataset_distance.cc" "src/analysis/CMakeFiles/dnasim_analysis.dir/dataset_distance.cc.o" "gcc" "src/analysis/CMakeFiles/dnasim_analysis.dir/dataset_distance.cc.o.d"
+  "/root/repo/src/analysis/error_positions.cc" "src/analysis/CMakeFiles/dnasim_analysis.dir/error_positions.cc.o" "gcc" "src/analysis/CMakeFiles/dnasim_analysis.dir/error_positions.cc.o.d"
+  "/root/repo/src/analysis/residual.cc" "src/analysis/CMakeFiles/dnasim_analysis.dir/residual.cc.o" "gcc" "src/analysis/CMakeFiles/dnasim_analysis.dir/residual.cc.o.d"
+  "/root/repo/src/analysis/second_order.cc" "src/analysis/CMakeFiles/dnasim_analysis.dir/second_order.cc.o" "gcc" "src/analysis/CMakeFiles/dnasim_analysis.dir/second_order.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/dnasim_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dnasim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dnasim_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/dnasim_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dnasim_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dnasim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/reconstruct/CMakeFiles/dnasim_reconstruct.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

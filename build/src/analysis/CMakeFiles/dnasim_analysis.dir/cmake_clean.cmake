@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnasim_analysis.dir/accuracy.cc.o"
+  "CMakeFiles/dnasim_analysis.dir/accuracy.cc.o.d"
+  "CMakeFiles/dnasim_analysis.dir/clustered_accuracy.cc.o"
+  "CMakeFiles/dnasim_analysis.dir/clustered_accuracy.cc.o.d"
+  "CMakeFiles/dnasim_analysis.dir/dataset_distance.cc.o"
+  "CMakeFiles/dnasim_analysis.dir/dataset_distance.cc.o.d"
+  "CMakeFiles/dnasim_analysis.dir/error_positions.cc.o"
+  "CMakeFiles/dnasim_analysis.dir/error_positions.cc.o.d"
+  "CMakeFiles/dnasim_analysis.dir/residual.cc.o"
+  "CMakeFiles/dnasim_analysis.dir/residual.cc.o.d"
+  "CMakeFiles/dnasim_analysis.dir/second_order.cc.o"
+  "CMakeFiles/dnasim_analysis.dir/second_order.cc.o.d"
+  "libdnasim_analysis.a"
+  "libdnasim_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnasim_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

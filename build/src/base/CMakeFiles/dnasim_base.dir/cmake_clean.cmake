@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnasim_base.dir/dna.cc.o"
+  "CMakeFiles/dnasim_base.dir/dna.cc.o.d"
+  "CMakeFiles/dnasim_base.dir/logging.cc.o"
+  "CMakeFiles/dnasim_base.dir/logging.cc.o.d"
+  "CMakeFiles/dnasim_base.dir/table.cc.o"
+  "CMakeFiles/dnasim_base.dir/table.cc.o.d"
+  "libdnasim_base.a"
+  "libdnasim_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnasim_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnasim.dir/dnasim_main.cc.o"
+  "CMakeFiles/dnasim.dir/dnasim_main.cc.o.d"
+  "dnasim"
+  "dnasim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnasim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

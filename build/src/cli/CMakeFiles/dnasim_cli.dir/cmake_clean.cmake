@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnasim_cli.dir/args.cc.o"
+  "CMakeFiles/dnasim_cli.dir/args.cc.o.d"
+  "CMakeFiles/dnasim_cli.dir/commands.cc.o"
+  "CMakeFiles/dnasim_cli.dir/commands.cc.o.d"
+  "libdnasim_cli.a"
+  "libdnasim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnasim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/greedy_cluster.cc" "src/cluster/CMakeFiles/dnasim_cluster.dir/greedy_cluster.cc.o" "gcc" "src/cluster/CMakeFiles/dnasim_cluster.dir/greedy_cluster.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/dnasim_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/dnasim_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dnasim_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dnasim_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnasim_cluster.dir/greedy_cluster.cc.o"
+  "CMakeFiles/dnasim_cluster.dir/greedy_cluster.cc.o.d"
+  "libdnasim_cluster.a"
+  "libdnasim_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnasim_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codec/dna_codec.cc" "src/codec/CMakeFiles/dnasim_codec.dir/dna_codec.cc.o" "gcc" "src/codec/CMakeFiles/dnasim_codec.dir/dna_codec.cc.o.d"
+  "/root/repo/src/codec/framing.cc" "src/codec/CMakeFiles/dnasim_codec.dir/framing.cc.o" "gcc" "src/codec/CMakeFiles/dnasim_codec.dir/framing.cc.o.d"
+  "/root/repo/src/codec/gf256.cc" "src/codec/CMakeFiles/dnasim_codec.dir/gf256.cc.o" "gcc" "src/codec/CMakeFiles/dnasim_codec.dir/gf256.cc.o.d"
+  "/root/repo/src/codec/reed_solomon.cc" "src/codec/CMakeFiles/dnasim_codec.dir/reed_solomon.cc.o" "gcc" "src/codec/CMakeFiles/dnasim_codec.dir/reed_solomon.cc.o.d"
+  "/root/repo/src/codec/xor_redundancy.cc" "src/codec/CMakeFiles/dnasim_codec.dir/xor_redundancy.cc.o" "gcc" "src/codec/CMakeFiles/dnasim_codec.dir/xor_redundancy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/dnasim_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

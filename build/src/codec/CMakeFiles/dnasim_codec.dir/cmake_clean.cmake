@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnasim_codec.dir/dna_codec.cc.o"
+  "CMakeFiles/dnasim_codec.dir/dna_codec.cc.o.d"
+  "CMakeFiles/dnasim_codec.dir/framing.cc.o"
+  "CMakeFiles/dnasim_codec.dir/framing.cc.o.d"
+  "CMakeFiles/dnasim_codec.dir/gf256.cc.o"
+  "CMakeFiles/dnasim_codec.dir/gf256.cc.o.d"
+  "CMakeFiles/dnasim_codec.dir/reed_solomon.cc.o"
+  "CMakeFiles/dnasim_codec.dir/reed_solomon.cc.o.d"
+  "CMakeFiles/dnasim_codec.dir/xor_redundancy.cc.o"
+  "CMakeFiles/dnasim_codec.dir/xor_redundancy.cc.o.d"
+  "libdnasim_codec.a"
+  "libdnasim_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnasim_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdnasim_codec.a"
+)

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/channel_simulator.cc" "src/core/CMakeFiles/dnasim_core.dir/channel_simulator.cc.o" "gcc" "src/core/CMakeFiles/dnasim_core.dir/channel_simulator.cc.o.d"
+  "/root/repo/src/core/coverage.cc" "src/core/CMakeFiles/dnasim_core.dir/coverage.cc.o" "gcc" "src/core/CMakeFiles/dnasim_core.dir/coverage.cc.o.d"
+  "/root/repo/src/core/dnasimulator_model.cc" "src/core/CMakeFiles/dnasim_core.dir/dnasimulator_model.cc.o" "gcc" "src/core/CMakeFiles/dnasim_core.dir/dnasimulator_model.cc.o.d"
+  "/root/repo/src/core/error_profile.cc" "src/core/CMakeFiles/dnasim_core.dir/error_profile.cc.o" "gcc" "src/core/CMakeFiles/dnasim_core.dir/error_profile.cc.o.d"
+  "/root/repo/src/core/ids_model.cc" "src/core/CMakeFiles/dnasim_core.dir/ids_model.cc.o" "gcc" "src/core/CMakeFiles/dnasim_core.dir/ids_model.cc.o.d"
+  "/root/repo/src/core/profile_io.cc" "src/core/CMakeFiles/dnasim_core.dir/profile_io.cc.o" "gcc" "src/core/CMakeFiles/dnasim_core.dir/profile_io.cc.o.d"
+  "/root/repo/src/core/profiler.cc" "src/core/CMakeFiles/dnasim_core.dir/profiler.cc.o" "gcc" "src/core/CMakeFiles/dnasim_core.dir/profiler.cc.o.d"
+  "/root/repo/src/core/stages.cc" "src/core/CMakeFiles/dnasim_core.dir/stages.cc.o" "gcc" "src/core/CMakeFiles/dnasim_core.dir/stages.cc.o.d"
+  "/root/repo/src/core/tech_profiles.cc" "src/core/CMakeFiles/dnasim_core.dir/tech_profiles.cc.o" "gcc" "src/core/CMakeFiles/dnasim_core.dir/tech_profiles.cc.o.d"
+  "/root/repo/src/core/wetlab.cc" "src/core/CMakeFiles/dnasim_core.dir/wetlab.cc.o" "gcc" "src/core/CMakeFiles/dnasim_core.dir/wetlab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/dnasim_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dnasim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/dnasim_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dnasim_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

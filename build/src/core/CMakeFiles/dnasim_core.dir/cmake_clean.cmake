@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnasim_core.dir/channel_simulator.cc.o"
+  "CMakeFiles/dnasim_core.dir/channel_simulator.cc.o.d"
+  "CMakeFiles/dnasim_core.dir/coverage.cc.o"
+  "CMakeFiles/dnasim_core.dir/coverage.cc.o.d"
+  "CMakeFiles/dnasim_core.dir/dnasimulator_model.cc.o"
+  "CMakeFiles/dnasim_core.dir/dnasimulator_model.cc.o.d"
+  "CMakeFiles/dnasim_core.dir/error_profile.cc.o"
+  "CMakeFiles/dnasim_core.dir/error_profile.cc.o.d"
+  "CMakeFiles/dnasim_core.dir/ids_model.cc.o"
+  "CMakeFiles/dnasim_core.dir/ids_model.cc.o.d"
+  "CMakeFiles/dnasim_core.dir/profile_io.cc.o"
+  "CMakeFiles/dnasim_core.dir/profile_io.cc.o.d"
+  "CMakeFiles/dnasim_core.dir/profiler.cc.o"
+  "CMakeFiles/dnasim_core.dir/profiler.cc.o.d"
+  "CMakeFiles/dnasim_core.dir/stages.cc.o"
+  "CMakeFiles/dnasim_core.dir/stages.cc.o.d"
+  "CMakeFiles/dnasim_core.dir/tech_profiles.cc.o"
+  "CMakeFiles/dnasim_core.dir/tech_profiles.cc.o.d"
+  "CMakeFiles/dnasim_core.dir/wetlab.cc.o"
+  "CMakeFiles/dnasim_core.dir/wetlab.cc.o.d"
+  "libdnasim_core.a"
+  "libdnasim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnasim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

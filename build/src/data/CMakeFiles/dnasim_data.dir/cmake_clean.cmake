@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnasim_data.dir/dataset.cc.o"
+  "CMakeFiles/dnasim_data.dir/dataset.cc.o.d"
+  "CMakeFiles/dnasim_data.dir/io.cc.o"
+  "CMakeFiles/dnasim_data.dir/io.cc.o.d"
+  "CMakeFiles/dnasim_data.dir/strand_factory.cc.o"
+  "CMakeFiles/dnasim_data.dir/strand_factory.cc.o.d"
+  "libdnasim_data.a"
+  "libdnasim_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnasim_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnasim_pipeline.dir/archival_pipeline.cc.o"
+  "CMakeFiles/dnasim_pipeline.dir/archival_pipeline.cc.o.d"
+  "libdnasim_pipeline.a"
+  "libdnasim_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnasim_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

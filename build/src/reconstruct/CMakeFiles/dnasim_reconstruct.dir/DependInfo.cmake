@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reconstruct/bma.cc" "src/reconstruct/CMakeFiles/dnasim_reconstruct.dir/bma.cc.o" "gcc" "src/reconstruct/CMakeFiles/dnasim_reconstruct.dir/bma.cc.o.d"
+  "/root/repo/src/reconstruct/consensus.cc" "src/reconstruct/CMakeFiles/dnasim_reconstruct.dir/consensus.cc.o" "gcc" "src/reconstruct/CMakeFiles/dnasim_reconstruct.dir/consensus.cc.o.d"
+  "/root/repo/src/reconstruct/divider_bma.cc" "src/reconstruct/CMakeFiles/dnasim_reconstruct.dir/divider_bma.cc.o" "gcc" "src/reconstruct/CMakeFiles/dnasim_reconstruct.dir/divider_bma.cc.o.d"
+  "/root/repo/src/reconstruct/iterative.cc" "src/reconstruct/CMakeFiles/dnasim_reconstruct.dir/iterative.cc.o" "gcc" "src/reconstruct/CMakeFiles/dnasim_reconstruct.dir/iterative.cc.o.d"
+  "/root/repo/src/reconstruct/majority.cc" "src/reconstruct/CMakeFiles/dnasim_reconstruct.dir/majority.cc.o" "gcc" "src/reconstruct/CMakeFiles/dnasim_reconstruct.dir/majority.cc.o.d"
+  "/root/repo/src/reconstruct/twoway_iterative.cc" "src/reconstruct/CMakeFiles/dnasim_reconstruct.dir/twoway_iterative.cc.o" "gcc" "src/reconstruct/CMakeFiles/dnasim_reconstruct.dir/twoway_iterative.cc.o.d"
+  "/root/repo/src/reconstruct/weighted_iterative.cc" "src/reconstruct/CMakeFiles/dnasim_reconstruct.dir/weighted_iterative.cc.o" "gcc" "src/reconstruct/CMakeFiles/dnasim_reconstruct.dir/weighted_iterative.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/dnasim_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/dnasim_align.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnasim_reconstruct.dir/bma.cc.o"
+  "CMakeFiles/dnasim_reconstruct.dir/bma.cc.o.d"
+  "CMakeFiles/dnasim_reconstruct.dir/consensus.cc.o"
+  "CMakeFiles/dnasim_reconstruct.dir/consensus.cc.o.d"
+  "CMakeFiles/dnasim_reconstruct.dir/divider_bma.cc.o"
+  "CMakeFiles/dnasim_reconstruct.dir/divider_bma.cc.o.d"
+  "CMakeFiles/dnasim_reconstruct.dir/iterative.cc.o"
+  "CMakeFiles/dnasim_reconstruct.dir/iterative.cc.o.d"
+  "CMakeFiles/dnasim_reconstruct.dir/majority.cc.o"
+  "CMakeFiles/dnasim_reconstruct.dir/majority.cc.o.d"
+  "CMakeFiles/dnasim_reconstruct.dir/twoway_iterative.cc.o"
+  "CMakeFiles/dnasim_reconstruct.dir/twoway_iterative.cc.o.d"
+  "CMakeFiles/dnasim_reconstruct.dir/weighted_iterative.cc.o"
+  "CMakeFiles/dnasim_reconstruct.dir/weighted_iterative.cc.o.d"
+  "libdnasim_reconstruct.a"
+  "libdnasim_reconstruct.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnasim_reconstruct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

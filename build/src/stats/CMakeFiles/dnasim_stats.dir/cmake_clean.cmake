@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnasim_stats.dir/distributions.cc.o"
+  "CMakeFiles/dnasim_stats.dir/distributions.cc.o.d"
+  "CMakeFiles/dnasim_stats.dir/histogram.cc.o"
+  "CMakeFiles/dnasim_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/dnasim_stats.dir/position_profile.cc.o"
+  "CMakeFiles/dnasim_stats.dir/position_profile.cc.o.d"
+  "CMakeFiles/dnasim_stats.dir/summary.cc.o"
+  "CMakeFiles/dnasim_stats.dir/summary.cc.o.d"
+  "libdnasim_stats.a"
+  "libdnasim_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnasim_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dnasim_stats.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_core.cc" "tests/CMakeFiles/test_core.dir/test_core.cc.o" "gcc" "tests/CMakeFiles/test_core.dir/test_core.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/dnasim_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/dnasim_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/dnasim_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dnasim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/reconstruct/CMakeFiles/dnasim_reconstruct.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/dnasim_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/dnasim_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/dnasim_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/dnasim_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dnasim_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/cli/CMakeFiles/dnasim_cli.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tech_profiles.dir/test_tech_profiles.cc.o"
+  "CMakeFiles/test_tech_profiles.dir/test_tech_profiles.cc.o.d"
+  "test_tech_profiles"
+  "test_tech_profiles.pdb"
+  "test_tech_profiles[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tech_profiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
