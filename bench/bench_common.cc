@@ -4,12 +4,28 @@
 #include <iostream>
 
 #include "base/logging.hh"
+#include "bench_report.hh"
 #include "core/ids_model.hh"
 #include "reconstruct/bma.hh"
 #include "reconstruct/iterative.hh"
 
 namespace dnasim
 {
+
+namespace
+{
+
+std::string
+harnessName(const char *argv0)
+{
+    std::string name = argv0 ? argv0 : "bench";
+    auto slash = name.find_last_of('/');
+    if (slash != std::string::npos)
+        name = name.substr(slash + 1);
+    return name;
+}
+
+} // anonymous namespace
 
 BenchEnv
 makeBenchEnv(int argc, char **argv, size_t default_clusters)
@@ -25,6 +41,11 @@ makeBenchEnv(int argc, char **argv, size_t default_clusters)
                     static_cast<int64_t>(default_clusters)));
     env.seed = args.getSeed("seed", 0xbe9c);
 
+    auto &report = BenchReport::global();
+    report.init(harnessName(argc > 0 ? argv[0] : nullptr), env.seed);
+    report.setConfig("clusters", static_cast<uint64_t>(env.clusters));
+    report.setConfig("seed", env.seed);
+
     env.wetlab_config.num_clusters = env.clusters;
     NanoporeDatasetGenerator generator(env.wetlab_config);
     Rng gen_rng = env.rng(0x3e7);
@@ -34,6 +55,9 @@ makeBenchEnv(int argc, char **argv, size_t default_clusters)
     env.profile = profiler.calibrate(env.wetlab);
 
     auto stats = env.wetlab.stats();
+    report.addMetric("wetlab_mean_coverage", stats.mean_coverage);
+    report.addMetric("wetlab_aggregate_error_rate",
+                     stats.aggregate_error_rate);
     std::cout << "# wetlab dataset: " << stats.num_clusters
               << " clusters, " << stats.num_copies
               << " copies, mean coverage "
@@ -126,6 +150,14 @@ runProgressiveTable(int argc, char **argv, size_t coverage,
         bma_char.push_back(a_bma.perChar());
         iter_strand.push_back(a_iter.perStrand());
         iter_char.push_back(a_iter.perChar());
+        auto &report = BenchReport::global();
+        report.addMetric(rows[i].label + ".bma_strand",
+                         a_bma.perStrand());
+        report.addMetric(rows[i].label + ".bma_char", a_bma.perChar());
+        report.addMetric(rows[i].label + ".iter_strand",
+                         a_iter.perStrand());
+        report.addMetric(rows[i].label + ".iter_char",
+                         a_iter.perChar());
         table.addRow({rows[i].label,
                       paperVsMeasured(rows[i].paper_bma_strand,
                                       a_bma.perStrand()),
@@ -143,6 +175,12 @@ runProgressiveTable(int argc, char **argv, size_t coverage,
     double full_gap =
         (bma_strand.back() - bma_strand.front()) * 100.0;
     double naive_gap = (bma_strand[1] - bma_strand.front()) * 100.0;
+    BenchReport::global().setConfig("coverage",
+                                    static_cast<uint64_t>(coverage));
+    BenchReport::global().addMetric("bma_strand_gap_naive_pp",
+                                    naive_gap);
+    BenchReport::global().addMetric("bma_strand_gap_refined_pp",
+                                    full_gap);
     std::cout << "BMA per-strand gap to real data: naive "
               << fmtDouble(naive_gap) << "pp vs refined "
               << fmtDouble(full_gap)

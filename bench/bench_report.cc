@@ -1,0 +1,222 @@
+#include "bench_report.hh"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "obs/json.hh"
+#include "obs/report.hh"
+#include "obs/stats.hh"
+
+namespace dnasim
+{
+
+namespace
+{
+
+std::mutex report_mutex;
+
+uint64_t
+monotonicNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+void
+writeAtExit()
+{
+    BenchReport::global().write();
+}
+
+} // anonymous namespace
+
+BenchReport &
+BenchReport::global()
+{
+    // Leaked so instrument references and the atexit hook never
+    // outlive it.
+    static BenchReport *g = new BenchReport();
+    return *g;
+}
+
+void
+BenchReport::init(const std::string &name, uint64_t seed)
+{
+    std::lock_guard<std::mutex> lock(report_mutex);
+    seed_ = seed;
+    if (initialized_)
+        return;
+    initialized_ = true;
+    name_ = name;
+    start_ns_ = monotonicNs();
+    std::atexit(writeAtExit);
+}
+
+void
+BenchReport::setConfig(const std::string &key, const std::string &value)
+{
+    std::lock_guard<std::mutex> lock(report_mutex);
+    for (auto &kv : config_) {
+        if (kv.first == key) {
+            kv.second = value;
+            return;
+        }
+    }
+    config_.emplace_back(key, value);
+}
+
+void
+BenchReport::setConfig(const std::string &key, uint64_t value)
+{
+    setConfig(key, std::to_string(value));
+}
+
+void
+BenchReport::setConfig(const std::string &key, double value)
+{
+    std::ostringstream os;
+    os << value;
+    setConfig(key, os.str());
+}
+
+void
+BenchReport::addMetric(const std::string &name, double value)
+{
+    std::lock_guard<std::mutex> lock(report_mutex);
+    metrics_.emplace_back(name, value);
+}
+
+void
+BenchReport::addRow(BenchRow row)
+{
+    std::lock_guard<std::mutex> lock(report_mutex);
+    rows_.push_back(std::move(row));
+}
+
+std::string
+BenchReport::write()
+{
+    std::lock_guard<std::mutex> lock(report_mutex);
+    if (!initialized_ || written_)
+        return "";
+    written_ = true;
+
+    const double wall_s =
+        static_cast<double>(monotonicNs() - start_ns_) * 1e-9;
+
+    std::string dir = ".";
+    if (const char *d = std::getenv("DNASIM_BENCH_REPORT_DIR"))
+        dir = d;
+    const std::string path = dir + "/BENCH_" + name_ + ".json";
+
+    obs::Snapshot snap = obs::Registry::global().snapshot();
+    const uint64_t strands = snap.counter("channel.strands");
+    const uint64_t bases = snap.counter("channel.bases_out");
+
+    std::ofstream os(path);
+    if (!os) {
+        warn("bench report: cannot write ", path);
+        return "";
+    }
+
+    obs::JsonWriter w(os);
+    w.beginObject();
+    w.value("schema", "dnasim.bench.v1");
+    w.value("name", name_);
+    w.value("git_rev", gitRevision());
+    w.value("seed", seed_);
+    w.value("wall_time_s", wall_s);
+    w.value("peak_rss_bytes", peakRssBytes());
+
+    w.beginObject("throughput");
+    w.value("strands_simulated", strands);
+    w.value("bases_emitted", bases);
+    w.value("strands_per_s",
+            wall_s > 0.0 ? static_cast<double>(strands) / wall_s : 0.0);
+    w.value("bases_per_s",
+            wall_s > 0.0 ? static_cast<double>(bases) / wall_s : 0.0);
+    w.endObject();
+
+    w.beginObject("config");
+    for (const auto &[key, value] : config_)
+        w.value(key, value);
+    w.endObject();
+
+    w.beginObject("metrics");
+    for (const auto &[key, value] : metrics_)
+        w.value(key, value);
+    w.endObject();
+
+    w.beginArray("benchmarks");
+    for (const auto &row : rows_) {
+        w.beginObject();
+        w.value("name", row.name);
+        w.value("real_time_ns", row.real_time_ns);
+        w.value("cpu_time_ns", row.cpu_time_ns);
+        w.value("iterations", row.iterations);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.rawValue("stats", obs::statsToJson(snap));
+    w.endObject();
+    os << "\n";
+    os.close();
+
+    std::cerr << "# bench report: wrote " << path << "\n";
+    return path;
+}
+
+Rng
+benchRng(uint64_t salt)
+{
+    return Rng(BenchReport::global().seed()).fork(salt);
+}
+
+uint64_t
+peakRssBytes()
+{
+    std::ifstream status("/proc/self/status");
+    std::string line;
+    while (std::getline(status, line)) {
+        if (line.rfind("VmHWM:", 0) == 0) {
+            unsigned long long kb = 0;
+            std::sscanf(line.c_str(), "VmHWM: %llu", &kb);
+            return static_cast<uint64_t>(kb) * 1024;
+        }
+    }
+    return 0;
+}
+
+std::string
+gitRevision()
+{
+#ifdef DNASIM_SOURCE_DIR
+    const std::string cmd = std::string("git -C \"") +
+                            DNASIM_SOURCE_DIR +
+                            "\" rev-parse --short HEAD 2>/dev/null";
+    if (FILE *pipe = popen(cmd.c_str(), "r")) {
+        char buf[64] = {0};
+        std::string rev;
+        if (fgets(buf, sizeof(buf), pipe))
+            rev = buf;
+        pclose(pipe);
+        while (!rev.empty() &&
+               (rev.back() == '\n' || rev.back() == '\r'))
+            rev.pop_back();
+        if (!rev.empty())
+            return rev;
+    }
+#endif
+    return "unknown";
+}
+
+} // namespace dnasim

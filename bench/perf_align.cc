@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hh"
 #include "align/edit_distance.hh"
 #include "align/gestalt.hh"
 #include "align/hamming.hh"
@@ -24,7 +25,7 @@ struct Fixture
 
     explicit Fixture(size_t len, double error_rate)
     {
-        Rng rng(0xbe5e);
+        Rng rng = benchRng(0xbe5e);
         StrandFactory factory;
         ref = factory.make(len, rng);
         ErrorProfile profile = ErrorProfile::uniform(error_rate, len);
@@ -45,7 +46,7 @@ void
 BM_EditOps(benchmark::State &state)
 {
     Fixture f(static_cast<size_t>(state.range(0)), 0.06);
-    Rng rng(7);
+    Rng rng = benchRng(7);
     for (auto _ : state)
         benchmark::DoNotOptimize(editOps(f.ref, f.copy, &rng));
 }

@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hh"
 #include "core/channel_simulator.hh"
 #include "core/coverage.hh"
 #include "core/dnasimulator_model.hh"
@@ -25,7 +26,7 @@ calibratedProfile()
     WetlabConfig config;
     config.num_clusters = 50;
     NanoporeDatasetGenerator generator(config);
-    Rng rng(0x9e4);
+    Rng rng = benchRng(0x9e4);
     Dataset data = generator.generate(rng);
     ErrorProfiler profiler;
     return profiler.calibrate(data);
@@ -41,7 +42,7 @@ profile()
 void
 transmitLoop(benchmark::State &state, const ErrorModel &model)
 {
-    Rng rng(0x77);
+    Rng rng = benchRng(0x77);
     StrandFactory factory;
     Strand ref = factory.make(110, rng);
     size_t bases = 0;
@@ -86,7 +87,7 @@ BM_SimulateCluster(benchmark::State &state)
 {
     IdsChannelModel model = IdsChannelModel::secondOrder(profile());
     ChannelSimulator sim(model);
-    Rng rng(0x78);
+    Rng rng = benchRng(0x78);
     StrandFactory factory;
     Strand ref = factory.make(110, rng);
     for (auto _ : state) {
@@ -101,7 +102,7 @@ BM_Calibrate(benchmark::State &state)
     WetlabConfig config;
     config.num_clusters = static_cast<size_t>(state.range(0));
     NanoporeDatasetGenerator generator(config);
-    Rng rng(0x9e5);
+    Rng rng = benchRng(0x9e5);
     Dataset data = generator.generate(rng);
     ErrorProfiler profiler;
     for (auto _ : state)

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Shared main() for the perf_* microbenchmarks: google-benchmark's
+ * usual driver plus a reporter that funnels every measurement into
+ * the BENCH_<name>.json report, and a --seed flag (consumed before
+ * benchmark::Initialize) so runs are reproducible and the seed is
+ * recorded in the report.
+ */
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_report.hh"
+
+namespace
+{
+
+class ReportingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    void
+    ReportRuns(const std::vector<Run> &reports) override
+    {
+        for (const auto &run : reports) {
+            if (run.error_occurred ||
+                run.run_type == Run::RT_Aggregate)
+                continue;
+            dnasim::BenchRow row;
+            row.name = run.benchmark_name();
+            row.iterations = static_cast<uint64_t>(run.iterations);
+            const double iters =
+                run.iterations > 0
+                    ? static_cast<double>(run.iterations)
+                    : 1.0;
+            row.real_time_ns = run.real_accumulated_time / iters * 1e9;
+            row.cpu_time_ns = run.cpu_accumulated_time / iters * 1e9;
+            dnasim::BenchReport::global().addRow(std::move(row));
+        }
+        ConsoleReporter::ReportRuns(reports);
+    }
+};
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    uint64_t seed = 0xbe9c;
+    std::vector<char *> keep;
+    keep.push_back(argv[0]);
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg.rfind("--seed=", 0) == 0) {
+            seed = std::strtoull(arg.c_str() + 7, nullptr, 0);
+            continue;
+        }
+        if (arg == "--seed" && i + 1 < argc) {
+            seed = std::strtoull(argv[++i], nullptr, 0);
+            continue;
+        }
+        keep.push_back(argv[i]);
+    }
+    int kept_argc = static_cast<int>(keep.size());
+
+    std::string name = argv[0];
+    auto slash = name.find_last_of('/');
+    if (slash != std::string::npos)
+        name = name.substr(slash + 1);
+
+    dnasim::BenchReport::global().init(name, seed);
+    dnasim::BenchReport::global().setConfig("seed", seed);
+
+    benchmark::Initialize(&kept_argc, keep.data());
+    if (benchmark::ReportUnrecognizedArguments(kept_argc, keep.data()))
+        return 1;
+    ReportingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+    return 0;
+}

@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_report.hh"
 #include "core/ids_model.hh"
 #include "data/strand_factory.hh"
 #include "reconstruct/bma.hh"
@@ -36,11 +37,11 @@ makeCluster(size_t coverage, double error_rate, Rng &rng)
 void
 reconstructLoop(benchmark::State &state, const Reconstructor &algo)
 {
-    Rng rng(0x4ec);
+    Rng rng = benchRng(0x4ec);
     auto copies = makeCluster(static_cast<size_t>(state.range(0)),
                               0.06, rng);
     for (auto _ : state) {
-        Rng r(42);
+        Rng r = benchRng(42);
         benchmark::DoNotOptimize(algo.reconstruct(copies, 110, r));
     }
 }

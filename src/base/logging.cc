@@ -4,19 +4,49 @@
 #include <iostream>
 #include <mutex>
 #include <set>
+#include <utility>
 
 namespace dnasim
-{
-namespace detail
 {
 
 namespace
 {
 
+// Guards stderr ordering, the warn_once seen-set, and the sink
+// pointer. The sink itself is always invoked with the lock released
+// so it can log or install sinks without deadlocking.
 std::mutex log_mutex;
 std::set<std::string> seen_warnings;
+LogSink log_sink;
+
+void
+dispatch(LogLevel level, const std::string &msg)
+{
+    LogSink sink;
+    {
+        std::lock_guard<std::mutex> lock(log_mutex);
+        if (!log_sink) {
+            std::cerr << (level == LogLevel::Warn ? "warn: " : "info: ")
+                      << msg << std::endl;
+            return;
+        }
+        sink = log_sink;
+    }
+    sink(level, msg);
+}
 
 } // anonymous namespace
+
+LogSink
+setLogSink(LogSink sink)
+{
+    std::lock_guard<std::mutex> lock(log_mutex);
+    std::swap(log_sink, sink);
+    return sink;
+}
+
+namespace detail
+{
 
 void
 panicImpl(const char *file, int line, const std::string &msg)
@@ -43,17 +73,18 @@ fatalImpl(const char *file, int line, const std::string &msg)
 void
 warnImpl(const std::string &msg, bool once)
 {
-    std::lock_guard<std::mutex> lock(log_mutex);
-    if (once && !seen_warnings.insert(msg).second)
-        return;
-    std::cerr << "warn: " << msg << std::endl;
+    if (once) {
+        std::lock_guard<std::mutex> lock(log_mutex);
+        if (!seen_warnings.insert(msg).second)
+            return;
+    }
+    dispatch(LogLevel::Warn, msg);
 }
 
 void
 informImpl(const std::string &msg)
 {
-    std::lock_guard<std::mutex> lock(log_mutex);
-    std::cerr << "info: " << msg << std::endl;
+    dispatch(LogLevel::Info, msg);
 }
 
 } // namespace detail

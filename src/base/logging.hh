@@ -17,12 +17,31 @@
 #ifndef DNASIM_BASE_LOGGING_HH
 #define DNASIM_BASE_LOGGING_HH
 
+#include <functional>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 
 namespace dnasim
 {
+
+/** Severity of a non-terminating log message. */
+enum class LogLevel { Info, Warn };
+
+/**
+ * Pluggable destination for inform()/warn()/warn_once() messages.
+ * The sink is invoked without internal locks held, so it may log or
+ * allocate freely; it must be thread-safe itself.
+ */
+using LogSink = std::function<void(LogLevel, const std::string &)>;
+
+/**
+ * Replace the sink behind inform()/warn()/warn_once(); returns the
+ * previous sink. An empty sink restores the default (stderr with an
+ * "info:"/"warn:" prefix). warn_once() deduplication happens before
+ * the sink, so a sink sees each once-message a single time.
+ */
+LogSink setLogSink(LogSink sink);
 
 /** Exception thrown by fatal(); carries the formatted message. */
 class FatalError : public std::runtime_error

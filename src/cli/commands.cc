@@ -317,7 +317,12 @@ printUsage()
         "               census <dataset.evyat> [--buckets B]\n"
         "  roundtrip    store a file in simulated DNA and read it\n"
         "               back <file> [--coverage N] [--error-rate p]\n"
-        "               [--algo iterative]\n";
+        "               [--algo iterative]\n"
+        "\n"
+        "global flags (any command):\n"
+        "  --stats-out FILE  write a JSON stats snapshot on exit\n"
+        "  --stats           dump the stats snapshot to stderr\n"
+        "  --trace-out FILE  record a Chrome/Perfetto trace JSON\n";
 }
 
 } // namespace dnasim

@@ -1,6 +1,11 @@
 /**
  * @file
  * Entry point of the dnasim command-line tool.
+ *
+ * Observability flags understood before any subcommand runs:
+ *   --stats-out=FILE  write a dnasim.stats.v1 JSON snapshot on exit
+ *   --stats           dump the stats snapshot as text to stderr
+ *   --trace-out=FILE  enable tracing, write Chrome trace JSON on exit
  */
 
 #include <cstring>
@@ -9,6 +14,40 @@
 #include "base/logging.hh"
 #include "cli/args.hh"
 #include "cli/commands.hh"
+#include "obs/report.hh"
+#include "obs/stats.hh"
+#include "obs/trace.hh"
+
+namespace
+{
+
+int
+dispatch(const std::string &command, const dnasim::Args &args)
+{
+    using namespace dnasim;
+
+    if (command == "generate")
+        return cmdGenerate(args);
+    if (command == "calibrate")
+        return cmdCalibrate(args);
+    if (command == "simulate")
+        return cmdSimulate(args);
+    if (command == "reconstruct")
+        return cmdReconstruct(args);
+    if (command == "analyze")
+        return cmdAnalyze(args);
+    if (command == "roundtrip")
+        return cmdRoundtrip(args);
+    if (command == "help" || command.empty()) {
+        printUsage();
+        return command.empty() ? 1 : 0;
+    }
+    std::cerr << "unknown command '" << command << "'\n\n";
+    printUsage();
+    return 1;
+}
+
+} // anonymous namespace
 
 int
 main(int argc, char **argv)
@@ -24,28 +63,55 @@ main(int argc, char **argv)
     const std::string &command = args.positional().empty()
                                      ? std::string()
                                      : args.positional()[0];
+
+    const std::string stats_out = args.get("stats-out");
+    const std::string trace_out = args.get("trace-out");
+    const bool stats_text = args.has("stats");
+
+    if (!trace_out.empty())
+        obs::Trace::global().enable();
+    if (!stats_out.empty())
+        obs::startLogCapture();
+
+    int rc = 1;
     try {
-        if (command == "generate")
-            return cmdGenerate(args);
-        if (command == "calibrate")
-            return cmdCalibrate(args);
-        if (command == "simulate")
-            return cmdSimulate(args);
-        if (command == "reconstruct")
-            return cmdReconstruct(args);
-        if (command == "analyze")
-            return cmdAnalyze(args);
-        if (command == "roundtrip")
-            return cmdRoundtrip(args);
-        if (command == "help" || command.empty()) {
-            printUsage();
-            return command.empty() ? 1 : 0;
-        }
-        std::cerr << "unknown command '" << command << "'\n\n";
-        printUsage();
-        return 1;
+        auto &reg = obs::Registry::global();
+        obs::ScopedTimer timer(
+            reg.timer("cli." + command + ".time",
+                      "wall time of the '" + command + "' command"));
+        obs::ScopedTrace span(
+            command.empty() ? "help" : command.c_str(), "cli");
+        rc = dispatch(command, args);
     } catch (const FatalError &) {
-        // Message already printed by fatal().
-        return 1;
+        // Message already printed by fatal(); still flush whatever
+        // stats and trace data accumulated before the failure.
     }
+
+    if (!stats_out.empty() || stats_text || !trace_out.empty()) {
+        obs::Snapshot snap = obs::Registry::global().snapshot();
+        if (stats_text)
+            std::cerr << obs::statsToText(snap);
+        if (!stats_out.empty()) {
+            if (obs::writeStatsJson(stats_out, snap,
+                                    obs::capturedLog())) {
+                std::cerr << "stats: wrote " << stats_out << "\n";
+            } else {
+                std::cerr << "stats: cannot write " << stats_out
+                          << "\n";
+                rc = rc ? rc : 1;
+            }
+        }
+        if (!trace_out.empty()) {
+            if (obs::Trace::global().writeFile(trace_out)) {
+                std::cerr << "trace: wrote " << trace_out << " ("
+                          << obs::Trace::global().numEvents()
+                          << " events)\n";
+            } else {
+                std::cerr << "trace: cannot write " << trace_out
+                          << "\n";
+                rc = rc ? rc : 1;
+            }
+        }
+    }
+    return rc;
 }

@@ -6,6 +6,8 @@
 
 #include "align/edit_distance.hh"
 #include "base/logging.hh"
+#include "obs/stats.hh"
+#include "obs/trace.hh"
 
 namespace dnasim
 {
@@ -15,6 +17,22 @@ clusterReads(const std::vector<Strand> &reads,
              const ClusterOptions &options)
 {
     DNASIM_ASSERT(options.anchor_length > 0, "zero anchor length");
+
+    auto &reg = obs::Registry::global();
+    static obs::Counter &stat_reads = reg.counter(
+        "cluster.reads", "reads processed by greedy clustering");
+    static obs::Counter &stat_comparisons = reg.counter(
+        "cluster.comparisons",
+        "read-to-representative edit-distance comparisons");
+    static obs::Counter &stat_merges = reg.counter(
+        "cluster.merges", "reads merged into an existing cluster");
+    static obs::Counter &stat_created = reg.counter(
+        "cluster.created", "fresh clusters opened");
+    static obs::Timer &stat_time =
+        reg.timer("cluster.time", "wall time in clusterReads()");
+    obs::ScopedTimer timer(stat_time);
+    obs::ScopedTrace span("cluster.greedy", "cluster");
+    uint64_t comparisons = 0;
 
     std::vector<ReadCluster> clusters;
     // anchor -> cluster indices whose representative starts with it.
@@ -49,6 +67,7 @@ clusterReads(const std::vector<Strand> &reads,
         for (size_t c : candidates) {
             if (probes++ >= options.max_probes)
                 break;
+            ++comparisons;
             if (levenshtein(clusters[c].representative, read) <=
                 options.distance_threshold) {
                 clusters[c].members.push_back(i);
@@ -63,8 +82,13 @@ clusterReads(const std::vector<Strand> &reads,
             fresh.representative = read;
             clusters.push_back(std::move(fresh));
             buckets[anchor_of(read)].push_back(clusters.size() - 1);
+            stat_created.inc();
+        } else {
+            stat_merges.inc();
         }
     }
+    stat_reads.add(reads.size());
+    stat_comparisons.add(comparisons);
     return clusters;
 }
 

@@ -1,6 +1,8 @@
 #include "core/channel_simulator.hh"
 
 #include "base/logging.hh"
+#include "obs/stats.hh"
+#include "obs/trace.hh"
 
 namespace dnasim
 {
@@ -21,17 +23,50 @@ ChannelSimulator::simulateCluster(const Strand &reference, size_t n,
     return cluster;
 }
 
+namespace
+{
+
+struct SimStats
+{
+    obs::Counter &clusters;
+    obs::Timer &time;
+    obs::Distribution &cluster_size;
+
+    static SimStats &
+    get()
+    {
+        auto &reg = obs::Registry::global();
+        static SimStats ss{
+            reg.counter("channel.clusters",
+                        "clusters simulated by ChannelSimulator"),
+            reg.timer("channel.simulate_time",
+                      "wall time in ChannelSimulator::simulate*"),
+            reg.distribution("channel.cluster_size",
+                             "copies per simulated cluster"),
+        };
+        return ss;
+    }
+};
+
+} // anonymous namespace
+
 Dataset
 ChannelSimulator::simulate(const std::vector<Strand> &references,
                            const CoverageModel &coverage,
                            Rng &rng) const
 {
+    SimStats &ss = SimStats::get();
+    obs::ScopedTimer timer(ss.time);
+    obs::ScopedTrace span("channel.simulate", "channel");
+
     Dataset dataset;
     dataset.clusters().reserve(references.size());
     for (size_t i = 0; i < references.size(); ++i) {
         Rng cluster_rng = rng.fork(i);
         size_t n = coverage.sample(i, cluster_rng);
         dataset.add(simulateCluster(references[i], n, cluster_rng));
+        ss.clusters.inc();
+        ss.cluster_size.record(n);
     }
     return dataset;
 }
@@ -39,12 +74,18 @@ ChannelSimulator::simulate(const std::vector<Strand> &references,
 Dataset
 ChannelSimulator::simulateLike(const Dataset &shape, Rng &rng) const
 {
+    SimStats &ss = SimStats::get();
+    obs::ScopedTimer timer(ss.time);
+    obs::ScopedTrace span("channel.simulateLike", "channel");
+
     Dataset dataset;
     dataset.clusters().reserve(shape.size());
     for (size_t i = 0; i < shape.size(); ++i) {
         Rng cluster_rng = rng.fork(i);
         dataset.add(simulateCluster(shape[i].reference,
                                     shape[i].coverage(), cluster_rng));
+        ss.clusters.inc();
+        ss.cluster_size.record(shape[i].coverage());
     }
     return dataset;
 }

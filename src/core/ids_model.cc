@@ -3,9 +3,54 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "obs/stats.hh"
 
 namespace dnasim
 {
+
+namespace
+{
+
+/** Process-wide channel instruments, resolved once. */
+struct ChannelStats
+{
+    obs::Counter &strands;
+    obs::Counter &bases_in;
+    obs::Counter &bases_out;
+    obs::Counter &sub;
+    obs::Counter &ins;
+    obs::Counter &del;
+    obs::Counter &long_del;
+    obs::Counter &second_order;
+
+    static ChannelStats &
+    get()
+    {
+        auto &reg = obs::Registry::global();
+        static ChannelStats cs{
+            reg.counter("channel.strands",
+                        "strands transmitted through the channel"),
+            reg.counter("channel.bases_in",
+                        "reference bases entering the channel"),
+            reg.counter("channel.bases_out",
+                        "noisy bases emitted by the channel"),
+            reg.counter("channel.errors.sub",
+                        "substitution events injected"),
+            reg.counter("channel.errors.ins",
+                        "insertion events injected"),
+            reg.counter("channel.errors.del",
+                        "single-base deletion events injected"),
+            reg.counter("channel.errors.long_del",
+                        "long-deletion runs injected"),
+            reg.counter("channel.errors.second_order",
+                        "events drawn from listed second-order "
+                        "errors"),
+        };
+        return cs;
+    }
+};
+
+} // anonymous namespace
 
 IdsChannelModel::IdsChannelModel(ErrorProfile profile,
                                  ModelFeatures features,
@@ -194,7 +239,7 @@ IdsChannelModel::ratesAt(char base, size_t pos, size_t len) const
 
 char
 IdsChannelModel::pickSubstitution(char base, size_t pos, size_t len,
-                                  Rng &rng) const
+                                  Rng &rng, bool *second_order) const
 {
     const size_t b = baseIndex(base);
 
@@ -230,15 +275,18 @@ IdsChannelModel::pickSubstitution(char base, size_t pos, size_t len,
     for (size_t i : so_sub_[b]) {
         const auto &so = profile_.second_order[i];
         double w = so.rate * so.spatial.multiplier(pos, len);
-        if (x < w)
+        if (x < w) {
+            *second_order = true;
             return so.key.repl;
+        }
         x -= w;
     }
     return from_confusion(); // floating-point slack
 }
 
 char
-IdsChannelModel::pickInsertion(size_t pos, size_t len, Rng &rng) const
+IdsChannelModel::pickInsertion(size_t pos, size_t len, Rng &rng,
+                               bool *second_order) const
 {
     auto from_distribution = [&]() -> char {
         if (features_.conditional && insert_sampler_.valid())
@@ -271,8 +319,10 @@ IdsChannelModel::pickInsertion(size_t pos, size_t len, Rng &rng) const
     for (size_t i : so_ins_) {
         const auto &so = profile_.second_order[i];
         double w = so.rate * so.spatial.multiplier(pos, len);
-        if (x < w)
+        if (x < w) {
+            *second_order = true;
             return so.key.base;
+        }
         x -= w;
     }
     return from_distribution();
@@ -300,6 +350,10 @@ IdsChannelModel::transmitScaled(const Strand &ref, double rate_scale,
     const size_t len = ref.size();
     Strand out;
     out.reserve(len + 8);
+
+    uint64_t n_sub = 0, n_ins = 0, n_del = 0, n_long_del = 0;
+    uint64_t n_second_order = 0;
+    bool second_order = false;
 
     // Homopolymer context: positions inside runs err more, with the
     // multipliers normalized per strand so the aggregate rate is
@@ -347,22 +401,48 @@ IdsChannelModel::transmitScaled(const Strand &ref, double rate_scale,
 
         if (r.long_del > 0.0 && rng.bernoulli(r.long_del)) {
             i += drawLongDeletionLength(rng);
+            ++n_long_del;
             continue;
         }
 
         double u = rng.uniform();
         if (u < r.sub) {
-            out.push_back(pickSubstitution(base, i, len, rng));
+            out.push_back(
+                pickSubstitution(base, i, len, rng, &second_order));
+            ++n_sub;
         } else if (u < r.sub + r.ins) {
             out.push_back(base);
-            out.push_back(pickInsertion(i, len, rng));
+            out.push_back(pickInsertion(i, len, rng, &second_order));
+            ++n_ins;
         } else if (u < r.sub + r.ins + r.del) {
             // single-base deletion: emit nothing
+            ++n_del;
         } else {
             out.push_back(base);
         }
+        if (second_order) {
+            ++n_second_order;
+            second_order = false;
+        }
         ++i;
     }
+
+    // Batched stats flush: one sharded add per touched counter per
+    // strand keeps the hot loop free of bookkeeping.
+    ChannelStats &cs = ChannelStats::get();
+    cs.strands.inc();
+    cs.bases_in.add(len);
+    cs.bases_out.add(out.size());
+    if (n_sub)
+        cs.sub.add(n_sub);
+    if (n_ins)
+        cs.ins.add(n_ins);
+    if (n_del)
+        cs.del.add(n_del);
+    if (n_long_del)
+        cs.long_del.add(n_long_del);
+    if (n_second_order)
+        cs.second_order.add(n_second_order);
     return out;
 }
 

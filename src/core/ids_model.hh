@@ -109,12 +109,16 @@ class IdsChannelModel : public ErrorModel
     Rates ratesAt(char base, size_t pos, size_t len) const;
 
   private:
-    /** Pick a substitution replacement for @p base at @p pos. */
-    char pickSubstitution(char base, size_t pos, size_t len,
-                          Rng &rng) const;
+    /**
+     * Pick a substitution replacement for @p base at @p pos.
+     * @p second_order is set when a listed second-order error fired.
+     */
+    char pickSubstitution(char base, size_t pos, size_t len, Rng &rng,
+                          bool *second_order) const;
 
-    /** Pick an inserted base at @p pos. */
-    char pickInsertion(size_t pos, size_t len, Rng &rng) const;
+    /** Pick an inserted base at @p pos (see pickSubstitution). */
+    char pickInsertion(size_t pos, size_t len, Rng &rng,
+                       bool *second_order) const;
 
     /** Draw a long-deletion run length (>= 2). */
     size_t drawLongDeletionLength(Rng &rng) const;

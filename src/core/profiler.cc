@@ -6,6 +6,8 @@
 #include "align/edit_distance.hh"
 #include "align/gestalt.hh"
 #include "base/logging.hh"
+#include "obs/stats.hh"
+#include "obs/trace.hh"
 #include "stats/histogram.hh"
 
 namespace dnasim
@@ -47,6 +49,20 @@ ErrorProfiler::ErrorProfiler(ProfilerOptions options)
 ErrorProfile
 ErrorProfiler::calibrate(const Dataset &data) const
 {
+    auto &reg = obs::Registry::global();
+    static obs::Timer &calibrate_time = reg.timer(
+        "profiler.calibrate_time", "wall time in calibrate()");
+    static obs::Counter &pairs_profiled = reg.counter(
+        "profiler.pairs", "(reference, copy) pairs profiled");
+    static obs::Counter &pairs_skipped = reg.counter(
+        "profiler.pairs_skipped",
+        "pairs dropped as clustering artifacts");
+    static obs::Counter &cells_computed = reg.counter(
+        "profiler.edit_cells",
+        "edit-distance DP cells computed during calibration");
+    obs::ScopedTimer timer(calibrate_time);
+    obs::ScopedTrace span("profiler.calibrate", "profiler");
+
     Rng rng(options_.seed);
 
     std::array<uint64_t, kNumBases> base_occurrences{};
@@ -88,14 +104,19 @@ ErrorProfiler::calibrate(const Dataset &data) const
             const Strand &copy = cluster.copies[c];
 
             auto ops = editOps(ref, copy, &rng);
+            cells_computed.add(
+                static_cast<uint64_t>(ref.size() + 1) *
+                static_cast<uint64_t>(copy.size() + 1));
             if (options_.max_copy_error_frac > 0.0 &&
                 static_cast<double>(numErrors(ops)) >
                     options_.max_copy_error_frac *
                         static_cast<double>(ref.size())) {
                 // Alien or truncated read — a clustering artifact,
                 // not a channel observation.
+                pairs_skipped.inc();
                 continue;
             }
+            pairs_profiled.inc();
             total_positions += ref.size();
             for (size_t b = 0; b < kNumBases; ++b)
                 base_occurrences[b] += ref_bases[b];

@@ -6,6 +6,8 @@
 #include <unordered_map>
 
 #include "base/logging.hh"
+#include "obs/stats.hh"
+#include "obs/trace.hh"
 
 namespace dnasim
 {
@@ -200,8 +202,29 @@ StagedChannel::run(const std::vector<Strand> &references,
         pool.push_back(
             Molecule{references[i], static_cast<uint32_t>(i)});
 
-    for (const auto &stage : stages_)
+    auto &reg = obs::Registry::global();
+    obs::ScopedTrace run_span("stages.run", "stages");
+    for (const auto &stage : stages_) {
+        const std::string name = stage->name();
+        const std::string prefix = "stage." + name;
+        obs::ScopedTimer timer(
+            reg.timer(prefix + ".time",
+                      "wall time in the " + name + " stage"));
+        obs::ScopedTrace span(name.c_str(), "stages");
         stage->apply(pool, rng);
+        reg.counter(prefix + ".applications",
+                    "times the stage ran")
+            .inc();
+        uint64_t bases = 0;
+        for (const auto &mol : pool)
+            bases += mol.seq.size();
+        reg.gauge(prefix + ".molecules_out",
+                  "pool size after the stage's last run")
+            .set(static_cast<int64_t>(pool.size()));
+        reg.gauge(prefix + ".bases_out",
+                  "pool bases after the stage's last run")
+            .set(static_cast<int64_t>(bases));
+    }
 
     Dataset dataset;
     dataset.clusters().reserve(references.size());

@@ -1,0 +1,179 @@
+#include "obs/json.hh"
+
+#include <cmath>
+#include <cstdio>
+
+#include "base/logging.hh"
+
+namespace dnasim
+{
+namespace obs
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    return out;
+}
+
+JsonWriter::JsonWriter(std::ostream &os, int indent)
+    : os_(os), indent_(indent)
+{}
+
+void
+JsonWriter::newlineIndent()
+{
+    if (indent_ <= 0)
+        return;
+    os_ << '\n';
+    for (size_t i = 0; i < stack_.size() * indent_; ++i)
+        os_ << ' ';
+}
+
+void
+JsonWriter::prefix(const std::string &key)
+{
+    if (!stack_.empty()) {
+        if (stack_.back() > 0)
+            os_ << ',';
+        ++stack_.back();
+        newlineIndent();
+    }
+    if (!key.empty())
+        os_ << '"' << jsonEscape(key) << "\":" << (indent_ > 0 ? " " : "");
+}
+
+JsonWriter &
+JsonWriter::beginObject(const std::string &key)
+{
+    prefix(key);
+    os_ << '{';
+    stack_.push_back(0);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    DNASIM_ASSERT(!stack_.empty(), "endObject() with nothing open");
+    bool had_values = stack_.back() > 0;
+    stack_.pop_back();
+    if (had_values)
+        newlineIndent();
+    os_ << '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray(const std::string &key)
+{
+    prefix(key);
+    os_ << '[';
+    stack_.push_back(0);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    DNASIM_ASSERT(!stack_.empty(), "endArray() with nothing open");
+    bool had_values = stack_.back() > 0;
+    stack_.pop_back();
+    if (had_values)
+        newlineIndent();
+    os_ << ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &key, const std::string &v)
+{
+    prefix(key);
+    os_ << '"' << jsonEscape(v) << '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &key, const char *v)
+{
+    return value(key, std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &key, uint64_t v)
+{
+    prefix(key);
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &key, int64_t v)
+{
+    prefix(key);
+    os_ << v;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &key, double v)
+{
+    prefix(key);
+    if (!std::isfinite(v)) {
+        // JSON has no NaN/Inf; null is the conventional stand-in.
+        os_ << "null";
+        return *this;
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    os_ << buf;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &key, bool v)
+{
+    prefix(key);
+    os_ << (v ? "true" : "false");
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::rawValue(const std::string &key, const std::string &raw)
+{
+    prefix(key);
+    os_ << raw;
+    return *this;
+}
+
+} // namespace obs
+} // namespace dnasim

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * A minimal streaming JSON writer, shared by the stats/trace
+ * exporters and the bench-report funnel. Handles nesting, comma
+ * placement and string escaping; the caller provides structure.
+ */
+
+#ifndef DNASIM_OBS_JSON_HH
+#define DNASIM_OBS_JSON_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dnasim
+{
+namespace obs
+{
+
+/** Escape @p s for inclusion in a JSON string literal (no quotes). */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Streaming JSON writer. Objects and arrays nest via
+ * beginObject()/beginArray(); inside an object every value takes a
+ * key, inside an array keys are omitted (pass an empty key).
+ */
+class JsonWriter
+{
+  public:
+    /** @p indent spaces per level; 0 writes compact single-line. */
+    explicit JsonWriter(std::ostream &os, int indent = 2);
+
+    JsonWriter &beginObject(const std::string &key = "");
+    JsonWriter &endObject();
+    JsonWriter &beginArray(const std::string &key = "");
+    JsonWriter &endArray();
+
+    JsonWriter &value(const std::string &key, const std::string &v);
+    JsonWriter &value(const std::string &key, const char *v);
+    JsonWriter &value(const std::string &key, uint64_t v);
+    JsonWriter &value(const std::string &key, int64_t v);
+    JsonWriter &value(const std::string &key, double v);
+    JsonWriter &value(const std::string &key, bool v);
+
+    /** Emit @p raw verbatim as the value (must be valid JSON). */
+    JsonWriter &rawValue(const std::string &key, const std::string &raw);
+
+  private:
+    void prefix(const std::string &key);
+    void newlineIndent();
+
+    std::ostream &os_;
+    int indent_;
+    /** One entry per open container: count of values emitted. */
+    std::vector<size_t> stack_;
+};
+
+} // namespace obs
+} // namespace dnasim
+
+#endif // DNASIM_OBS_JSON_HH

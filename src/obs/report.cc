@@ -1,0 +1,210 @@
+#include "obs/report.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "obs/json.hh"
+
+namespace dnasim
+{
+namespace obs
+{
+
+namespace
+{
+
+std::string
+fmtNs(uint64_t ns)
+{
+    std::ostringstream os;
+    os << std::fixed;
+    if (ns >= 1'000'000'000ull) {
+        os << std::setprecision(3)
+           << static_cast<double>(ns) / 1e9 << " s";
+    } else if (ns >= 1'000'000ull) {
+        os << std::setprecision(3)
+           << static_cast<double>(ns) / 1e6 << " ms";
+    } else if (ns >= 1'000ull) {
+        os << std::setprecision(3)
+           << static_cast<double>(ns) / 1e3 << " us";
+    } else {
+        os << ns << " ns";
+    }
+    return os.str();
+}
+
+void
+line(std::ostream &os, const std::string &name,
+     const std::string &value, const std::string &desc)
+{
+    os << "  " << std::left << std::setw(40) << name << " "
+       << std::right << std::setw(16) << value;
+    if (!desc.empty())
+        os << "   # " << desc;
+    os << "\n";
+}
+
+} // anonymous namespace
+
+std::string
+statsToText(const Snapshot &snap)
+{
+    std::ostringstream os;
+    if (!snap.counters.empty()) {
+        os << "counters:\n";
+        for (const auto &c : snap.counters)
+            line(os, c.name, std::to_string(c.value), c.desc);
+    }
+    if (!snap.gauges.empty()) {
+        os << "gauges:\n";
+        for (const auto &g : snap.gauges)
+            line(os, g.name, std::to_string(g.value), g.desc);
+    }
+    if (!snap.timers.empty()) {
+        os << "timers:\n";
+        for (const auto &t : snap.timers) {
+            std::ostringstream v;
+            v << fmtNs(t.total_ns) << " /" << t.count;
+            line(os, t.name, v.str(), t.desc);
+        }
+    }
+    if (!snap.distributions.empty()) {
+        os << "distributions:\n";
+        for (const auto &d : snap.distributions) {
+            std::ostringstream v;
+            v << "n=" << d.count << " mean="
+              << std::fixed << std::setprecision(2) << d.mean
+              << " [" << d.min << "," << d.max << "] p99=" << d.p99;
+            line(os, d.name, v.str(), d.desc);
+        }
+    }
+    if (snap.empty())
+        os << "(no stats recorded)\n";
+    return os.str();
+}
+
+std::string
+statsToJson(const Snapshot &snap, const std::vector<LogLine> &log)
+{
+    std::ostringstream os;
+    JsonWriter w(os, 2);
+    w.beginObject();
+    w.value("schema", "dnasim.stats.v1");
+
+    w.beginObject("counters");
+    for (const auto &c : snap.counters)
+        w.value(c.name, c.value);
+    w.endObject();
+
+    w.beginObject("gauges");
+    for (const auto &g : snap.gauges)
+        w.value(g.name, g.value);
+    w.endObject();
+
+    w.beginObject("timers");
+    for (const auto &t : snap.timers) {
+        w.beginObject(t.name);
+        w.value("count", t.count);
+        w.value("total_ns", t.total_ns);
+        w.value("max_ns", t.max_ns);
+        w.value("mean_ns",
+                t.count == 0
+                    ? 0.0
+                    : static_cast<double>(t.total_ns) /
+                          static_cast<double>(t.count));
+        w.endObject();
+    }
+    w.endObject();
+
+    w.beginObject("distributions");
+    for (const auto &d : snap.distributions) {
+        w.beginObject(d.name);
+        w.value("count", d.count);
+        w.value("sum", d.sum);
+        w.value("mean", d.mean);
+        w.value("min", d.min);
+        w.value("max", d.max);
+        w.value("p50", d.p50);
+        w.value("p90", d.p90);
+        w.value("p99", d.p99);
+        w.endObject();
+    }
+    w.endObject();
+
+    w.beginArray("log");
+    for (const auto &l : log) {
+        w.beginObject();
+        w.value("level", l.level);
+        w.value("message", l.message);
+        w.endObject();
+    }
+    w.endArray();
+
+    // Descriptions ride in a parallel object so the value maps above
+    // stay directly loadable into dataframes.
+    w.beginObject("descriptions");
+    for (const auto &c : snap.counters)
+        if (!c.desc.empty())
+            w.value(c.name, c.desc);
+    for (const auto &g : snap.gauges)
+        if (!g.desc.empty())
+            w.value(g.name, g.desc);
+    for (const auto &t : snap.timers)
+        if (!t.desc.empty())
+            w.value(t.name, t.desc);
+    for (const auto &d : snap.distributions)
+        if (!d.desc.empty())
+            w.value(d.name, d.desc);
+    w.endObject();
+
+    w.endObject();
+    os << '\n';
+    return os.str();
+}
+
+bool
+writeStatsJson(const std::string &path, const Snapshot &snap,
+               const std::vector<LogLine> &log)
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    os << statsToJson(snap, log);
+    return os.good();
+}
+
+namespace
+{
+
+std::mutex capture_mutex;
+std::vector<LogLine> captured_log;
+
+} // anonymous namespace
+
+void
+startLogCapture()
+{
+    setLogSink([](LogLevel level, const std::string &msg) {
+        {
+            std::lock_guard<std::mutex> lock(capture_mutex);
+            captured_log.push_back(LogLine{
+                level == LogLevel::Warn ? "warn" : "info", msg});
+        }
+        std::cerr << (level == LogLevel::Warn ? "warn: " : "info: ")
+                  << msg << std::endl;
+    });
+}
+
+std::vector<LogLine>
+capturedLog()
+{
+    std::lock_guard<std::mutex> lock(capture_mutex);
+    return captured_log;
+}
+
+} // namespace obs
+} // namespace dnasim

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Exporters for Registry snapshots: a human-readable text table and
+ * a stable-schema JSON document ("dnasim.stats.v1", documented in
+ * EXPERIMENTS.md). The JSON form optionally embeds log lines
+ * captured through the logging sink (base/logging.hh).
+ */
+
+#ifndef DNASIM_OBS_REPORT_HH
+#define DNASIM_OBS_REPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "obs/stats.hh"
+
+namespace dnasim
+{
+namespace obs
+{
+
+/** One captured inform()/warn() line. */
+struct LogLine
+{
+    std::string level; ///< "info" or "warn"
+    std::string message;
+};
+
+/** Render @p snap as an aligned, dotted-name-grouped text report. */
+std::string statsToText(const Snapshot &snap);
+
+/** Render @p snap as a dnasim.stats.v1 JSON document. */
+std::string statsToJson(const Snapshot &snap,
+                        const std::vector<LogLine> &log = {});
+
+/**
+ * Write statsToJson() to @p path; returns false on I/O failure.
+ */
+bool writeStatsJson(const std::string &path, const Snapshot &snap,
+                    const std::vector<LogLine> &log = {});
+
+/**
+ * Install a logging sink that tees inform()/warn() to stderr and
+ * records them into an internal buffer; capturedLog() drains it.
+ * Used by the CLI so --stats-out reports embed run warnings.
+ */
+void startLogCapture();
+std::vector<LogLine> capturedLog();
+
+} // namespace obs
+} // namespace dnasim
+
+#endif // DNASIM_OBS_REPORT_HH

@@ -1,0 +1,141 @@
+#include "obs/trace.hh"
+
+#include <fstream>
+
+#include "obs/json.hh"
+
+namespace dnasim
+{
+namespace obs
+{
+
+namespace
+{
+
+/** Small dense thread ids for the trace's tid field. */
+uint32_t
+threadId()
+{
+    static std::atomic<uint32_t> next{1};
+    thread_local uint32_t id = next.fetch_add(1);
+    return id;
+}
+
+} // anonymous namespace
+
+Trace &
+Trace::global()
+{
+    static Trace *t = new Trace();
+    return *t;
+}
+
+void
+Trace::enable()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+    origin_ = std::chrono::steady_clock::now();
+    enabled_.store(true, std::memory_order_relaxed);
+}
+
+void
+Trace::disable()
+{
+    enabled_.store(false, std::memory_order_relaxed);
+}
+
+uint64_t
+Trace::nowNs() const
+{
+    if (!enabled())
+        return 0;
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - origin_)
+            .count());
+}
+
+void
+Trace::recordComplete(std::string name, std::string cat,
+                      uint64_t ts_ns, uint64_t dur_ns,
+                      std::string args_json)
+{
+    if (!enabled())
+        return;
+    uint32_t tid = threadId();
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(Event{std::move(name), std::move(cat),
+                            std::move(args_json), 'X', ts_ns, dur_ns,
+                            tid});
+}
+
+void
+Trace::recordInstant(std::string name, std::string cat)
+{
+    if (!enabled())
+        return;
+    uint64_t ts = nowNs();
+    uint32_t tid = threadId();
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(Event{std::move(name), std::move(cat),
+                            std::string(), 'i', ts, 0, tid});
+}
+
+size_t
+Trace::numEvents() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+void
+Trace::writeJson(std::ostream &os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    JsonWriter w(os, 0);
+    w.beginObject();
+    w.value("displayTimeUnit", "ms");
+    w.beginArray("traceEvents");
+    for (const auto &e : events_) {
+        w.beginObject();
+        w.value("name", e.name);
+        w.value("cat", e.cat.empty() ? "dnasim" : e.cat);
+        w.value("ph", std::string(1, e.ph));
+        // Chrome trace timestamps are microseconds; keep sub-us
+        // precision as decimals.
+        w.value("ts", static_cast<double>(e.ts_ns) / 1000.0);
+        if (e.ph == 'X')
+            w.value("dur", static_cast<double>(e.dur_ns) / 1000.0);
+        if (e.ph == 'i')
+            w.value("s", "t");
+        w.value("pid", static_cast<uint64_t>(1));
+        w.value("tid", static_cast<uint64_t>(e.tid));
+        if (!e.args.empty())
+            w.rawValue("args", e.args);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    os << '\n';
+}
+
+bool
+Trace::writeFile(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeJson(os);
+    return os.good();
+}
+
+void
+Trace::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+}
+
+} // namespace obs
+} // namespace dnasim

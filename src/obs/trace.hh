@@ -1,0 +1,138 @@
+/**
+ * @file
+ * Scoped tracing with Chrome trace-event / Perfetto JSON output.
+ *
+ * ScopedTrace marks a span; when tracing is enabled the span is
+ * recorded as a complete ("X") event with category and optional
+ * JSON args, and the buffer serializes to a file that loads directly
+ * in chrome://tracing or https://ui.perfetto.dev. When tracing is
+ * disabled (the default) a ScopedTrace costs one relaxed atomic
+ * load, so spans can stay compiled into hot-ish paths.
+ */
+
+#ifndef DNASIM_OBS_TRACE_HH
+#define DNASIM_OBS_TRACE_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace dnasim
+{
+namespace obs
+{
+
+/** The process-wide trace buffer. */
+class Trace
+{
+  public:
+    static Trace &global();
+
+    /** Start capturing; resets the clock origin and the buffer. */
+    void enable();
+    void disable();
+
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Record a complete span. @p ts_ns is the span start relative to
+     * the enable() origin; @p args_json, if non-empty, must be a
+     * valid JSON object literal.
+     */
+    void recordComplete(std::string name, std::string cat,
+                        uint64_t ts_ns, uint64_t dur_ns,
+                        std::string args_json = "");
+
+    /** Record an instant event at the current time. */
+    void recordInstant(std::string name, std::string cat);
+
+    /** Nanoseconds since enable() (0 when disabled). */
+    uint64_t nowNs() const;
+
+    size_t numEvents() const;
+
+    /** Serialize as {"traceEvents": [...]} JSON. */
+    void writeJson(std::ostream &os) const;
+
+    /** Write the JSON to @p path; returns false on I/O failure. */
+    bool writeFile(const std::string &path) const;
+
+    /** Drop all buffered events. */
+    void clear();
+
+  private:
+    struct Event
+    {
+        std::string name;
+        std::string cat;
+        std::string args;
+        char ph;
+        uint64_t ts_ns;
+        uint64_t dur_ns;
+        uint32_t tid;
+    };
+
+    mutable std::mutex mutex_;
+    std::vector<Event> events_;
+    std::atomic<bool> enabled_{false};
+    std::chrono::steady_clock::time_point origin_;
+};
+
+/**
+ * RAII trace span. Records nothing when tracing is disabled; the
+ * name and category must outlive the scope (string literals).
+ */
+class ScopedTrace
+{
+  public:
+    explicit ScopedTrace(const char *name, const char *cat = "dnasim")
+        : ScopedTrace(name, cat, std::string())
+    {}
+
+    ScopedTrace(const char *name, const char *cat,
+                std::string args_json)
+        : name_(name), cat_(cat)
+    {
+        Trace &trace = Trace::global();
+        active_ = trace.enabled();
+        if (active_) {
+            args_ = std::move(args_json);
+            start_ns_ = trace.nowNs();
+        }
+    }
+
+    ScopedTrace(const ScopedTrace &) = delete;
+    ScopedTrace &operator=(const ScopedTrace &) = delete;
+
+    ~ScopedTrace()
+    {
+        if (!active_)
+            return;
+        Trace &trace = Trace::global();
+        if (!trace.enabled())
+            return; // disabled mid-span; drop it
+        uint64_t end_ns = trace.nowNs();
+        trace.recordComplete(name_, cat_, start_ns_,
+                             end_ns - start_ns_, std::move(args_));
+    }
+
+  private:
+    const char *name_;
+    const char *cat_;
+    std::string args_;
+    uint64_t start_ns_ = 0;
+    bool active_ = false;
+};
+
+} // namespace obs
+} // namespace dnasim
+
+#endif // DNASIM_OBS_TRACE_HH

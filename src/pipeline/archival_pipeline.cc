@@ -5,9 +5,59 @@
 
 #include "base/logging.hh"
 #include "codec/reed_solomon.hh"
+#include "obs/stats.hh"
+#include "obs/trace.hh"
 
 namespace dnasim
 {
+
+namespace
+{
+
+struct PipelineStats
+{
+    obs::Counter &frames_encoded;
+    obs::Counter &strands_encoded;
+    obs::Counter &clusters_retrieved;
+    obs::Counter &erasures;
+    obs::Counter &undecodable;
+    obs::Counter &crc_failures;
+    obs::Counter &frames_recovered;
+    obs::Counter &stripes_failed;
+    obs::Timer &store_time;
+    obs::Timer &retrieve_time;
+
+    static PipelineStats &
+    get()
+    {
+        auto &reg = obs::Registry::global();
+        static PipelineStats ps{
+            reg.counter("pipeline.frames_encoded",
+                        "frames (data + parity) encoded by store()"),
+            reg.counter("pipeline.strands_encoded",
+                        "DNA strands emitted by store()"),
+            reg.counter("pipeline.clusters_retrieved",
+                        "clusters processed by retrieve()"),
+            reg.counter("pipeline.erasure_clusters",
+                        "clusters lost entirely in the channel"),
+            reg.counter("pipeline.undecodable_strands",
+                        "reconstructed strands the codec rejected"),
+            reg.counter("pipeline.crc_failures",
+                        "frames dropped by CRC/unpack checks"),
+            reg.counter("pipeline.frames_recovered",
+                        "frames rebuilt from logical redundancy"),
+            reg.counter("pipeline.rs_decode_failures",
+                        "redundancy stripes that failed to decode"),
+            reg.timer("pipeline.store_time",
+                      "wall time in ArchivalPipeline::store"),
+            reg.timer("pipeline.retrieve_time",
+                      "wall time in ArchivalPipeline::retrieve"),
+        };
+        return ps;
+    }
+};
+
+} // anonymous namespace
 
 ArchivalPipeline::ArchivalPipeline(PipelineConfig config)
     : config_(config),
@@ -41,6 +91,10 @@ ArchivalPipeline::strandLength() const
 StoredObject
 ArchivalPipeline::store(const Bytes &file) const
 {
+    PipelineStats &ps = PipelineStats::get();
+    obs::ScopedTimer timer(ps.store_time);
+    obs::ScopedTrace span("pipeline.store", "pipeline");
+
     StoredObject object;
     object.file_size = file.size();
 
@@ -104,6 +158,8 @@ ArchivalPipeline::store(const Bytes &file) const
     object.strands.reserve(frames.size());
     for (const auto &f : frames)
         object.strands.push_back(codec().encode(frame_codec_.pack(f)));
+    ps.frames_encoded.add(frames.size());
+    ps.strands_encoded.add(object.strands.size());
     return object;
 }
 
@@ -112,9 +168,14 @@ ArchivalPipeline::retrieve(const Dataset &clusters,
                            const Reconstructor &algo,
                            const StoredObject &object, Rng &rng) const
 {
+    PipelineStats &ps = PipelineStats::get();
+    obs::ScopedTimer timer(ps.retrieve_time);
+    obs::ScopedTrace span("pipeline.retrieve", "pipeline");
+
     RetrievedObject result;
     auto &stats = result.stats;
     stats.clusters = clusters.size();
+    ps.clusters_retrieved.add(clusters.size());
 
     const size_t d = object.num_data_frames;
     const size_t total = object.num_total_frames;
@@ -126,6 +187,7 @@ ArchivalPipeline::retrieve(const Dataset &clusters,
     for (size_t i = 0; i < clusters.size(); ++i) {
         if (clusters[i].isErasure()) {
             ++stats.erasure_clusters;
+            ps.erasures.inc();
             continue;
         }
         Rng cluster_rng = rng.fork(i);
@@ -135,11 +197,13 @@ ArchivalPipeline::retrieve(const Dataset &clusters,
                                   frame_codec_.frameBytes());
         if (!raw) {
             ++stats.undecodable_strands;
+            ps.undecodable.inc();
             continue;
         }
         auto frame = frame_codec_.unpack(*raw);
         if (!frame) {
             ++stats.crc_failures;
+            ps.crc_failures.inc();
             continue;
         }
         if (frame->index < total)
@@ -174,6 +238,7 @@ ArchivalPipeline::retrieve(const Dataset &clusters,
                 continue;
             if (missing.size() > 1 || !have(parity_idx)) {
                 ++stats.stripes_failed;
+                ps.stripes_failed.inc();
                 continue;
             }
             Frame rebuilt;
@@ -187,6 +252,7 @@ ArchivalPipeline::retrieve(const Dataset &clusters,
             }
             received.emplace(rebuilt.index, std::move(rebuilt));
             ++stats.frames_recovered;
+            ps.frames_recovered.inc();
         }
         break;
       }
@@ -216,6 +282,7 @@ ArchivalPipeline::retrieve(const Dataset &clusters,
                 continue;
             if (erasures.size() > config_.rs_parity) {
                 ++stats.stripes_failed;
+                ps.stripes_failed.inc();
                 continue;
             }
 
@@ -259,10 +326,12 @@ ArchivalPipeline::retrieve(const Dataset &clusters,
             }
             if (!stripe_ok) {
                 ++stats.stripes_failed;
+                ps.stripes_failed.inc();
                 continue;
             }
             for (auto &f : rebuilt) {
                 ++stats.frames_recovered;
+                ps.frames_recovered.inc();
                 received.emplace(f.index, std::move(f));
             }
         }

@@ -3,10 +3,36 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "obs/stats.hh"
 #include "reconstruct/consensus.hh"
 
 namespace dnasim
 {
+
+namespace
+{
+
+struct BmaStats
+{
+    obs::Counter &clusters;
+    obs::Counter &lookaheads;
+
+    static BmaStats &
+    get()
+    {
+        auto &reg = obs::Registry::global();
+        static BmaStats bs{
+            reg.counter("reconstruct.bma.clusters",
+                        "clusters reconstructed by BMA"),
+            reg.counter("reconstruct.bma.lookaheads",
+                        "disagreements resolved by look-ahead "
+                        "scoring"),
+        };
+        return bs;
+    }
+};
+
+} // anonymous namespace
 
 BmaLookahead::BmaLookahead(BmaOptions options)
     : options_(options)
@@ -25,6 +51,7 @@ BmaLookahead::forwardPass(const std::vector<Strand> &copies,
     DNASIM_ASSERT(window >= 1, "BMA window must be at least 1");
     const size_t k = copies.size();
     std::vector<size_t> cursor(k, 0);
+    uint64_t lookaheads = 0;
 
     Strand estimate;
     estimate.reserve(design_len);
@@ -77,6 +104,7 @@ BmaLookahead::forwardPass(const std::vector<Strand> &copies,
             auto match = [](char a, char b) {
                 return a != '\0' && a == b ? 1 : 0;
             };
+            ++lookaheads;
             int sub_score = 0, ins_score = 0, del_score = 0;
             for (size_t off = 1; off <= window; ++off) {
                 // Substitution: the copy consumed one wrong
@@ -103,6 +131,8 @@ BmaLookahead::forwardPass(const std::vector<Strand> &copies,
             }
         }
     }
+    if (lookaheads)
+        BmaStats::get().lookaheads.add(lookaheads);
     return estimate;
 }
 
@@ -112,6 +142,7 @@ BmaLookahead::reconstruct(const std::vector<Strand> &copies,
 {
     if (copies.empty())
         return Strand();
+    BmaStats::get().clusters.inc();
 
     if (!options_.two_way)
         return forwardPass(copies, design_len, rng, options_.window);

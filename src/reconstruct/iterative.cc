@@ -1,11 +1,40 @@
 #include "reconstruct/iterative.hh"
 
 #include "base/logging.hh"
+#include "obs/stats.hh"
 #include "reconstruct/bma.hh"
 #include "reconstruct/consensus.hh"
 
 namespace dnasim
 {
+
+namespace
+{
+
+struct IterativeStats
+{
+    obs::Counter &clusters;
+    obs::Counter &rounds;
+    obs::Distribution &rounds_per_cluster;
+
+    static IterativeStats &
+    get()
+    {
+        auto &reg = obs::Registry::global();
+        static IterativeStats is{
+            reg.counter("reconstruct.iterative.clusters",
+                        "clusters reconstructed by Iterative"),
+            reg.counter("reconstruct.iterative.rounds",
+                        "aligned-consensus refinement rounds run"),
+            reg.distribution("reconstruct.iterative.rounds_per_"
+                             "cluster",
+                             "refinement rounds until convergence"),
+        };
+        return is;
+    }
+};
+
+} // anonymous namespace
 
 Iterative::Iterative(IterativeOptions options)
     : options_(options)
@@ -25,12 +54,18 @@ Iterative::reconstruct(const std::vector<Strand> &copies,
     Strand estimate =
         BmaLookahead::forwardPass(copies, design_len, rng);
 
+    IterativeStats &is = IterativeStats::get();
+    is.clusters.inc();
+    uint64_t rounds_run = 0;
     for (size_t round = 0; round < options_.max_rounds; ++round) {
         Strand next = alignedConsensus(estimate, copies, rng);
+        ++rounds_run;
         if (next == estimate)
             break;
         estimate = std::move(next);
     }
+    is.rounds.add(rounds_run);
+    is.rounds_per_cluster.record(rounds_run);
 
     if (!options_.enforce_length)
         return estimate;
