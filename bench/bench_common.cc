@@ -6,6 +6,7 @@
 #include "base/logging.hh"
 #include "bench_report.hh"
 #include "core/ids_model.hh"
+#include "par/thread_pool.hh"
 #include "reconstruct/bma.hh"
 #include "reconstruct/iterative.hh"
 
@@ -40,11 +41,14 @@ makeBenchEnv(int argc, char **argv, size_t default_clusters)
         args.getInt("clusters",
                     static_cast<int64_t>(default_clusters)));
     env.seed = args.getSeed("seed", 0xbe9c);
+    par::setThreads(static_cast<size_t>(args.getInt("threads", 0)));
 
     auto &report = BenchReport::global();
     report.init(harnessName(argc > 0 ? argv[0] : nullptr), env.seed);
     report.setConfig("clusters", static_cast<uint64_t>(env.clusters));
     report.setConfig("seed", env.seed);
+    report.setConfig("threads",
+                     static_cast<uint64_t>(par::numThreads()));
 
     env.wetlab_config.num_clusters = env.clusters;
     NanoporeDatasetGenerator generator(env.wetlab_config);

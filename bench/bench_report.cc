@@ -12,6 +12,7 @@
 #include "obs/json.hh"
 #include "obs/report.hh"
 #include "obs/stats.hh"
+#include "par/thread_pool.hh"
 
 namespace dnasim
 {
@@ -143,6 +144,26 @@ BenchReport::write()
             wall_s > 0.0 ? static_cast<double>(strands) / wall_s : 0.0);
     w.value("bases_per_s",
             wall_s > 0.0 ? static_cast<double>(bases) / wall_s : 0.0);
+    w.endObject();
+
+    // Parallel-execution summary: configured worker-thread count,
+    // aggregate busy time across workers, and the fraction of the
+    // theoretical thread-seconds (wall x threads) actually spent in
+    // parallel-loop bodies. See DESIGN.md "Deterministic
+    // parallelism".
+    const size_t threads = par::numThreads();
+    const uint64_t busy_ns = snap.counter("par.busy_ns");
+    w.beginObject("parallel");
+    w.value("threads", static_cast<uint64_t>(threads));
+    w.value("regions", snap.counter("par.regions"));
+    w.value("serial_regions", snap.counter("par.serial_regions"));
+    w.value("steals", snap.counter("par.steals"));
+    w.value("busy_ns", busy_ns);
+    w.value("utilization",
+            wall_s > 0.0 && threads > 0
+                ? static_cast<double>(busy_ns) * 1e-9 /
+                      (wall_s * static_cast<double>(threads))
+                : 0.0);
     w.endObject();
 
     w.beginObject("config");

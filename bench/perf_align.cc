@@ -4,6 +4,9 @@
  * edit-operation backtraces, gestalt matching, Hamming profiling.
  */
 
+#include <algorithm>
+#include <string_view>
+
 #include <benchmark/benchmark.h>
 
 #include "bench_report.hh"
@@ -40,6 +43,44 @@ BM_Levenshtein(benchmark::State &state)
     Fixture f(static_cast<size_t>(state.range(0)), 0.06);
     for (auto _ : state)
         benchmark::DoNotOptimize(levenshtein(f.ref, f.copy));
+}
+
+void
+BM_LevenshteinBitParallel(benchmark::State &state)
+{
+    Fixture f(static_cast<size_t>(state.range(0)), 0.06);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            levenshteinBitParallel(f.ref, f.copy));
+}
+
+/**
+ * The pre-Myers scalar path: adaptive banded DP, band widened until
+ * the distance is certified — head-to-head baseline for the
+ * bit-parallel kernel at the same inputs.
+ */
+size_t
+scalarAdaptiveBanded(std::string_view a, std::string_view b)
+{
+    const size_t n = a.size(), m = b.size();
+    size_t diff = n > m ? n - m : m - n;
+    size_t band = std::max<size_t>(8, diff + 4);
+    const size_t limit = std::max(n, m);
+    for (;;) {
+        size_t d = levenshteinBanded(a, b, band);
+        if (d <= band || band >= limit)
+            return d;
+        band = std::min(limit, band * 2);
+    }
+}
+
+void
+BM_LevenshteinScalarBanded(benchmark::State &state)
+{
+    Fixture f(static_cast<size_t>(state.range(0)), 0.06);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            scalarAdaptiveBanded(f.ref, f.copy));
 }
 
 void
@@ -80,6 +121,8 @@ BM_HammingErrorPositions(benchmark::State &state)
 } // anonymous namespace
 
 BENCHMARK(BM_Levenshtein)->Arg(110)->Arg(220);
+BENCHMARK(BM_LevenshteinBitParallel)->Arg(64)->Arg(150)->Arg(1000);
+BENCHMARK(BM_LevenshteinScalarBanded)->Arg(64)->Arg(150)->Arg(1000);
 BENCHMARK(BM_EditOps)->Arg(110)->Arg(220);
 BENCHMARK(BM_GestaltScore)->Arg(110)->Arg(220);
 BENCHMARK(BM_GestaltErrorPositions)->Arg(110);

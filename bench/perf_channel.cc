@@ -96,6 +96,33 @@ BM_SimulateCluster(benchmark::State &state)
     }
 }
 
+/**
+ * Dataset-scale simulation: many clusters through simulate(), the
+ * loop parallelized by --threads. This is the thread-scaling probe —
+ * compare BENCH_perf_channel.json rows across --threads values.
+ */
+void
+BM_SimulateDataset(benchmark::State &state)
+{
+    IdsChannelModel model = IdsChannelModel::secondOrder(profile());
+    ChannelSimulator sim(model);
+    Rng rng = benchRng(0x79);
+    StrandFactory factory;
+    std::vector<Strand> refs;
+    const auto clusters = static_cast<size_t>(state.range(0));
+    refs.reserve(clusters);
+    for (size_t i = 0; i < clusters; ++i)
+        refs.push_back(factory.make(110, rng));
+    FixedCoverage coverage(10);
+    size_t strands = 0;
+    for (auto _ : state) {
+        Rng r = benchRng(0x7a);
+        benchmark::DoNotOptimize(sim.simulate(refs, coverage, r));
+        strands += clusters * 10;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(strands));
+}
+
 void
 BM_Calibrate(benchmark::State &state)
 {
@@ -116,4 +143,6 @@ BENCHMARK(BM_TransmitConditional);
 BENCHMARK(BM_TransmitSecondOrder);
 BENCHMARK(BM_TransmitDnaSimulator);
 BENCHMARK(BM_SimulateCluster)->Arg(5)->Arg(27);
+BENCHMARK(BM_SimulateDataset)->Arg(500)->Arg(2000)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 BENCHMARK(BM_Calibrate)->Arg(20)->Unit(benchmark::kMillisecond);

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Microbenchmarks of greedy read clustering: shuffled read pools at
+ * realistic sizes, exercising the anchor-bucket probing (transparent
+ * string_view lookup) and the parallel candidate-distance probes.
+ * Results funnel into BENCH_perf_cluster.json; compare rows across
+ * --threads values for the scaling curve.
+ */
+
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_report.hh"
+#include "cluster/greedy_cluster.hh"
+#include "core/channel_simulator.hh"
+#include "core/coverage.hh"
+#include "core/ids_model.hh"
+#include "data/strand_factory.hh"
+
+using namespace dnasim;
+
+namespace
+{
+
+/**
+ * A shuffled pool of noisy reads from @p clusters references at
+ * @p coverage copies each — the simulator's perfectly clustered
+ * output flattened into the unordered pool a real pipeline sees.
+ */
+std::vector<Strand>
+makePool(size_t clusters, size_t coverage, uint64_t salt)
+{
+    Rng rng = benchRng(salt);
+    StrandFactory factory;
+    std::vector<Strand> refs;
+    refs.reserve(clusters);
+    for (size_t i = 0; i < clusters; ++i)
+        refs.push_back(factory.make(110, rng));
+
+    ErrorProfile profile = ErrorProfile::uniform(0.06, 110);
+    IdsChannelModel model = IdsChannelModel::naive(profile);
+    ChannelSimulator sim(model);
+    FixedCoverage cov(coverage);
+    Dataset data = sim.simulate(refs, cov, rng);
+
+    std::vector<Strand> pool;
+    pool.reserve(clusters * coverage);
+    for (const auto &cluster : data)
+        for (const auto &copy : cluster.copies)
+            pool.push_back(copy);
+    // Interleave so consecutive reads come from different clusters —
+    // the anchor buckets, not input order, have to do the work.
+    std::vector<Strand> shuffled(pool.size());
+    for (size_t i = 0; i < pool.size(); ++i) {
+        size_t j = (i % coverage) * clusters + i / coverage;
+        shuffled[j] = std::move(pool[i]);
+    }
+    return shuffled;
+}
+
+void
+BM_ClusterReads(benchmark::State &state)
+{
+    const auto clusters = static_cast<size_t>(state.range(0));
+    std::vector<Strand> pool = makePool(clusters, 8, 0xc1);
+    ClusterOptions options;
+    size_t reads = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(clusterReads(pool, options));
+        reads += pool.size();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(reads));
+}
+
+void
+BM_ClusterReadsWideProbe(benchmark::State &state)
+{
+    // Stress the candidate-probe loop: longer probe lists cross the
+    // parallel-for threshold so the distance computations fan out.
+    const auto clusters = static_cast<size_t>(state.range(0));
+    std::vector<Strand> pool = makePool(clusters, 8, 0xc2);
+    ClusterOptions options;
+    options.max_probes = 64;
+    options.anchor_length = 20;
+    size_t reads = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(clusterReads(pool, options));
+        reads += pool.size();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(reads));
+}
+
+} // anonymous namespace
+
+BENCHMARK(BM_ClusterReads)->Arg(100)->Arg(400)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK(BM_ClusterReadsWideProbe)->Arg(200)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();

@@ -2,9 +2,10 @@
  * @file
  * Shared main() for the perf_* microbenchmarks: google-benchmark's
  * usual driver plus a reporter that funnels every measurement into
- * the BENCH_<name>.json report, and a --seed flag (consumed before
- * benchmark::Initialize) so runs are reproducible and the seed is
- * recorded in the report.
+ * the BENCH_<name>.json report, plus --seed and --threads flags
+ * (consumed before benchmark::Initialize) so runs are reproducible
+ * and both the seed and the worker-thread count are recorded in the
+ * report.
  */
 
 #include <cstdlib>
@@ -14,6 +15,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_report.hh"
+#include "par/thread_pool.hh"
 
 namespace
 {
@@ -49,6 +51,7 @@ int
 main(int argc, char **argv)
 {
     uint64_t seed = 0xbe9c;
+    uint64_t threads = 0;
     std::vector<char *> keep;
     keep.push_back(argv[0]);
     for (int i = 1; i < argc; ++i) {
@@ -61,9 +64,19 @@ main(int argc, char **argv)
             seed = std::strtoull(argv[++i], nullptr, 0);
             continue;
         }
+        if (arg.rfind("--threads=", 0) == 0) {
+            threads = std::strtoull(arg.c_str() + 10, nullptr, 0);
+            continue;
+        }
+        if (arg == "--threads" && i + 1 < argc) {
+            threads = std::strtoull(argv[++i], nullptr, 0);
+            continue;
+        }
         keep.push_back(argv[i]);
     }
     int kept_argc = static_cast<int>(keep.size());
+
+    dnasim::par::setThreads(static_cast<size_t>(threads));
 
     std::string name = argv[0];
     auto slash = name.find_last_of('/');
@@ -72,6 +85,8 @@ main(int argc, char **argv)
 
     dnasim::BenchReport::global().init(name, seed);
     dnasim::BenchReport::global().setConfig("seed", seed);
+    dnasim::BenchReport::global().setConfig(
+        "threads", static_cast<uint64_t>(dnasim::par::numThreads()));
 
     benchmark::Initialize(&kept_argc, keep.data());
     if (benchmark::ReportUnrecognizedArguments(kept_argc, keep.data()))

@@ -6,7 +6,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include "analysis/accuracy.hh"
 #include "bench_report.hh"
+#include "core/channel_simulator.hh"
+#include "core/coverage.hh"
 #include "core/ids_model.hh"
 #include "data/strand_factory.hh"
 #include "reconstruct/bma.hh"
@@ -81,6 +84,36 @@ BM_TwoWayIterative(benchmark::State &state)
     reconstructLoop(state, algo);
 }
 
+/**
+ * Dataset-scale reconstruction: reconstructAll() over many clusters,
+ * parallelized by --threads — the thread-scaling probe for
+ * BENCH_perf_reconstruct.json.
+ */
+void
+BM_ReconstructAll(benchmark::State &state)
+{
+    Rng rng = benchRng(0x4ed);
+    StrandFactory factory;
+    const auto clusters = static_cast<size_t>(state.range(0));
+    std::vector<Strand> refs;
+    refs.reserve(clusters);
+    for (size_t i = 0; i < clusters; ++i)
+        refs.push_back(factory.make(110, rng));
+    ErrorProfile profile = ErrorProfile::uniform(0.06, 110);
+    IdsChannelModel model = IdsChannelModel::naive(profile);
+    ChannelSimulator sim(model);
+    FixedCoverage coverage(10);
+    Dataset data = sim.simulate(refs, coverage, rng);
+    BmaLookahead algo;
+    size_t done = 0;
+    for (auto _ : state) {
+        Rng r = benchRng(0x4ee);
+        benchmark::DoNotOptimize(reconstructAll(data, algo, r));
+        done += clusters;
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(done));
+}
+
 } // anonymous namespace
 
 BENCHMARK(BM_Majority)->Arg(5)->Arg(27);
@@ -90,3 +123,5 @@ BENCHMARK(BM_Iterative)->Arg(5)->Arg(27)
     ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_TwoWayIterative)->Arg(5)->Arg(27)
     ->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ReconstructAll)->Arg(200)->Arg(1000)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();

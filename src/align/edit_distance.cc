@@ -1,6 +1,7 @@
 #include "align/edit_distance.hh"
 
 #include <algorithm>
+#include <array>
 #include <limits>
 
 #include "base/logging.hh"
@@ -25,16 +26,21 @@ namespace
 
 constexpr size_t kInf = std::numeric_limits<size_t>::max() / 2;
 
-/**
- * Banded Levenshtein: only cells with |i - j| <= band are computed.
- * The result equals the true distance whenever the true distance is
- * at most @p band (any optimal alignment path then stays inside the
- * band); otherwise it is an overestimate the caller must reject.
- */
+} // anonymous namespace
+
 size_t
 levenshteinBanded(std::string_view a, std::string_view b, size_t band)
 {
     const size_t n = a.size(), m = b.size();
+    // Degenerate and out-of-band shapes first. When either string is
+    // empty the distance is known exactly; when the length gap
+    // exceeds the band, the final column m lies outside every row's
+    // band, so the cell the loop would return was never written —
+    // report a certified overestimate instead of stale scratch.
+    if (n == 0 || m == 0)
+        return n + m;
+    if (m > n + band || n > m + band)
+        return kInf;
     // Reused scratch rows: this function runs millions of times per
     // experiment, so per-call allocation would dominate. Each row
     // pass writes every cell the next pass reads, so stale contents
@@ -71,7 +77,135 @@ levenshteinBanded(std::string_view a, std::string_view b, size_t band)
     return prev[m];
 }
 
+namespace
+{
+
+/**
+ * One Myers block step: advance a 64-row slice of the DP column by
+ * one text character. @p pv / @p mv are the slice's vertical
+ * positive/negative delta bit-vectors, @p eq the pattern-match
+ * bit-vector for the character, @p hin the horizontal delta entering
+ * the slice's top row (-1, 0 or +1). Returns the horizontal delta
+ * leaving through the row selected by @p out_mask (the slice's
+ * bottom row, or the pattern's final row in the last, partial
+ * slice — bits above it carry junk that never propagates downward).
+ */
+inline int
+myersAdvanceBlock(uint64_t &pv, uint64_t &mv, uint64_t eq, int hin,
+                  uint64_t out_mask)
+{
+    const uint64_t hin_neg = hin < 0 ? 1u : 0u;
+    const uint64_t xv = eq | mv;
+    eq |= hin_neg;
+    const uint64_t xh = (((eq & pv) + pv) ^ pv) | eq;
+    uint64_t ph = mv | ~(xh | pv);
+    uint64_t mh = pv & xh;
+
+    int hout = 0;
+    if (ph & out_mask)
+        hout = 1;
+    else if (mh & out_mask)
+        hout = -1;
+
+    ph = (ph << 1) | (hin > 0 ? 1u : 0u);
+    mh = (mh << 1) | hin_neg;
+    pv = mh | ~(xv | ph);
+    mv = ph & xv;
+    return hout;
+}
+
+/** Single-word Myers kernel for patterns of at most 64 characters. */
+size_t
+myersDistance64(std::string_view pat, std::string_view txt)
+{
+    // Pattern-match bit-vectors, kept all-zero between calls: bits
+    // are set for the pattern's characters below and cleared again
+    // before returning, so only O(|pat|) entries are touched.
+    thread_local std::array<uint64_t, 256> peq{};
+
+    const size_t m = pat.size();
+    for (size_t i = 0; i < m; ++i)
+        peq[static_cast<unsigned char>(pat[i])] |= uint64_t{1} << i;
+
+    uint64_t pv = ~uint64_t{0};
+    uint64_t mv = 0;
+    size_t score = m;
+    const uint64_t last = uint64_t{1} << (m - 1);
+    for (char tc : txt) {
+        int hout = myersAdvanceBlock(
+            pv, mv, peq[static_cast<unsigned char>(tc)], 1, last);
+        score = static_cast<size_t>(
+            static_cast<int64_t>(score) + hout);
+    }
+
+    for (size_t i = 0; i < m; ++i)
+        peq[static_cast<unsigned char>(pat[i])] = 0;
+    return score;
+}
+
+/** Multi-word Myers kernel for patterns longer than 64 characters. */
+size_t
+myersDistanceBlocked(std::string_view pat, std::string_view txt)
+{
+    const size_t m = pat.size();
+    const size_t blocks = (m + 63) / 64;
+
+    // peq[c * blocks + b]: match bits of pattern slice b for
+    // character c. Kept all-zero between calls (see above); resizing
+    // value-initializes new entries to zero.
+    thread_local std::vector<uint64_t> peq;
+    if (peq.size() < 256 * blocks)
+        peq.resize(256 * blocks, 0);
+    for (size_t i = 0; i < m; ++i) {
+        peq[static_cast<unsigned char>(pat[i]) * blocks + i / 64] |=
+            uint64_t{1} << (i % 64);
+    }
+
+    thread_local std::vector<uint64_t> pv, mv;
+    pv.assign(blocks, ~uint64_t{0});
+    mv.assign(blocks, 0);
+
+    size_t score = m;
+    const uint64_t top = uint64_t{1} << 63;
+    const uint64_t final_row = uint64_t{1} << ((m - 1) % 64);
+    for (char tc : txt) {
+        const uint64_t *eq =
+            &peq[static_cast<unsigned char>(tc) * blocks];
+        int hin = 1;
+        for (size_t b = 0; b + 1 < blocks; ++b)
+            hin = myersAdvanceBlock(pv[b], mv[b], eq[b], hin, top);
+        int hout = myersAdvanceBlock(pv[blocks - 1], mv[blocks - 1],
+                                     eq[blocks - 1], hin, final_row);
+        score = static_cast<size_t>(
+            static_cast<int64_t>(score) + hout);
+    }
+
+    for (size_t i = 0; i < m; ++i)
+        peq[static_cast<unsigned char>(pat[i]) * blocks + i / 64] = 0;
+    return score;
+}
+
+/**
+ * Above this pattern length the adaptive banded scalar DP takes
+ * over: channel pairs are close, so its O(n * distance) beats the
+ * bit-parallel O(n * m / 64) once m / 64 exceeds typical bands.
+ */
+constexpr size_t kMaxBitParallelPattern = 4096;
+
 } // anonymous namespace
+
+size_t
+levenshteinBitParallel(std::string_view a, std::string_view b)
+{
+    // The shorter string becomes the pattern so the column spans as
+    // few words as possible (Levenshtein is symmetric).
+    std::string_view pat = a.size() <= b.size() ? a : b;
+    std::string_view txt = a.size() <= b.size() ? b : a;
+    if (pat.empty())
+        return txt.size();
+    return pat.size() <= 64 ? myersDistance64(pat, txt)
+                            : myersDistanceBlocked(pat, txt);
+}
 
 size_t
 levenshtein(std::string_view a, std::string_view b)
@@ -82,9 +216,13 @@ levenshtein(std::string_view a, std::string_view b)
     if (m == 0)
         return n;
 
-    // DNA-storage pairs are usually close (a few percent edit
-    // distance); try a narrow band first and widen until the result
-    // is certified (distance <= band means the optimal path fits).
+    if (std::min(n, m) <= kMaxBitParallelPattern)
+        return levenshteinBitParallel(a, b);
+
+    // Very long strands: DNA-storage pairs are usually close (a few
+    // percent edit distance); try a narrow band first and widen
+    // until the result is certified (distance <= band means the
+    // optimal path fits).
     size_t diff = n > m ? n - m : m - n;
     size_t band = std::max<size_t>(8, diff + 4);
     const size_t limit = std::max(n, m);

@@ -58,8 +58,35 @@ struct EditOp
     bool operator==(const EditOp &) const = default;
 };
 
-/** Plain Levenshtein distance (unit costs). */
+/**
+ * Plain Levenshtein distance (unit costs).
+ *
+ * Dispatches to the Myers bit-parallel kernel (64 DP cells per word)
+ * for typical strand lengths, and to the adaptive banded scalar DP
+ * for very long inputs where the band (proportional to the true
+ * distance) is narrower than the bit-parallel column.
+ */
 size_t levenshtein(std::string_view a, std::string_view b);
+
+/**
+ * Myers (1999) bit-parallel Levenshtein distance: the DP column is
+ * packed into ceil(min_len/64) machine words and advanced one text
+ * character at a time. Exact for all inputs; fastest when the
+ * shorter string fits few words. Exposed for tests and benches —
+ * call levenshtein() in normal code.
+ */
+size_t levenshteinBitParallel(std::string_view a, std::string_view b);
+
+/**
+ * Banded scalar Levenshtein: only cells with |i - j| <= band are
+ * computed. The result equals the true distance whenever the true
+ * distance is at most @p band (any optimal path then stays inside
+ * the band); otherwise it is an overestimate the caller must
+ * reject. Exposed for tests and benches — call levenshtein() in
+ * normal code.
+ */
+size_t levenshteinBanded(std::string_view a, std::string_view b,
+                         size_t band);
 
 /**
  * Recover a minimum-cost edit script transforming @p ref into

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "base/logging.hh"
+#include "core/channel_simulator.hh"
+#include "par/thread_pool.hh"
 
 namespace dnasim
 {
@@ -11,14 +13,13 @@ std::vector<Strand>
 reconstructAll(const Dataset &data, const Reconstructor &algo,
                Rng &rng)
 {
-    std::vector<Strand> estimates;
-    estimates.reserve(data.size());
-    for (size_t i = 0; i < data.size(); ++i) {
-        Rng cluster_rng = rng.fork(i);
-        estimates.push_back(algo.reconstruct(
-            data[i].copies, data[i].reference.size(), cluster_rng));
-    }
-    return estimates;
+    // Pre-forked per-cluster streams keep the estimates identical to
+    // the serial run for any thread count (see forkClusterStreams).
+    std::vector<Rng> streams = forkClusterStreams(rng, data.size());
+    return par::parallelTransform(data.size(), [&](size_t i) {
+        return algo.reconstruct(data[i].copies,
+                                data[i].reference.size(), streams[i]);
+    });
 }
 
 AccuracyResult

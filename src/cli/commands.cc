@@ -322,7 +322,11 @@ printUsage()
         "global flags (any command):\n"
         "  --stats-out FILE  write a JSON stats snapshot on exit\n"
         "  --stats           dump the stats snapshot to stderr\n"
-        "  --trace-out FILE  record a Chrome/Perfetto trace JSON\n";
+        "  --trace-out FILE  record a Chrome/Perfetto trace JSON\n"
+        "  --threads N       worker threads for parallel loops\n"
+        "                    (default: DNASIM_THREADS env var or\n"
+        "                    hardware concurrency; output is\n"
+        "                    identical for every N)\n";
 }
 
 } // namespace dnasim

@@ -6,6 +6,9 @@
  *   --stats-out=FILE  write a dnasim.stats.v1 JSON snapshot on exit
  *   --stats           dump the stats snapshot as text to stderr
  *   --trace-out=FILE  enable tracing, write Chrome trace JSON on exit
+ *   --threads=N       worker threads for parallel loops (default:
+ *                     DNASIM_THREADS or hardware concurrency);
+ *                     results are identical for every N
  */
 
 #include <cstring>
@@ -17,6 +20,7 @@
 #include "obs/report.hh"
 #include "obs/stats.hh"
 #include "obs/trace.hh"
+#include "par/thread_pool.hh"
 
 namespace
 {
@@ -67,6 +71,9 @@ main(int argc, char **argv)
     const std::string stats_out = args.get("stats-out");
     const std::string trace_out = args.get("trace-out");
     const bool stats_text = args.has("stats");
+
+    par::setThreads(
+        static_cast<size_t>(args.getInt("threads", 0)));
 
     if (!trace_out.empty())
         obs::Trace::global().enable();

@@ -2,15 +2,47 @@
 
 #include <algorithm>
 #include <map>
+#include <string_view>
 #include <unordered_map>
 
 #include "align/edit_distance.hh"
 #include "base/logging.hh"
 #include "obs/stats.hh"
 #include "obs/trace.hh"
+#include "par/thread_pool.hh"
 
 namespace dnasim
 {
+
+namespace
+{
+
+/**
+ * Transparent hash so the anchor buckets can be probed with a
+ * string_view into the read — the hot path used to build one
+ * std::string key per probe, a per-read allocation.
+ */
+struct AnchorHash
+{
+    using is_transparent = void;
+
+    size_t
+    operator()(std::string_view s) const
+    {
+        return std::hash<std::string_view>{}(s);
+    }
+};
+
+/**
+ * Candidate probes below this count are not worth a per-read
+ * fork/join: with the bit-parallel kernel a probe costs ~2 µs, so
+ * the default 24-probe cap stays on the serial fast path and only
+ * widened probe lists (corrupted-prefix fallbacks, large max_probes)
+ * fan out.
+ */
+constexpr size_t kMinParallelProbes = 32;
+
+} // anonymous namespace
 
 std::vector<ReadCluster>
 clusterReads(const std::vector<Strand> &reads,
@@ -36,20 +68,26 @@ clusterReads(const std::vector<Strand> &reads,
 
     std::vector<ReadCluster> clusters;
     // anchor -> cluster indices whose representative starts with it.
-    std::unordered_map<std::string, std::vector<size_t>> buckets;
+    // string_view-keyed heterogeneous lookup: probing never copies
+    // the anchor; only bucket creation materializes the key.
+    std::unordered_map<std::string, std::vector<size_t>, AnchorHash,
+                       std::equal_to<>>
+        buckets;
 
-    auto anchor_of = [&](const Strand &s) {
-        return s.substr(0, std::min(options.anchor_length, s.size()));
+    auto anchor_of = [&](const Strand &s) -> std::string_view {
+        return std::string_view(s).substr(
+            0, std::min(options.anchor_length, s.size()));
     };
 
+    std::vector<size_t> candidates;
+    std::vector<size_t> distances;
     for (size_t i = 0; i < reads.size(); ++i) {
         const Strand &read = reads[i];
-        bool placed = false;
 
         // Probe candidate clusters sharing the anchor first, then
         // (bounded) recently created clusters as a fallback for
         // reads whose prefix was corrupted.
-        std::vector<size_t> candidates;
+        candidates.clear();
         auto it = buckets.find(anchor_of(read));
         if (it != buckets.end())
             candidates = it->second;
@@ -62,28 +100,59 @@ clusterReads(const std::vector<Strand> &reads,
                 ++extra;
             }
         }
+        if (candidates.size() > options.max_probes)
+            candidates.resize(options.max_probes);
 
-        size_t probes = 0;
-        for (size_t c : candidates) {
-            if (probes++ >= options.max_probes)
-                break;
-            ++comparisons;
-            if (levenshtein(clusters[c].representative, read) <=
-                options.distance_threshold) {
-                clusters[c].members.push_back(i);
-                placed = true;
-                break;
+        // The serial semantics — attach to the first candidate (in
+        // probe order) within the threshold — survive
+        // parallelization because the winner is selected by
+        // candidate order, not by completion order.
+        size_t placed_in = clusters.size();
+        if (par::numThreads() > 1 &&
+            candidates.size() >= kMinParallelProbes) {
+            distances.assign(candidates.size(), 0);
+            par::parallelFor(
+                0, candidates.size(),
+                [&](size_t k) {
+                    distances[k] = levenshtein(
+                        clusters[candidates[k]].representative,
+                        read);
+                },
+                /*grain=*/4);
+            comparisons += candidates.size();
+            for (size_t k = 0; k < candidates.size(); ++k) {
+                if (distances[k] <= options.distance_threshold) {
+                    placed_in = candidates[k];
+                    break;
+                }
+            }
+        } else {
+            for (size_t c : candidates) {
+                ++comparisons;
+                if (levenshtein(clusters[c].representative, read) <=
+                    options.distance_threshold) {
+                    placed_in = c;
+                    break;
+                }
             }
         }
 
-        if (!placed) {
+        if (placed_in == clusters.size()) {
             ReadCluster fresh;
             fresh.members.push_back(i);
             fresh.representative = read;
             clusters.push_back(std::move(fresh));
-            buckets[anchor_of(read)].push_back(clusters.size() - 1);
+            auto bucket = buckets.find(anchor_of(read));
+            if (bucket == buckets.end()) {
+                bucket = buckets
+                             .emplace(std::string(anchor_of(read)),
+                                      std::vector<size_t>())
+                             .first;
+            }
+            bucket->second.push_back(clusters.size() - 1);
             stat_created.inc();
         } else {
+            clusters[placed_in].members.push_back(i);
             stat_merges.inc();
         }
     }

@@ -3,6 +3,7 @@
 #include "base/logging.hh"
 #include "obs/stats.hh"
 #include "obs/trace.hh"
+#include "par/thread_pool.hh"
 
 namespace dnasim
 {
@@ -50,6 +51,16 @@ struct SimStats
 
 } // anonymous namespace
 
+std::vector<Rng>
+forkClusterStreams(Rng &rng, size_t n)
+{
+    std::vector<Rng> streams;
+    streams.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        streams.push_back(rng.fork(i));
+    return streams;
+}
+
 Dataset
 ChannelSimulator::simulate(const std::vector<Strand> &references,
                            const CoverageModel &coverage,
@@ -59,16 +70,19 @@ ChannelSimulator::simulate(const std::vector<Strand> &references,
     obs::ScopedTimer timer(ss.time);
     obs::ScopedTrace span("channel.simulate", "channel");
 
-    Dataset dataset;
-    dataset.clusters().reserve(references.size());
-    for (size_t i = 0; i < references.size(); ++i) {
-        Rng cluster_rng = rng.fork(i);
-        size_t n = coverage.sample(i, cluster_rng);
-        dataset.add(simulateCluster(references[i], n, cluster_rng));
+    // Pre-forked per-cluster streams: cluster i draws from
+    // rng.fork(i) regardless of which thread simulates it, so the
+    // output is bit-identical to the serial run for any --threads.
+    std::vector<Rng> streams =
+        forkClusterStreams(rng, references.size());
+    std::vector<Cluster> clusters(references.size());
+    par::parallelFor(0, references.size(), [&](size_t i) {
+        size_t n = coverage.sample(i, streams[i]);
+        clusters[i] = simulateCluster(references[i], n, streams[i]);
         ss.clusters.inc();
         ss.cluster_size.record(n);
-    }
-    return dataset;
+    });
+    return Dataset(std::move(clusters));
 }
 
 Dataset
@@ -78,16 +92,15 @@ ChannelSimulator::simulateLike(const Dataset &shape, Rng &rng) const
     obs::ScopedTimer timer(ss.time);
     obs::ScopedTrace span("channel.simulateLike", "channel");
 
-    Dataset dataset;
-    dataset.clusters().reserve(shape.size());
-    for (size_t i = 0; i < shape.size(); ++i) {
-        Rng cluster_rng = rng.fork(i);
-        dataset.add(simulateCluster(shape[i].reference,
-                                    shape[i].coverage(), cluster_rng));
+    std::vector<Rng> streams = forkClusterStreams(rng, shape.size());
+    std::vector<Cluster> clusters(shape.size());
+    par::parallelFor(0, shape.size(), [&](size_t i) {
+        clusters[i] = simulateCluster(
+            shape[i].reference, shape[i].coverage(), streams[i]);
         ss.clusters.inc();
         ss.cluster_size.record(shape[i].coverage());
-    }
-    return dataset;
+    });
+    return Dataset(std::move(clusters));
 }
 
 } // namespace dnasim

@@ -18,6 +18,16 @@ namespace dnasim
 {
 
 /**
+ * Fork @p n independent per-cluster Rng streams from @p rng by
+ * index: stream i is rng.fork(i). Forking reads only the parent
+ * seed, so the streams are a pure function of (seed, index) — this
+ * is the determinism contract that lets parallel loops draw the
+ * exact random numbers the serial loop would (DESIGN.md,
+ * "Deterministic parallelism").
+ */
+std::vector<Rng> forkClusterStreams(Rng &rng, size_t n);
+
+/**
  * Generates clustered noisy datasets from reference strands.
  *
  * The simulator forks one RNG stream per cluster so the data for a

@@ -6,8 +6,10 @@
 #include "align/edit_distance.hh"
 #include "align/gestalt.hh"
 #include "base/logging.hh"
+#include "core/channel_simulator.hh"
 #include "obs/stats.hh"
 #include "obs/trace.hh"
+#include "par/thread_pool.hh"
 #include "stats/histogram.hh"
 
 namespace dnasim
@@ -36,35 +38,41 @@ struct SecondOrderCount
     Histogram positions;
 };
 
-} // anonymous namespace
-
-ErrorProfiler::ErrorProfiler(ProfilerOptions options)
-    : options_(options)
+struct ProfilerStats
 {
-    DNASIM_ASSERT(options_.spatial_floor >= 0.0 &&
-                      options_.second_order_floor >= 0.0,
-                  "negative smoothing floor");
-}
+    obs::Timer &calibrate_time;
+    obs::Counter &pairs_profiled;
+    obs::Counter &pairs_skipped;
+    obs::Counter &cells_computed;
 
-ErrorProfile
-ErrorProfiler::calibrate(const Dataset &data) const
+    static ProfilerStats &
+    get()
+    {
+        auto &reg = obs::Registry::global();
+        static ProfilerStats ps{
+            reg.timer("profiler.calibrate_time",
+                      "wall time in calibrate()"),
+            reg.counter("profiler.pairs",
+                        "(reference, copy) pairs profiled"),
+            reg.counter("profiler.pairs_skipped",
+                        "pairs dropped as clustering artifacts"),
+            reg.counter("profiler.edit_cells",
+                        "edit-distance DP cells computed during "
+                        "calibration"),
+        };
+        return ps;
+    }
+};
+
+/**
+ * Everything calibrate() counts, gathered per cluster (or per chunk
+ * of clusters) and merged in cluster order. Every field is a sum or
+ * a max, so merging partial accumulators reproduces the serial
+ * totals exactly regardless of how clusters were partitioned across
+ * threads.
+ */
+struct CalibrationAccum
 {
-    auto &reg = obs::Registry::global();
-    static obs::Timer &calibrate_time = reg.timer(
-        "profiler.calibrate_time", "wall time in calibrate()");
-    static obs::Counter &pairs_profiled = reg.counter(
-        "profiler.pairs", "(reference, copy) pairs profiled");
-    static obs::Counter &pairs_skipped = reg.counter(
-        "profiler.pairs_skipped",
-        "pairs dropped as clustering artifacts");
-    static obs::Counter &cells_computed = reg.counter(
-        "profiler.edit_cells",
-        "edit-distance DP cells computed during calibration");
-    obs::ScopedTimer timer(calibrate_time);
-    obs::ScopedTrace span("profiler.calibrate", "profiler");
-
-    Rng rng(options_.seed);
-
     std::array<uint64_t, kNumBases> base_occurrences{};
     std::array<uint64_t, kNumBases> sub_counts{};
     std::array<uint64_t, kNumBases> ins_counts{};
@@ -82,128 +90,207 @@ ErrorProfiler::calibrate(const Dataset &data) const
     std::map<SecondOrderKey, SecondOrderCount, KeyLess> census;
     size_t design_length = 0;
 
-    for (const auto &cluster : data) {
-        const Strand &ref = cluster.reference;
-        if (ref.empty() || cluster.copies.empty())
+    void absorbCluster(const Cluster &cluster,
+                       const ProfilerOptions &options, Rng &rng);
+    void merge(CalibrationAccum &&other);
+};
+
+void
+CalibrationAccum::absorbCluster(const Cluster &cluster,
+                                const ProfilerOptions &options,
+                                Rng &rng)
+{
+    ProfilerStats &ps = ProfilerStats::get();
+
+    const Strand &ref = cluster.reference;
+    if (ref.empty() || cluster.copies.empty())
+        return;
+    design_length = std::max(design_length, ref.size());
+
+    auto ref_bases = baseCounts(ref);
+    auto run_mask = homopolymerRunMask(
+        ref, ErrorProfile::kHomopolymerRunLength);
+    size_t run_positions = 0;
+    for (bool b : run_mask)
+        run_positions += b ? 1 : 0;
+
+    size_t n_copies = cluster.copies.size();
+    if (options.max_copies_per_cluster > 0)
+        n_copies = std::min(n_copies, options.max_copies_per_cluster);
+    for (size_t c = 0; c < n_copies; ++c) {
+        const Strand &copy = cluster.copies[c];
+
+        auto ops = editOps(ref, copy, &rng);
+        ps.cells_computed.add(
+            static_cast<uint64_t>(ref.size() + 1) *
+            static_cast<uint64_t>(copy.size() + 1));
+        if (options.max_copy_error_frac > 0.0 &&
+            static_cast<double>(numErrors(ops)) >
+                options.max_copy_error_frac *
+                    static_cast<double>(ref.size())) {
+            // Alien or truncated read — a clustering artifact,
+            // not a channel observation.
+            ps.pairs_skipped.inc();
             continue;
-        design_length = std::max(design_length, ref.size());
-
-        auto ref_bases = baseCounts(ref);
-        auto run_mask = homopolymerRunMask(
-            ref, ErrorProfile::kHomopolymerRunLength);
-        size_t run_positions = 0;
-        for (bool b : run_mask)
-            run_positions += b ? 1 : 0;
-
-        size_t n_copies = cluster.copies.size();
-        if (options_.max_copies_per_cluster > 0) {
-            n_copies = std::min(n_copies,
-                                options_.max_copies_per_cluster);
         }
-        for (size_t c = 0; c < n_copies; ++c) {
-            const Strand &copy = cluster.copies[c];
-
-            auto ops = editOps(ref, copy, &rng);
-            cells_computed.add(
-                static_cast<uint64_t>(ref.size() + 1) *
-                static_cast<uint64_t>(copy.size() + 1));
-            if (options_.max_copy_error_frac > 0.0 &&
-                static_cast<double>(numErrors(ops)) >
-                    options_.max_copy_error_frac *
-                        static_cast<double>(ref.size())) {
-                // Alien or truncated read — a clustering artifact,
-                // not a channel observation.
-                pairs_skipped.inc();
+        ps.pairs_profiled.inc();
+        total_positions += ref.size();
+        for (size_t b = 0; b < kNumBases; ++b)
+            base_occurrences[b] += ref_bases[b];
+        positions_in_runs += run_positions;
+        positions_outside_runs += ref.size() - run_positions;
+        for (const auto &op : ops) {
+            if (op.type == EditOpType::Equal)
                 continue;
-            }
-            pairs_profiled.inc();
-            total_positions += ref.size();
-            for (size_t b = 0; b < kNumBases; ++b)
-                base_occurrences[b] += ref_bases[b];
-            positions_in_runs += run_positions;
-            positions_outside_runs += ref.size() - run_positions;
-            for (const auto &op : ops) {
-                if (op.type == EditOpType::Equal)
-                    continue;
-                size_t pos = std::min(op.ref_pos, ref.size() - 1);
-                if (run_mask[pos])
-                    ++errors_in_runs;
-                else
-                    ++errors_outside_runs;
-            }
+            size_t pos = std::min(op.ref_pos, ref.size() - 1);
+            if (run_mask[pos])
+                ++errors_in_runs;
+            else
+                ++errors_outside_runs;
+        }
 
-            if (options_.spatial_from_gestalt) {
-                for (size_t pos : gestaltErrorPositions(ref, copy))
-                    spatial_gestalt.add(pos);
+        if (options.spatial_from_gestalt) {
+            for (size_t pos : gestaltErrorPositions(ref, copy))
+                spatial_gestalt.add(pos);
+        }
+
+        auto clamp_pos = [&](size_t p) {
+            return std::min(p, ref.size() - 1);
+        };
+
+        // Non-deletion ops first; deletions handled per run.
+        for (const auto &op : ops) {
+            switch (op.type) {
+              case EditOpType::Equal:
+              case EditOpType::Delete:
+                break;
+              case EditOpType::Substitute: {
+                size_t b = baseIndex(op.ref_base);
+                size_t r = baseIndex(op.copy_base);
+                ++sub_counts[b];
+                ++confusion[b][r];
+                ++total_subs;
+                spatial.add(op.ref_pos);
+                SecondOrderKey key{EditOpType::Substitute,
+                                   op.ref_base, op.copy_base};
+                auto &entry = census[key];
+                ++entry.count;
+                entry.positions.add(op.ref_pos);
+                break;
+              }
+              case EditOpType::Insert: {
+                size_t pos = clamp_pos(op.ref_pos);
+                size_t b = baseIndex(ref[pos]);
+                ++ins_counts[b];
+                ++insert_base_counts[baseIndex(op.copy_base)];
+                ++total_ins;
+                spatial.add(pos);
+                SecondOrderKey key{EditOpType::Insert, op.copy_base,
+                                   '\0'};
+                auto &entry = census[key];
+                ++entry.count;
+                entry.positions.add(pos);
+                break;
+              }
             }
+        }
 
-            auto clamp_pos = [&](size_t p) {
-                return std::min(p, ref.size() - 1);
-            };
-
-            // Non-deletion ops first; deletions handled per run.
-            for (const auto &op : ops) {
-                switch (op.type) {
-                  case EditOpType::Equal:
-                  case EditOpType::Delete:
-                    break;
-                  case EditOpType::Substitute: {
-                    size_t b = baseIndex(op.ref_base);
-                    size_t r = baseIndex(op.copy_base);
-                    ++sub_counts[b];
-                    ++confusion[b][r];
-                    ++total_subs;
-                    spatial.add(op.ref_pos);
-                    SecondOrderKey key{EditOpType::Substitute,
-                                       op.ref_base, op.copy_base};
-                    auto &entry = census[key];
-                    ++entry.count;
-                    entry.positions.add(op.ref_pos);
-                    break;
-                  }
-                  case EditOpType::Insert: {
-                    size_t pos = clamp_pos(op.ref_pos);
-                    size_t b = baseIndex(ref[pos]);
-                    ++ins_counts[b];
-                    ++insert_base_counts[baseIndex(op.copy_base)];
-                    ++total_ins;
-                    spatial.add(pos);
-                    SecondOrderKey key{EditOpType::Insert,
-                                       op.copy_base, '\0'};
-                    auto &entry = census[key];
-                    ++entry.count;
-                    entry.positions.add(pos);
-                    break;
-                  }
-                }
-            }
-
-            for (const auto &run : deletionRuns(ops)) {
-                total_deleted_bases += run.length;
-                for (size_t k = 0; k < run.length; ++k)
-                    spatial.add(run.ref_pos + k);
-                if (run.length == 1) {
-                    size_t b = baseIndex(ref[run.ref_pos]);
-                    ++single_del_counts[b];
-                    SecondOrderKey key{EditOpType::Delete,
-                                       ref[run.ref_pos], '\0'};
-                    auto &entry = census[key];
-                    ++entry.count;
-                    entry.positions.add(run.ref_pos);
-                } else {
-                    ++long_del_starts;
-                    long_del_lengths.add(run.length);
-                }
+        for (const auto &run : deletionRuns(ops)) {
+            total_deleted_bases += run.length;
+            for (size_t k = 0; k < run.length; ++k)
+                spatial.add(run.ref_pos + k);
+            if (run.length == 1) {
+                size_t b = baseIndex(ref[run.ref_pos]);
+                ++single_del_counts[b];
+                SecondOrderKey key{EditOpType::Delete,
+                                   ref[run.ref_pos], '\0'};
+                auto &entry = census[key];
+                ++entry.count;
+                entry.positions.add(run.ref_pos);
+            } else {
+                ++long_del_starts;
+                long_del_lengths.add(run.length);
             }
         }
     }
+}
 
-    if (total_positions == 0)
+void
+CalibrationAccum::merge(CalibrationAccum &&other)
+{
+    for (size_t b = 0; b < kNumBases; ++b) {
+        base_occurrences[b] += other.base_occurrences[b];
+        sub_counts[b] += other.sub_counts[b];
+        ins_counts[b] += other.ins_counts[b];
+        single_del_counts[b] += other.single_del_counts[b];
+        insert_base_counts[b] += other.insert_base_counts[b];
+        for (size_t r = 0; r < kNumBases; ++r)
+            confusion[b][r] += other.confusion[b][r];
+    }
+    total_positions += other.total_positions;
+    total_subs += other.total_subs;
+    total_ins += other.total_ins;
+    total_deleted_bases += other.total_deleted_bases;
+    long_del_starts += other.long_del_starts;
+    long_del_lengths.merge(other.long_del_lengths);
+    spatial.merge(other.spatial);
+    spatial_gestalt.merge(other.spatial_gestalt);
+    positions_in_runs += other.positions_in_runs;
+    positions_outside_runs += other.positions_outside_runs;
+    errors_in_runs += other.errors_in_runs;
+    errors_outside_runs += other.errors_outside_runs;
+    for (auto &[key, entry] : other.census) {
+        auto &mine = census[key];
+        mine.count += entry.count;
+        mine.positions.merge(entry.positions);
+    }
+    design_length = std::max(design_length, other.design_length);
+}
+
+} // anonymous namespace
+
+ErrorProfiler::ErrorProfiler(ProfilerOptions options)
+    : options_(options)
+{
+    DNASIM_ASSERT(options_.spatial_floor >= 0.0 &&
+                      options_.second_order_floor >= 0.0,
+                  "negative smoothing floor");
+}
+
+ErrorProfile
+ErrorProfiler::calibrate(const Dataset &data) const
+{
+    ProfilerStats &ps = ProfilerStats::get();
+    obs::ScopedTimer timer(ps.calibrate_time);
+    obs::ScopedTrace span("profiler.calibrate", "profiler");
+
+    // One tie-breaking stream per cluster, forked by cluster index,
+    // so pair alignment parallelizes without the backtrace draws
+    // depending on the processing order.
+    Rng root(options_.seed);
+    std::vector<Rng> streams = forkClusterStreams(root, data.size());
+
+    // Per-cluster accumulation with an index-ordered tree merge:
+    // identical totals for any thread count or chunking.
+    std::vector<CalibrationAccum> partials =
+        par::parallelTransform(
+            data.size(),
+            [&](size_t i) {
+                CalibrationAccum local;
+                local.absorbCluster(data[i], options_, streams[i]);
+                return local;
+            },
+            /*grain=*/4);
+    CalibrationAccum acc;
+    for (auto &partial : partials)
+        acc.merge(std::move(partial));
+
+    if (acc.total_positions == 0)
         DNASIM_FATAL("cannot calibrate: dataset has no "
                      "(reference, copy) pairs");
 
     ErrorProfile p;
-    p.design_length = design_length;
+    p.design_length = acc.design_length;
 
     auto rate = [](uint64_t num, uint64_t den) {
         return den == 0 ? 0.0
@@ -211,56 +298,65 @@ ErrorProfiler::calibrate(const Dataset &data) const
                               static_cast<double>(den);
     };
 
-    p.p_sub = rate(total_subs, total_positions);
-    p.p_ins = rate(total_ins, total_positions);
-    p.p_del = rate(total_deleted_bases, total_positions);
+    p.p_sub = rate(acc.total_subs, acc.total_positions);
+    p.p_ins = rate(acc.total_ins, acc.total_positions);
+    p.p_del = rate(acc.total_deleted_bases, acc.total_positions);
 
     for (size_t b = 0; b < kNumBases; ++b) {
-        p.p_sub_given[b] = rate(sub_counts[b], base_occurrences[b]);
-        p.p_ins_given[b] = rate(ins_counts[b], base_occurrences[b]);
+        p.p_sub_given[b] =
+            rate(acc.sub_counts[b], acc.base_occurrences[b]);
+        p.p_ins_given[b] =
+            rate(acc.ins_counts[b], acc.base_occurrences[b]);
         p.p_del_given[b] =
-            rate(single_del_counts[b], base_occurrences[b]);
+            rate(acc.single_del_counts[b], acc.base_occurrences[b]);
         for (size_t r = 0; r < kNumBases; ++r)
-            p.confusion[b][r] = rate(confusion[b][r], sub_counts[b]);
+            p.confusion[b][r] =
+                rate(acc.confusion[b][r], acc.sub_counts[b]);
     }
 
     uint64_t total_inserted = 0;
-    for (uint64_t c : insert_base_counts)
+    for (uint64_t c : acc.insert_base_counts)
         total_inserted += c;
     for (size_t b = 0; b < kNumBases; ++b)
-        p.insert_base[b] = rate(insert_base_counts[b], total_inserted);
+        p.insert_base[b] =
+            rate(acc.insert_base_counts[b], total_inserted);
 
-    p.p_long_del = rate(long_del_starts, total_positions);
-    if (long_del_lengths.numBins() > 2) {
+    p.p_long_del = rate(acc.long_del_starts, acc.total_positions);
+    if (acc.long_del_lengths.numBins() > 2) {
         // Bin i of the histogram is run length i; weights start at 2.
-        for (size_t len = 2; len < long_del_lengths.numBins(); ++len) {
-            p.long_del_len_weights.push_back(
-                static_cast<double>(long_del_lengths.count(len)));
+        for (size_t len = 2; len < acc.long_del_lengths.numBins();
+             ++len) {
+            p.long_del_len_weights.push_back(static_cast<double>(
+                acc.long_del_lengths.count(len)));
         }
     }
 
     p.spatial = PositionProfile::fromHistogram(
-        options_.spatial_from_gestalt ? spatial_gestalt : spatial,
-        design_length, options_.spatial_floor);
+        options_.spatial_from_gestalt ? acc.spatial_gestalt
+                                      : acc.spatial,
+        acc.design_length, options_.spatial_floor);
 
-    if (positions_in_runs > 0 && positions_outside_runs > 0 &&
-        errors_outside_runs > 0) {
-        double rate_in = rate(errors_in_runs, positions_in_runs);
+    if (acc.positions_in_runs > 0 && acc.positions_outside_runs > 0 &&
+        acc.errors_outside_runs > 0) {
+        double rate_in =
+            rate(acc.errors_in_runs, acc.positions_in_runs);
         double rate_out =
-            rate(errors_outside_runs, positions_outside_runs);
+            rate(acc.errors_outside_runs, acc.positions_outside_runs);
         p.homopolymer_mult = rate_in / rate_out;
     }
 
-    // Top-K second-order errors by count.
+    // Top-K second-order errors by count. stable_sort keeps the
+    // KeyLess order among equal counts, so the selection is
+    // deterministic.
     std::vector<std::pair<SecondOrderKey, const SecondOrderCount *>>
         ranked;
-    ranked.reserve(census.size());
-    for (const auto &[key, entry] : census)
+    ranked.reserve(acc.census.size());
+    for (const auto &[key, entry] : acc.census)
         ranked.emplace_back(key, &entry);
-    std::sort(ranked.begin(), ranked.end(),
-              [](const auto &a, const auto &b) {
-                  return a.second->count > b.second->count;
-              });
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const auto &a, const auto &b) {
+                         return a.second->count > b.second->count;
+                     });
     size_t keep = std::min(options_.top_second_order, ranked.size());
     for (size_t i = 0; i < keep; ++i) {
         const auto &[key, entry] = ranked[i];
@@ -268,13 +364,14 @@ ErrorProfiler::calibrate(const Dataset &data) const
         spec.key = key;
         spec.count = entry->count;
         if (key.type == EditOpType::Insert) {
-            spec.rate = rate(entry->count, total_positions);
+            spec.rate = rate(entry->count, acc.total_positions);
         } else {
-            spec.rate = rate(entry->count,
-                             base_occurrences[baseIndex(key.base)]);
+            spec.rate =
+                rate(entry->count,
+                     acc.base_occurrences[baseIndex(key.base)]);
         }
         spec.spatial = PositionProfile::fromHistogram(
-            entry->positions, design_length,
+            entry->positions, acc.design_length,
             options_.second_order_floor);
         p.second_order.push_back(std::move(spec));
     }

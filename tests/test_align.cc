@@ -103,6 +103,135 @@ TEST(Levenshtein, BandedFastPathMatchesFullMatrix)
     }
 }
 
+namespace
+{
+
+/** Textbook full-matrix DP — ground truth for the fast kernels. */
+size_t
+fullMatrixDp(std::string_view a, std::string_view b)
+{
+    std::vector<size_t> prev(b.size() + 1), cur(b.size() + 1);
+    for (size_t j = 0; j <= b.size(); ++j)
+        prev[j] = j;
+    for (size_t i = 1; i <= a.size(); ++i) {
+        cur[0] = i;
+        for (size_t j = 1; j <= b.size(); ++j) {
+            size_t diag = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+            cur[j] = std::min({diag, prev[j] + 1, cur[j - 1] + 1});
+        }
+        std::swap(prev, cur);
+    }
+    return prev[b.size()];
+}
+
+} // anonymous namespace
+
+TEST(LevenshteinBanded, BandZeroIsDiagonalOnly)
+{
+    // Band 0 admits only the main diagonal: exact for equal-length
+    // substitution-only pairs, an overestimate otherwise.
+    EXPECT_EQ(levenshteinBanded("ACGT", "ACGT", 0), 0u);
+    EXPECT_EQ(levenshteinBanded("ACGT", "AGGT", 0), 1u);
+    EXPECT_EQ(levenshteinBanded("AAAA", "TTTT", 0), 4u);
+    // An indel forces the path off the diagonal; the result may be
+    // an overestimate but must stay >= the true distance and > band.
+    size_t d = levenshteinBanded("ACGT", "ACG", 0);
+    EXPECT_GE(d, 1u);
+    EXPECT_GT(d, 0u);
+}
+
+TEST(LevenshteinBanded, EmptyStrings)
+{
+    EXPECT_EQ(levenshteinBanded("", "", 0), 0u);
+    EXPECT_EQ(levenshteinBanded("", "", 10), 0u);
+    // One side empty: the true distance is the other's length, which
+    // lies outside a narrow band — certified only once band >= len.
+    EXPECT_EQ(levenshteinBanded("", "ACGT", 4), 4u);
+    EXPECT_EQ(levenshteinBanded("ACGT", "", 4), 4u);
+    EXPECT_GE(levenshteinBanded("", "ACGT", 2), 4u);
+    EXPECT_GE(levenshteinBanded("ACGT", "", 2), 4u);
+}
+
+TEST(LevenshteinBanded, OverestimateNeverUnderestimates)
+{
+    // The banded result is exact when <= band; otherwise it may
+    // overestimate but must never undercut the true distance (the
+    // widening loop in levenshtein() relies on exactly this).
+    StrandFactory factory;
+    Rng rng(41);
+    for (int trial = 0; trial < 40; ++trial) {
+        Strand a = factory.make(10 + rng.index(60), rng);
+        Strand b = factory.make(10 + rng.index(60), rng);
+        size_t truth = fullMatrixDp(a, b);
+        for (size_t band : {size_t{0}, size_t{2}, size_t{5},
+                            size_t{12}, size_t{200}}) {
+            size_t d = levenshteinBanded(a, b, band);
+            EXPECT_GE(d, truth) << "band " << band;
+            if (d <= band || truth <= band) {
+                EXPECT_EQ(d, truth) << "band " << band;
+            }
+        }
+    }
+}
+
+TEST(LevenshteinBitParallel, MatchesFullDpAtWordBoundaries)
+{
+    // The Myers kernel switches from one 64-bit word to the blocked
+    // variant at pattern length 65; lengths straddling every word
+    // boundary must agree with the textbook DP. Strands are drawn
+    // base-by-base (StrandFactory's GC constraints cannot be met at
+    // tiny lengths).
+    Rng rng(42);
+    auto make = [&](size_t len) {
+        Strand s;
+        for (size_t i = 0; i < len; ++i)
+            s.push_back("ACGT"[rng.index(4)]);
+        return s;
+    };
+    ErrorProfile profile = ErrorProfile::uniform(0.08, 200);
+    IdsChannelModel channel = IdsChannelModel::naive(profile);
+    for (size_t len : {size_t{1}, size_t{2}, size_t{63}, size_t{64},
+                       size_t{65}, size_t{127}, size_t{128},
+                       size_t{129}, size_t{150}, size_t{200}}) {
+        for (int trial = 0; trial < 10; ++trial) {
+            Strand a = make(len);
+            Strand b = channel.transmit(a, rng);
+            EXPECT_EQ(levenshteinBitParallel(a, b),
+                      fullMatrixDp(a, b))
+                << "similar pair, len " << len;
+            Strand c = make(1 + rng.index(2 * len));
+            EXPECT_EQ(levenshteinBitParallel(a, c),
+                      fullMatrixDp(a, c))
+                << "dissimilar pair, len " << len;
+        }
+    }
+}
+
+TEST(LevenshteinBitParallel, EmptyAndDegenerate)
+{
+    EXPECT_EQ(levenshteinBitParallel("", ""), 0u);
+    EXPECT_EQ(levenshteinBitParallel("", "ACGT"), 4u);
+    EXPECT_EQ(levenshteinBitParallel("ACGT", ""), 4u);
+    EXPECT_EQ(levenshteinBitParallel("A", "A"), 0u);
+    EXPECT_EQ(levenshteinBitParallel("A", "T"), 1u);
+}
+
+TEST(LevenshteinBitParallel, ArbitraryBytes)
+{
+    // The peq tables index by unsigned char; the kernel must handle
+    // the full byte range, not just ACGT.
+    Rng rng(43);
+    for (int trial = 0; trial < 30; ++trial) {
+        std::string a, b;
+        size_t la = 1 + rng.index(130), lb = 1 + rng.index(130);
+        for (size_t i = 0; i < la; ++i)
+            a.push_back(static_cast<char>(rng.index(256)));
+        for (size_t i = 0; i < lb; ++i)
+            b.push_back(static_cast<char>(rng.index(256)));
+        EXPECT_EQ(levenshteinBitParallel(a, b), fullMatrixDp(a, b));
+    }
+}
+
 TEST(EditOps, EqualStringsAllEqualOps)
 {
     auto ops = editOps("ACGT", "ACGT");

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Tests of the deterministic parallel execution layer: coverage and
+ * ordering guarantees of parallelFor/parallelTransform, exception
+ * propagation, nested-region safety, and the end-to-end determinism
+ * contract — simulate, reconstruct and clusterReads must produce
+ * byte-identical output at every thread count.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/accuracy.hh"
+#include "base/rng.hh"
+#include "cluster/greedy_cluster.hh"
+#include "core/channel_simulator.hh"
+#include "core/coverage.hh"
+#include "core/ids_model.hh"
+#include "core/profiler.hh"
+#include "core/wetlab.hh"
+#include "data/strand_factory.hh"
+#include "obs/stats.hh"
+#include "par/thread_pool.hh"
+#include "reconstruct/bma.hh"
+
+namespace dnasim
+{
+namespace
+{
+
+/** Restore the default thread count when a test scope exits. */
+struct ThreadGuard
+{
+    explicit ThreadGuard(size_t n) { par::setThreads(n); }
+    ~ThreadGuard() { par::setThreads(0); }
+};
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce)
+{
+    for (size_t threads : {size_t{1}, size_t{2}, size_t{8}}) {
+        ThreadGuard guard(threads);
+        for (size_t n : {size_t{0}, size_t{1}, size_t{7}, size_t{64},
+                         size_t{1000}}) {
+            std::vector<std::atomic<int>> hits(n);
+            for (auto &h : hits)
+                h.store(0);
+            par::parallelFor(0, n,
+                             [&](size_t i) { hits[i].fetch_add(1); });
+            for (size_t i = 0; i < n; ++i)
+                EXPECT_EQ(hits[i].load(), 1)
+                    << "index " << i << " at " << threads
+                    << " threads, n = " << n;
+        }
+    }
+}
+
+TEST(ParallelFor, RespectsBeginOffsetAndGrain)
+{
+    ThreadGuard guard(4);
+    for (size_t grain : {size_t{1}, size_t{3}, size_t{64},
+                         size_t{10000}}) {
+        std::vector<std::atomic<int>> hits(500);
+        for (auto &h : hits)
+            h.store(0);
+        par::parallelFor(
+            100, 500, [&](size_t i) { hits[i].fetch_add(1); }, grain);
+        for (size_t i = 0; i < 500; ++i)
+            EXPECT_EQ(hits[i].load(), i < 100 ? 0 : 1)
+                << "index " << i << " at grain " << grain;
+    }
+}
+
+TEST(ParallelTransform, PreservesOrder)
+{
+    auto square = [](size_t i) { return i * i; };
+    std::vector<size_t> serial;
+    {
+        ThreadGuard guard(1);
+        serial = par::parallelTransform(777, square);
+    }
+    ASSERT_EQ(serial.size(), 777u);
+    for (size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i], i * i);
+    for (size_t threads : {size_t{2}, size_t{8}}) {
+        ThreadGuard guard(threads);
+        EXPECT_EQ(par::parallelTransform(777, square), serial)
+            << threads << " threads";
+    }
+}
+
+TEST(ParallelFor, NestedRegionsDegradeToSerial)
+{
+    ThreadGuard guard(4);
+    std::atomic<size_t> total{0};
+    par::parallelFor(0, 16, [&](size_t) {
+        EXPECT_TRUE(par::inParallelRegion());
+        // The inner loop must run inline on this thread — no
+        // deadlock, every index covered.
+        par::parallelFor(0, 8,
+                         [&](size_t) { total.fetch_add(1); });
+    });
+    EXPECT_EQ(total.load(), 16u * 8u);
+    EXPECT_FALSE(par::inParallelRegion());
+}
+
+TEST(ParallelFor, PropagatesFirstException)
+{
+    for (size_t threads : {size_t{1}, size_t{4}}) {
+        ThreadGuard guard(threads);
+        EXPECT_THROW(
+            par::parallelFor(0, 200,
+                             [&](size_t i) {
+                                 if (i == 117)
+                                     throw std::runtime_error("boom");
+                             }),
+            std::runtime_error)
+            << threads << " threads";
+        // The pool must stay usable after a failed region.
+        std::atomic<size_t> total{0};
+        par::parallelFor(0, 100,
+                         [&](size_t) { total.fetch_add(1); });
+        EXPECT_EQ(total.load(), 100u);
+    }
+}
+
+TEST(ParallelFor, RecordsObservability)
+{
+    ThreadGuard guard(3);
+    EXPECT_EQ(par::numThreads(), 3u);
+    obs::Snapshot before = obs::Registry::global().snapshot();
+    par::parallelFor(0, 1000, [](size_t) {});
+    obs::Snapshot after = obs::Registry::global().snapshot();
+    EXPECT_EQ(after.counter("par.regions"),
+              before.counter("par.regions") + 1);
+    EXPECT_EQ(after.counter("par.items"),
+              before.counter("par.items") + 1000);
+}
+
+TEST(ForkClusterStreams, PureFunctionOfSeedAndIndex)
+{
+    // Stream i must not depend on how many streams are forked or on
+    // any draws interleaved between forks — the determinism contract.
+    Rng a(1234);
+    Rng b(1234);
+    auto few = forkClusterStreams(a, 3);
+    auto many = forkClusterStreams(b, 100);
+    for (size_t i = 0; i < few.size(); ++i) {
+        Rng x = few[i], y = many[i];
+        for (int k = 0; k < 16; ++k)
+            EXPECT_EQ(x.index(1 << 30), y.index(1 << 30))
+                << "stream " << i;
+    }
+}
+
+/** A small calibrated channel for the end-to-end determinism tests. */
+struct E2eFixture
+{
+    std::vector<Strand> refs;
+    ErrorProfile profile = ErrorProfile::uniform(0.06, 110);
+    IdsChannelModel model = IdsChannelModel::naive(profile);
+
+    E2eFixture()
+    {
+        Rng rng(99);
+        StrandFactory factory;
+        for (size_t i = 0; i < 60; ++i)
+            refs.push_back(factory.make(110, rng));
+    }
+
+    Dataset
+    simulate() const
+    {
+        ChannelSimulator sim(model);
+        FixedCoverage coverage(8);
+        Rng rng(0x5eed);
+        return sim.simulate(refs, coverage, rng);
+    }
+};
+
+std::string
+flatten(const Dataset &data)
+{
+    std::string s;
+    for (const auto &c : data) {
+        s += c.reference;
+        s += '|';
+        for (const auto &copy : c.copies) {
+            s += copy;
+            s += ';';
+        }
+        s += '\n';
+    }
+    return s;
+}
+
+TEST(Determinism, SimulateIsByteIdenticalAcrossThreadCounts)
+{
+    E2eFixture fx;
+    std::string serial;
+    {
+        ThreadGuard guard(1);
+        serial = flatten(fx.simulate());
+    }
+    for (size_t threads : {size_t{2}, size_t{8}}) {
+        ThreadGuard guard(threads);
+        EXPECT_EQ(flatten(fx.simulate()), serial)
+            << threads << " threads";
+    }
+}
+
+TEST(Determinism, ReconstructAllIsByteIdenticalAcrossThreadCounts)
+{
+    E2eFixture fx;
+    Dataset data;
+    {
+        ThreadGuard guard(1);
+        data = fx.simulate();
+    }
+    BmaLookahead algo;
+    auto run = [&] {
+        Rng rng(0x4ec0);
+        return reconstructAll(data, algo, rng);
+    };
+    std::vector<Strand> serial;
+    {
+        ThreadGuard guard(1);
+        serial = run();
+    }
+    for (size_t threads : {size_t{2}, size_t{8}}) {
+        ThreadGuard guard(threads);
+        EXPECT_EQ(run(), serial) << threads << " threads";
+    }
+}
+
+TEST(Determinism, CalibrateIsIdenticalAcrossThreadCounts)
+{
+    E2eFixture fx;
+    Dataset data;
+    {
+        ThreadGuard guard(1);
+        data = fx.simulate();
+    }
+    ErrorProfiler profiler;
+    std::string serial;
+    {
+        ThreadGuard guard(1);
+        serial = profiler.calibrate(data).str();
+    }
+    for (size_t threads : {size_t{2}, size_t{8}}) {
+        ThreadGuard guard(threads);
+        EXPECT_EQ(profiler.calibrate(data).str(), serial)
+            << threads << " threads";
+    }
+}
+
+TEST(Determinism, ClusterReadsIsIdenticalAcrossThreadCounts)
+{
+    E2eFixture fx;
+    std::vector<Strand> pool;
+    {
+        ThreadGuard guard(1);
+        pool = fx.simulate().pooledReads();
+    }
+    ClusterOptions options;
+    options.max_probes = 32; // cross the parallel-probe threshold
+    auto run = [&] {
+        std::string s;
+        for (const auto &c : clusterReads(pool, options)) {
+            s += c.representative;
+            s += ':';
+            for (size_t m : c.members) {
+                s += std::to_string(m);
+                s += ',';
+            }
+            s += '\n';
+        }
+        return s;
+    };
+    std::string serial;
+    {
+        ThreadGuard guard(1);
+        serial = run();
+    }
+    for (size_t threads : {size_t{2}, size_t{8}}) {
+        ThreadGuard guard(threads);
+        EXPECT_EQ(run(), serial) << threads << " threads";
+    }
+}
+
+} // namespace
+} // namespace dnasim
