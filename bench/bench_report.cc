@@ -8,10 +8,16 @@
 #include <mutex>
 #include <sstream>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 #include "base/logging.hh"
 #include "obs/json.hh"
+#include "obs/profile.hh"
 #include "obs/report.hh"
 #include "obs/stats.hh"
+#include "obs/trace.hh"
 #include "par/thread_pool.hh"
 
 namespace dnasim
@@ -125,6 +131,9 @@ BenchReport::write()
     std::ofstream os(path);
     if (!os) {
         warn("bench report: cannot write ", path);
+        // The report is lost, but an enabled trace can still land on
+        // disk (no-op unless --trace-out configured an exit path).
+        obs::Trace::global().flushExitFile();
         return "";
     }
 
@@ -135,7 +144,9 @@ BenchReport::write()
     w.value("git_rev", gitRevision());
     w.value("seed", seed_);
     w.value("wall_time_s", wall_s);
-    w.value("peak_rss_bytes", peakRssBytes());
+    std::string rss_source;
+    w.value("peak_rss_bytes", peakRssBytes(&rss_source));
+    w.value("rss_source", rss_source);
 
     w.beginObject("throughput");
     w.value("strands_simulated", strands);
@@ -159,6 +170,7 @@ BenchReport::write()
     w.value("serial_regions", snap.counter("par.serial_regions"));
     w.value("steals", snap.counter("par.steals"));
     w.value("busy_ns", busy_ns);
+    w.value("cpu_ns", snap.counter("par.cpu_ns"));
     w.value("utilization",
             wall_s > 0.0 && threads > 0
                 ? static_cast<double>(busy_ns) * 1e-9 /
@@ -187,10 +199,19 @@ BenchReport::write()
     }
     w.endArray();
 
+    // Phase profile, when the run traced (--profile in perf_main).
+    obs::Profile profile = obs::buildProfile(obs::Trace::global());
+    if (!profile.empty())
+        w.rawValue("profile", obs::profileToJson(profile));
+
     w.rawValue("stats", obs::statsToJson(snap));
     w.endObject();
     os << "\n";
     os.close();
+
+    // This writer runs from atexit, which an early std::exit also
+    // reaches; flush any pending trace here so both files survive.
+    obs::Trace::global().flushExitFile();
 
     std::cerr << "# bench report: wrote " << path << "\n";
     return path;
@@ -203,17 +224,34 @@ benchRng(uint64_t salt)
 }
 
 uint64_t
-peakRssBytes()
+peakRssBytes(std::string *source)
 {
+    if (source)
+        *source = "none";
     std::ifstream status("/proc/self/status");
     std::string line;
     while (std::getline(status, line)) {
         if (line.rfind("VmHWM:", 0) == 0) {
             unsigned long long kb = 0;
             std::sscanf(line.c_str(), "VmHWM: %llu", &kb);
+            if (source)
+                *source = "proc_status";
             return static_cast<uint64_t>(kb) * 1024;
         }
     }
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage usage;
+    if (getrusage(RUSAGE_SELF, &usage) == 0 && usage.ru_maxrss > 0) {
+        if (source)
+            *source = "getrusage";
+        // ru_maxrss is KiB on Linux, bytes on macOS.
+#if defined(__APPLE__)
+        return static_cast<uint64_t>(usage.ru_maxrss);
+#else
+        return static_cast<uint64_t>(usage.ru_maxrss) * 1024;
+#endif
+    }
+#endif
     return 0;
 }
 

@@ -87,8 +87,15 @@ class BenchReport
  */
 Rng benchRng(uint64_t salt);
 
-/** Peak resident set size in bytes (VmHWM), 0 if unavailable. */
-uint64_t peakRssBytes();
+/**
+ * Peak resident set size in bytes: VmHWM from /proc/self/status,
+ * falling back to getrusage(RUSAGE_SELF) where /proc is unavailable
+ * (containers, macOS); 0 when neither source exists. A non-null
+ * @p source receives which one answered ("proc_status", "getrusage"
+ * or "none") — reports echo it as "rss_source" so cross-platform
+ * numbers aren't compared blindly.
+ */
+uint64_t peakRssBytes(std::string *source = nullptr);
 
 /** Short git revision of the source tree, "unknown" on failure. */
 std::string gitRevision();

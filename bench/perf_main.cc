@@ -2,19 +2,29 @@
  * @file
  * Shared main() for the perf_* microbenchmarks: google-benchmark's
  * usual driver plus a reporter that funnels every measurement into
- * the BENCH_<name>.json report, plus --seed and --threads flags
- * (consumed before benchmark::Initialize) so runs are reproducible
- * and both the seed and the worker-thread count are recorded in the
- * report.
+ * the BENCH_<name>.json report, plus flags consumed before
+ * benchmark::Initialize:
+ *   --seed S        master RNG seed, recorded in the report
+ *   --threads N     worker threads, recorded in the report
+ *   --quick         CI perf-gate mode: short repetitions
+ *                   (--benchmark_min_time=0.05s) so a full perf_*
+ *                   binary finishes in seconds; noise is handled by
+ *                   the ledger diff over repeats, not by long runs
+ *   --profile       enable tracing + RSS sampling; the phase profile
+ *                   is printed to stderr and embedded in the report
+ *   --trace-out F   write a Chrome trace JSON (flushed at exit)
  */
 
 #include <cstdlib>
+#include <iostream>
 #include <string>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
 #include "bench_report.hh"
+#include "obs/profile.hh"
+#include "obs/trace.hh"
 #include "par/thread_pool.hh"
 
 namespace
@@ -52,7 +62,13 @@ main(int argc, char **argv)
 {
     uint64_t seed = 0xbe9c;
     uint64_t threads = 0;
+    bool quick = false;
+    bool profile = false;
+    std::string trace_out;
     std::vector<char *> keep;
+    // Owns strings injected into argv (benchmark::Initialize keeps
+    // pointers into them).
+    static std::vector<std::string> injected;
     keep.push_back(argv[0]);
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -72,7 +88,29 @@ main(int argc, char **argv)
             threads = std::strtoull(argv[++i], nullptr, 0);
             continue;
         }
+        if (arg == "--quick") {
+            quick = true;
+            continue;
+        }
+        if (arg == "--profile") {
+            profile = true;
+            continue;
+        }
+        if (arg.rfind("--trace-out=", 0) == 0) {
+            trace_out = arg.substr(12);
+            continue;
+        }
+        if (arg == "--trace-out" && i + 1 < argc) {
+            trace_out = argv[++i];
+            continue;
+        }
         keep.push_back(argv[i]);
+    }
+    if (quick) {
+        // google-benchmark 1.7 takes plain seconds here; later
+        // releases also accept the "0.05s" suffix form.
+        injected.push_back("--benchmark_min_time=0.05");
+        keep.push_back(injected.back().data());
     }
     int kept_argc = static_cast<int>(keep.size());
 
@@ -87,6 +125,16 @@ main(int argc, char **argv)
     dnasim::BenchReport::global().setConfig("seed", seed);
     dnasim::BenchReport::global().setConfig(
         "threads", static_cast<uint64_t>(dnasim::par::numThreads()));
+    dnasim::BenchReport::global().setConfig(
+        "quick", static_cast<uint64_t>(quick ? 1 : 0));
+
+    if (profile || !trace_out.empty()) {
+        dnasim::obs::Trace::global().enable();
+        if (!trace_out.empty())
+            dnasim::obs::Trace::global().setExitFlushPath(trace_out);
+    }
+    if (profile)
+        dnasim::obs::RssSampler::global().start();
 
     benchmark::Initialize(&kept_argc, keep.data());
     if (benchmark::ReportUnrecognizedArguments(kept_argc, keep.data()))
@@ -94,5 +142,13 @@ main(int argc, char **argv)
     ReportingReporter reporter;
     benchmark::RunSpecifiedBenchmarks(&reporter);
     benchmark::Shutdown();
+
+    if (profile) {
+        dnasim::obs::RssSampler::global().stop();
+        std::cerr << dnasim::obs::profileToText(
+            dnasim::obs::buildProfile(dnasim::obs::Trace::global()));
+    }
+    // BenchReport::write() runs at exit and flushes the trace too;
+    // nothing further to do here.
     return 0;
 }

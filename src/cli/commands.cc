@@ -154,10 +154,15 @@ cmdSimulate(const Args &args)
     Rng rng(args.getSeed("seed", 0x51a70));
 
     // Use a previously saved profile when given; otherwise
-    // calibrate from the dataset itself.
+    // calibrate from the dataset itself. The canonical spelling is
+    // --error-profile FILE; a valued --profile FILE still works for
+    // compatibility (bare --profile is the global phase profiler).
+    std::string profile_path = args.get("error-profile");
+    if (profile_path.empty())
+        profile_path = args.get("profile");
     ErrorProfile profile;
-    if (args.has("profile")) {
-        profile = readProfileFile(args.get("profile"));
+    if (!profile_path.empty()) {
+        profile = readProfileFile(profile_path);
     } else {
         ErrorProfiler profiler;
         profile = profiler.calibrate(real);
@@ -309,6 +314,7 @@ printUsage()
         "  simulate     calibrate from a dataset and re-simulate it\n"
         "               <dataset.evyat> [--model naive|conditional|\n"
         "               skew|second-order|dnasimulator] [--out file]\n"
+        "               [--error-profile profile.txt]\n"
         "  reconstruct  run trace reconstruction and report accuracy\n"
         "               <dataset.evyat> [--algo bma|bma-oneway|divbma|\n"
         "               iterative|iterative-2way|iterative-weighted|\n"
@@ -318,11 +324,18 @@ printUsage()
         "  roundtrip    store a file in simulated DNA and read it\n"
         "               back <file> [--coverage N] [--error-rate p]\n"
         "               [--algo iterative]\n"
+        "  bench        bench trajectory ledger and perf diffing\n"
+        "               ingest <input>... [--ledger FILE]\n"
+        "               diff <baseline> <candidate> [--threshold p]\n"
+        "               [--sigma k] [--json] (exit 2 on regression)\n"
+        "               list [--ledger FILE]\n"
         "\n"
         "global flags (any command):\n"
         "  --stats-out FILE  write a JSON stats snapshot on exit\n"
         "  --stats           dump the stats snapshot to stderr\n"
         "  --trace-out FILE  record a Chrome/Perfetto trace JSON\n"
+        "  --profile         print the hierarchical phase profile\n"
+        "                    (inclusive/exclusive tree + RSS peaks)\n"
         "  --threads N       worker threads for parallel loops\n"
         "                    (default: DNASIM_THREADS env var or\n"
         "                    hardware concurrency; output is\n"

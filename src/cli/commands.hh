@@ -29,6 +29,9 @@ int cmdAnalyze(const Args &args);
 /** roundtrip: store a file in simulated DNA and read it back. */
 int cmdRoundtrip(const Args &args);
 
+/** bench: ingest/diff/list over the bench trajectory ledger. */
+int cmdBench(const Args &args);
+
 /** Print top-level usage. */
 void printUsage();
 

@@ -6,6 +6,12 @@
  *   --stats-out=FILE  write a dnasim.stats.v1 JSON snapshot on exit
  *   --stats           dump the stats snapshot as text to stderr
  *   --trace-out=FILE  enable tracing, write Chrome trace JSON on exit
+ *                     (also flushed from an atexit hook, so an early
+ *                     std::exit still yields a loadable file)
+ *   --profile         enable tracing + RSS sampling, print the
+ *                     hierarchical phase profile to stderr on exit;
+ *                     combined with --stats-out the JSON snapshot
+ *                     gains a "profile" section
  *   --threads=N       worker threads for parallel loops (default:
  *                     DNASIM_THREADS or hardware concurrency);
  *                     results are identical for every N
@@ -17,6 +23,7 @@
 #include "base/logging.hh"
 #include "cli/args.hh"
 #include "cli/commands.hh"
+#include "obs/profile.hh"
 #include "obs/report.hh"
 #include "obs/stats.hh"
 #include "obs/trace.hh"
@@ -42,6 +49,8 @@ dispatch(const std::string &command, const dnasim::Args &args)
         return cmdAnalyze(args);
     if (command == "roundtrip")
         return cmdRoundtrip(args);
+    if (command == "bench")
+        return cmdBench(args);
     if (command == "help" || command.empty()) {
         printUsage();
         return command.empty() ? 1 : 0;
@@ -71,12 +80,24 @@ main(int argc, char **argv)
     const std::string stats_out = args.get("stats-out");
     const std::string trace_out = args.get("trace-out");
     const bool stats_text = args.has("stats");
+    // Bare --profile is the phase profiler; simulate's valued
+    // --profile FILE (calibrated error profile) must not enable it.
+    const bool profile =
+        args.has("profile") && args.get("profile").empty();
 
     par::setThreads(
         static_cast<size_t>(args.getInt("threads", 0)));
 
-    if (!trace_out.empty())
+    if (!trace_out.empty() || profile) {
         obs::Trace::global().enable();
+        // A subcommand (or a dependency) may call std::exit or fail
+        // after tracing started; the atexit hook still flushes a
+        // loadable trace file in that case.
+        if (!trace_out.empty())
+            obs::Trace::global().setExitFlushPath(trace_out);
+    }
+    if (profile)
+        obs::RssSampler::global().start();
     if (!stats_out.empty())
         obs::startLogCapture();
 
@@ -94,13 +115,23 @@ main(int argc, char **argv)
         // stats and trace data accumulated before the failure.
     }
 
-    if (!stats_out.empty() || stats_text || !trace_out.empty()) {
+    if (profile)
+        obs::RssSampler::global().stop();
+
+    if (!stats_out.empty() || stats_text || !trace_out.empty() ||
+        profile) {
+        obs::Profile prof;
+        if (profile)
+            prof = obs::buildProfile(obs::Trace::global());
         obs::Snapshot snap = obs::Registry::global().snapshot();
         if (stats_text)
             std::cerr << obs::statsToText(snap);
+        if (profile)
+            std::cerr << obs::profileToText(prof);
         if (!stats_out.empty()) {
             if (obs::writeStatsJson(stats_out, snap,
-                                    obs::capturedLog())) {
+                                    obs::capturedLog(),
+                                    profile ? &prof : nullptr)) {
                 std::cerr << "stats: wrote " << stats_out << "\n";
             } else {
                 std::cerr << "stats: cannot write " << stats_out
@@ -109,7 +140,7 @@ main(int argc, char **argv)
             }
         }
         if (!trace_out.empty()) {
-            if (obs::Trace::global().writeFile(trace_out)) {
+            if (obs::Trace::global().flushExitFile()) {
                 std::cerr << "trace: wrote " << trace_out << " ("
                           << obs::Trace::global().numEvents()
                           << " events)\n";

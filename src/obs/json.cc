@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "base/logging.hh"
 
@@ -173,6 +175,296 @@ JsonWriter::rawValue(const std::string &key, const std::string &raw)
     prefix(key);
     os_ << raw;
     return *this;
+}
+
+bool
+JsonValue::asBool(bool fallback) const
+{
+    return kind_ == Kind::Bool ? bool_ : fallback;
+}
+
+double
+JsonValue::asDouble(double fallback) const
+{
+    return kind_ == Kind::Number ? num_ : fallback;
+}
+
+uint64_t
+JsonValue::asUint(uint64_t fallback) const
+{
+    if (kind_ != Kind::Number || !(num_ >= 0.0))
+        return fallback;
+    return static_cast<uint64_t>(num_);
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    static const std::string empty;
+    return kind_ == Kind::String ? str_ : empty;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind_ != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : obj_) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+/** Recursive-descent parser over a bounded-depth document. */
+class JsonParser
+{
+  public:
+    JsonParser(const std::string &text, std::string *error)
+        : text_(text), error_(error)
+    {}
+
+    bool
+    parse(JsonValue &out)
+    {
+        skipWs();
+        if (!parseValue(out, 0))
+            return false;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing garbage");
+        return true;
+    }
+
+  private:
+    static constexpr size_t kMaxDepth = 64;
+
+    bool
+    fail(const std::string &why)
+    {
+        if (error_) {
+            *error_ = why + " at offset " + std::to_string(pos_);
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        size_t len = std::strlen(word);
+        if (text_.compare(pos_, len, word) != 0)
+            return false;
+        pos_ += len;
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out, size_t depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        char c = text_[pos_];
+        switch (c) {
+          case '{':
+            return parseObject(out, depth);
+          case '[':
+            return parseArray(out, depth);
+          case '"':
+            out.kind_ = JsonValue::Kind::String;
+            return parseString(out.str_);
+          case 't':
+            out.kind_ = JsonValue::Kind::Bool;
+            out.bool_ = true;
+            return literal("true") || fail("bad literal");
+          case 'f':
+            out.kind_ = JsonValue::Kind::Bool;
+            out.bool_ = false;
+            return literal("false") || fail("bad literal");
+          case 'n':
+            out.kind_ = JsonValue::Kind::Null;
+            return literal("null") || fail("bad literal");
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    bool
+    parseObject(JsonValue &out, size_t depth)
+    {
+        out.kind_ = JsonValue::Kind::Object;
+        ++pos_; // '{'
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected object key");
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':'");
+            ++pos_;
+            skipWs();
+            JsonValue value;
+            if (!parseValue(value, depth + 1))
+                return false;
+            out.obj_.emplace_back(std::move(key), std::move(value));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out, size_t depth)
+    {
+        out.kind_ = JsonValue::Kind::Array;
+        ++pos_; // '['
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            JsonValue value;
+            if (!parseValue(value, depth + 1))
+                return false;
+            out.arr_.push_back(std::move(value));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        ++pos_; // opening quote
+        out.clear();
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                return true;
+            }
+            if (c != '\\') {
+                out += c;
+                ++pos_;
+                continue;
+            }
+            if (pos_ + 1 >= text_.size())
+                return fail("unterminated escape");
+            char esc = text_[pos_ + 1];
+            pos_ += 2;
+            switch (esc) {
+              case '"':  out += '"';  break;
+              case '\\': out += '\\'; break;
+              case '/':  out += '/';  break;
+              case 'b':  out += '\b'; break;
+              case 'f':  out += '\f'; break;
+              case 'n':  out += '\n'; break;
+              case 'r':  out += '\r'; break;
+              case 't':  out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return fail("short \\u escape");
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_ + i];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else
+                        return fail("bad \\u escape");
+                }
+                pos_ += 4;
+                // UTF-8 encode the BMP code point (surrogate pairs
+                // outside the report schemas' character set are
+                // passed through as two 3-byte sequences).
+                if (code < 0x80) {
+                    out += static_cast<char>(code);
+                } else if (code < 0x800) {
+                    out += static_cast<char>(0xc0 | (code >> 6));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                } else {
+                    out += static_cast<char>(0xe0 | (code >> 12));
+                    out += static_cast<char>(0x80 |
+                                             ((code >> 6) & 0x3f));
+                    out += static_cast<char>(0x80 | (code & 0x3f));
+                }
+                break;
+              }
+              default:
+                return fail("bad escape");
+            }
+        }
+        return fail("unterminated string");
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        const char *begin = text_.c_str() + pos_;
+        char *end = nullptr;
+        double v = std::strtod(begin, &end);
+        if (end == begin)
+            return fail("expected value");
+        out.kind_ = JsonValue::Kind::Number;
+        out.num_ = v;
+        pos_ += static_cast<size_t>(end - begin);
+        return true;
+    }
+
+    const std::string &text_;
+    std::string *error_;
+    size_t pos_ = 0;
+};
+
+bool
+parseJson(const std::string &text, JsonValue &out,
+          std::string *error)
+{
+    out = JsonValue();
+    return JsonParser(text, error).parse(out);
 }
 
 } // namespace obs

@@ -1,16 +1,20 @@
 /**
  * @file
- * A minimal streaming JSON writer, shared by the stats/trace
- * exporters and the bench-report funnel. Handles nesting, comma
- * placement and string escaping; the caller provides structure.
+ * Minimal JSON support shared by the stats/trace exporters and the
+ * bench-report funnel: a streaming writer (nesting, comma placement,
+ * string escaping — the caller provides structure) and a small
+ * recursive-descent parser (JsonValue / parseJson) used to ingest
+ * dnasim.bench.v1 reports back into the bench ledger.
  */
 
 #ifndef DNASIM_OBS_JSON_HH
 #define DNASIM_OBS_JSON_HH
 
 #include <cstdint>
+#include <memory>
 #include <ostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace dnasim
@@ -56,6 +60,64 @@ class JsonWriter
     /** One entry per open container: count of values emitted. */
     std::vector<size_t> stack_;
 };
+
+/**
+ * A parsed JSON document node. Objects preserve insertion order;
+ * numbers are held as double (sufficient for the report schemas —
+ * counters above 2^53 would lose precision, none get there).
+ */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    JsonValue() = default;
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Typed reads with fallbacks (never throw). */
+    bool asBool(bool fallback = false) const;
+    double asDouble(double fallback = 0.0) const;
+    uint64_t asUint(uint64_t fallback = 0) const;
+    const std::string &asString() const;
+
+    /** Object member by key, nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Array elements (empty unless isArray()). */
+    const std::vector<JsonValue> &array() const { return arr_; }
+
+    /** Object members in document order (empty unless isObject()). */
+    const std::vector<std::pair<std::string, JsonValue>> &
+    object() const
+    {
+        return obj_;
+    }
+
+  private:
+    friend class JsonParser;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double num_ = 0.0;
+    std::string str_;
+    std::vector<JsonValue> arr_;
+    std::vector<std::pair<std::string, JsonValue>> obj_;
+};
+
+/**
+ * Parse @p text into @p out. Returns false (and sets @p error when
+ * non-null) on malformed input; trailing whitespace is allowed,
+ * trailing garbage is not.
+ */
+bool parseJson(const std::string &text, JsonValue &out,
+               std::string *error = nullptr);
 
 } // namespace obs
 } // namespace dnasim

@@ -1,6 +1,7 @@
 #include "obs/report.hh"
 
 #include <algorithm>
+#include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -8,17 +9,15 @@
 
 #include "base/logging.hh"
 #include "obs/json.hh"
+#include "obs/profile.hh"
 
 namespace dnasim
 {
 namespace obs
 {
 
-namespace
-{
-
 std::string
-fmtNs(uint64_t ns)
+fmtDurationNs(uint64_t ns)
 {
     std::ostringstream os;
     os << std::fixed;
@@ -35,6 +34,45 @@ fmtNs(uint64_t ns)
         os << ns << " ns";
     }
     return os.str();
+}
+
+namespace
+{
+
+/**
+ * Nanosecond scale of a time-valued distribution, inferred from its
+ * name suffix (_ns/_us/_ms/_s); 0 for non-time distributions.
+ */
+uint64_t
+timeUnitScaleNs(const std::string &name)
+{
+    auto ends_with = [&](const char *suffix) {
+        size_t len = std::strlen(suffix);
+        return name.size() >= len &&
+               name.compare(name.size() - len, len, suffix) == 0;
+    };
+    if (ends_with("_ns"))
+        return 1;
+    if (ends_with("_us"))
+        return 1'000;
+    if (ends_with("_ms"))
+        return 1'000'000;
+    if (ends_with("_s"))
+        return 1'000'000'000;
+    return 0;
+}
+
+/** Value of a time distribution in its human-readable unit. */
+std::string
+fmtDistValue(double value, uint64_t scale_ns)
+{
+    if (scale_ns == 0) {
+        std::ostringstream os;
+        os << std::fixed << std::setprecision(2) << value;
+        return os.str();
+    }
+    return fmtDurationNs(static_cast<uint64_t>(
+        value * static_cast<double>(scale_ns)));
 }
 
 void
@@ -68,17 +106,25 @@ statsToText(const Snapshot &snap)
         os << "timers:\n";
         for (const auto &t : snap.timers) {
             std::ostringstream v;
-            v << fmtNs(t.total_ns) << " /" << t.count;
+            v << fmtDurationNs(t.total_ns) << " /" << t.count;
             line(os, t.name, v.str(), t.desc);
         }
     }
     if (!snap.distributions.empty()) {
         os << "distributions:\n";
         for (const auto &d : snap.distributions) {
+            // Time-valued distributions (by _ns/_us/_ms/_s suffix)
+            // print in human-readable units instead of raw ticks.
+            const uint64_t scale = timeUnitScaleNs(d.name);
+            auto fmt = [&](uint64_t value) {
+                return fmtDistValue(static_cast<double>(value),
+                                    scale);
+            };
             std::ostringstream v;
             v << "n=" << d.count << " mean="
-              << std::fixed << std::setprecision(2) << d.mean
-              << " [" << d.min << "," << d.max << "] p99=" << d.p99;
+              << fmtDistValue(d.mean, scale) << " [" << fmt(d.min)
+              << "," << fmt(d.max) << "] p50=" << fmt(d.p50)
+              << " p90=" << fmt(d.p90) << " p99=" << fmt(d.p99);
             line(os, d.name, v.str(), d.desc);
         }
     }
@@ -88,7 +134,8 @@ statsToText(const Snapshot &snap)
 }
 
 std::string
-statsToJson(const Snapshot &snap, const std::vector<LogLine> &log)
+statsToJson(const Snapshot &snap, const std::vector<LogLine> &log,
+            const Profile *profile)
 {
     std::ostringstream os;
     JsonWriter w(os, 2);
@@ -144,6 +191,11 @@ statsToJson(const Snapshot &snap, const std::vector<LogLine> &log)
     }
     w.endArray();
 
+    // Phase profiler section (backwards-compatible addition: only
+    // present when a profile was built from an enabled trace).
+    if (profile && !profile->empty())
+        w.rawValue("profile", profileToJson(*profile));
+
     // Descriptions ride in a parallel object so the value maps above
     // stay directly loadable into dataframes.
     w.beginObject("descriptions");
@@ -168,12 +220,13 @@ statsToJson(const Snapshot &snap, const std::vector<LogLine> &log)
 
 bool
 writeStatsJson(const std::string &path, const Snapshot &snap,
-               const std::vector<LogLine> &log)
+               const std::vector<LogLine> &log,
+               const Profile *profile)
 {
     std::ofstream os(path);
     if (!os)
         return false;
-    os << statsToJson(snap, log);
+    os << statsToJson(snap, log, profile);
     return os.good();
 }
 

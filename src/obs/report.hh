@@ -19,6 +19,8 @@ namespace dnasim
 namespace obs
 {
 
+struct Profile;
+
 /** One captured inform()/warn() line. */
 struct LogLine
 {
@@ -26,18 +28,27 @@ struct LogLine
     std::string message;
 };
 
+/** Format @p ns with a human-readable unit (ns/us/ms/s). */
+std::string fmtDurationNs(uint64_t ns);
+
 /** Render @p snap as an aligned, dotted-name-grouped text report. */
 std::string statsToText(const Snapshot &snap);
 
-/** Render @p snap as a dnasim.stats.v1 JSON document. */
+/**
+ * Render @p snap as a dnasim.stats.v1 JSON document. A non-null
+ * @p profile adds the phase profiler's "profile" section
+ * (obs/profile.hh).
+ */
 std::string statsToJson(const Snapshot &snap,
-                        const std::vector<LogLine> &log = {});
+                        const std::vector<LogLine> &log = {},
+                        const Profile *profile = nullptr);
 
 /**
  * Write statsToJson() to @p path; returns false on I/O failure.
  */
 bool writeStatsJson(const std::string &path, const Snapshot &snap,
-                    const std::vector<LogLine> &log = {});
+                    const std::vector<LogLine> &log = {},
+                    const Profile *profile = nullptr);
 
 /**
  * Install a logging sink that tees inform()/warn() to stderr and

@@ -1,6 +1,11 @@
 #include "obs/trace.hh"
 
+#include <cstdlib>
 #include <fstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <time.h>
+#endif
 
 #include "obs/json.hh"
 
@@ -21,7 +26,26 @@ threadId()
     return id;
 }
 
+void
+flushTraceAtExit()
+{
+    Trace::global().flushExitFile();
+}
+
 } // anonymous namespace
+
+uint64_t
+threadCpuNs()
+{
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+    struct timespec ts;
+    if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+        return static_cast<uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+               static_cast<uint64_t>(ts.tv_nsec);
+    }
+#endif
+    return 0;
+}
 
 Trace &
 Trace::global()
@@ -59,7 +83,7 @@ Trace::nowNs() const
 void
 Trace::recordComplete(std::string name, std::string cat,
                       uint64_t ts_ns, uint64_t dur_ns,
-                      std::string args_json)
+                      std::string args_json, uint64_t cpu_ns)
 {
     if (!enabled())
         return;
@@ -67,7 +91,7 @@ Trace::recordComplete(std::string name, std::string cat,
     std::lock_guard<std::mutex> lock(mutex_);
     events_.push_back(Event{std::move(name), std::move(cat),
                             std::move(args_json), 'X', ts_ns, dur_ns,
-                            tid});
+                            cpu_ns, tid});
 }
 
 void
@@ -79,7 +103,7 @@ Trace::recordInstant(std::string name, std::string cat)
     uint32_t tid = threadId();
     std::lock_guard<std::mutex> lock(mutex_);
     events_.push_back(Event{std::move(name), std::move(cat),
-                            std::string(), 'i', ts, 0, tid});
+                            std::string(), 'i', ts, 0, 0, tid});
 }
 
 size_t
@@ -87,6 +111,21 @@ Trace::numEvents() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return events_.size();
+}
+
+std::vector<TraceSpan>
+Trace::completeSpans() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<TraceSpan> spans;
+    spans.reserve(events_.size());
+    for (const auto &e : events_) {
+        if (e.ph != 'X')
+            continue;
+        spans.push_back(TraceSpan{e.name, e.cat, e.ts_ns, e.dur_ns,
+                                  e.cpu_ns, e.tid});
+    }
+    return spans;
 }
 
 void
@@ -111,8 +150,13 @@ Trace::writeJson(std::ostream &os) const
             w.value("s", "t");
         w.value("pid", static_cast<uint64_t>(1));
         w.value("tid", static_cast<uint64_t>(e.tid));
-        if (!e.args.empty())
+        if (!e.args.empty()) {
             w.rawValue("args", e.args);
+        } else if (e.cpu_ns > 0) {
+            w.beginObject("args");
+            w.value("cpu_ns", e.cpu_ns);
+            w.endObject();
+        }
         w.endObject();
     }
     w.endArray();
@@ -128,6 +172,28 @@ Trace::writeFile(const std::string &path) const
         return false;
     writeJson(os);
     return os.good();
+}
+
+void
+Trace::setExitFlushPath(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(flush_mutex_);
+    exit_path_ = path;
+    exit_flushed_ = false;
+    if (!exit_registered_) {
+        exit_registered_ = true;
+        std::atexit(flushTraceAtExit);
+    }
+}
+
+bool
+Trace::flushExitFile()
+{
+    std::lock_guard<std::mutex> lock(flush_mutex_);
+    if (exit_path_.empty() || exit_flushed_)
+        return true;
+    exit_flushed_ = true;
+    return writeFile(exit_path_);
 }
 
 void

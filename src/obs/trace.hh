@@ -3,11 +3,16 @@
  * Scoped tracing with Chrome trace-event / Perfetto JSON output.
  *
  * ScopedTrace marks a span; when tracing is enabled the span is
- * recorded as a complete ("X") event with category and optional
- * JSON args, and the buffer serializes to a file that loads directly
- * in chrome://tracing or https://ui.perfetto.dev. When tracing is
- * disabled (the default) a ScopedTrace costs one relaxed atomic
- * load, so spans can stay compiled into hot-ish paths.
+ * recorded as a complete ("X") event with category, optional JSON
+ * args and the thread CPU time consumed inside the span, and the
+ * buffer serializes to a file that loads directly in chrome://tracing
+ * or https://ui.perfetto.dev. When tracing is disabled (the default)
+ * a ScopedTrace costs one relaxed atomic load, so spans can stay
+ * compiled into hot-ish paths.
+ *
+ * The recorded spans are also the raw material of the hierarchical
+ * phase profiler (obs/profile.hh), which nests them into an
+ * inclusive/exclusive call tree at snapshot time.
  */
 
 #ifndef DNASIM_OBS_TRACE_HH
@@ -25,6 +30,23 @@ namespace dnasim
 {
 namespace obs
 {
+
+/**
+ * CPU time consumed by the calling thread, in nanoseconds (0 where
+ * no thread CPU clock is available).
+ */
+uint64_t threadCpuNs();
+
+/** One complete span, as consumed by the phase profiler. */
+struct TraceSpan
+{
+    std::string name;
+    std::string cat;
+    uint64_t ts_ns = 0;  ///< start, relative to the enable() origin
+    uint64_t dur_ns = 0; ///< wall duration
+    uint64_t cpu_ns = 0; ///< thread CPU time inside the span
+    uint32_t tid = 0;
+};
 
 /** The process-wide trace buffer. */
 class Trace
@@ -45,11 +67,13 @@ class Trace
     /**
      * Record a complete span. @p ts_ns is the span start relative to
      * the enable() origin; @p args_json, if non-empty, must be a
-     * valid JSON object literal.
+     * valid JSON object literal; @p cpu_ns is the thread CPU time
+     * consumed inside the span (0 when not measured).
      */
     void recordComplete(std::string name, std::string cat,
                         uint64_t ts_ns, uint64_t dur_ns,
-                        std::string args_json = "");
+                        std::string args_json = "",
+                        uint64_t cpu_ns = 0);
 
     /** Record an instant event at the current time. */
     void recordInstant(std::string name, std::string cat);
@@ -59,11 +83,30 @@ class Trace
 
     size_t numEvents() const;
 
+    /** Copy of the buffered complete ('X') spans. */
+    std::vector<TraceSpan> completeSpans() const;
+
     /** Serialize as {"traceEvents": [...]} JSON. */
     void writeJson(std::ostream &os) const;
 
     /** Write the JSON to @p path; returns false on I/O failure. */
     bool writeFile(const std::string &path) const;
+
+    /**
+     * Arrange for the trace to be written to @p path at process exit
+     * (std::atexit), so an early std::exit or a failure after the
+     * trace was enabled still yields a loadable JSON file. The
+     * normal shutdown path calls flushExitFile() itself to observe
+     * the result; the atexit hook is then a no-op.
+     */
+    void setExitFlushPath(const std::string &path);
+
+    /**
+     * Write the exit-flush file now, once. Returns false only on an
+     * actual I/O failure (no path configured or already flushed is
+     * success).
+     */
+    bool flushExitFile();
 
     /** Drop all buffered events. */
     void clear();
@@ -77,6 +120,7 @@ class Trace
         char ph;
         uint64_t ts_ns;
         uint64_t dur_ns;
+        uint64_t cpu_ns;
         uint32_t tid;
     };
 
@@ -84,6 +128,11 @@ class Trace
     std::vector<Event> events_;
     std::atomic<bool> enabled_{false};
     std::chrono::steady_clock::time_point origin_;
+
+    std::mutex flush_mutex_;
+    std::string exit_path_;
+    bool exit_registered_ = false;
+    bool exit_flushed_ = false;
 };
 
 /**
@@ -106,6 +155,7 @@ class ScopedTrace
         if (active_) {
             args_ = std::move(args_json);
             start_ns_ = trace.nowNs();
+            start_cpu_ns_ = threadCpuNs();
         }
     }
 
@@ -120,8 +170,10 @@ class ScopedTrace
         if (!trace.enabled())
             return; // disabled mid-span; drop it
         uint64_t end_ns = trace.nowNs();
+        uint64_t end_cpu_ns = threadCpuNs();
         trace.recordComplete(name_, cat_, start_ns_,
-                             end_ns - start_ns_, std::move(args_));
+                             end_ns - start_ns_, std::move(args_),
+                             end_cpu_ns - start_cpu_ns_);
     }
 
   private:
@@ -129,6 +181,7 @@ class ScopedTrace
     const char *cat_;
     std::string args_;
     uint64_t start_ns_ = 0;
+    uint64_t start_cpu_ns_ = 0;
     bool active_ = false;
 };
 

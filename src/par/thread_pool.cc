@@ -7,6 +7,7 @@
 
 #include "base/logging.hh"
 #include "obs/stats.hh"
+#include "obs/trace.hh"
 
 namespace dnasim
 {
@@ -25,6 +26,7 @@ struct ParStats
     obs::Counter &items;
     obs::Counter &steals;
     obs::Counter &busy_ns;
+    obs::Counter &cpu_ns;
     obs::Timer &region_time;
     obs::Distribution &worker_busy_us;
 
@@ -42,6 +44,9 @@ struct ParStats
             reg.counter("par.steals", "work-stealing range transfers"),
             reg.counter("par.busy_ns", "nanoseconds of worker busy "
                                        "time across all regions"),
+            reg.counter("par.cpu_ns",
+                        "thread CPU nanoseconds inside parallel "
+                        "loop bodies (busy minus involuntary waits)"),
             reg.timer("par.region_time",
                       "wall time of parallel regions"),
             reg.distribution("par.worker.busy_us",
@@ -268,11 +273,13 @@ ThreadPool::runTask(Task &task, size_t self)
     const bool was_in_region = in_region;
     in_region = true;
     uint64_t busy_ns = 0;
+    uint64_t cpu_ns = 0;
     uint64_t processed = 0;
 
     auto process = [&](uint32_t lo, uint32_t hi) {
         if (!task.cancelled.load(std::memory_order_relaxed)) {
             auto start = std::chrono::steady_clock::now();
+            const uint64_t start_cpu = obs::threadCpuNs();
             try {
                 (*task.body)(task.offset + lo, task.offset + hi);
             } catch (...) {
@@ -286,6 +293,7 @@ ThreadPool::runTask(Task &task, size_t self)
                 std::chrono::duration_cast<std::chrono::nanoseconds>(
                     std::chrono::steady_clock::now() - start)
                     .count());
+            cpu_ns += obs::threadCpuNs() - start_cpu;
         }
         processed += hi - lo;
         // release: pairs with the caller's acquire load so chunk
@@ -323,6 +331,7 @@ ThreadPool::runTask(Task &task, size_t self)
 
     in_region = was_in_region;
     ps.busy_ns.add(busy_ns);
+    ps.cpu_ns.add(cpu_ns);
     ps.items.add(processed);
     ps.worker_busy_us.record(busy_ns / 1000);
 }

@@ -155,6 +155,52 @@ TEST_F(CliCommands, SimulateProducesDataset)
     }
 }
 
+TEST_F(CliCommands, SimulateBareProfileFlagIsNotAProfileFile)
+{
+    // Bare --profile (the global phase-profiler flag) parses with an
+    // empty value; simulate must treat it as "no calibrated profile
+    // given" rather than trying to open '' as a profile file.
+    std::string dataset = tmpPath("prof_in.evyat");
+    std::string simulated = tmpPath("prof_out.evyat");
+    cleanup_.push_back(dataset);
+    cleanup_.push_back(simulated);
+
+    Args gen = makeArgs({"generate", "--clusters", "10", "--out",
+                         dataset, "--seed", "3"});
+    ASSERT_EQ(cmdGenerate(gen), 0);
+
+    Args sim = makeArgs({"simulate", dataset, "--profile", "--out",
+                         simulated});
+    EXPECT_EQ(cmdSimulate(sim), 0);
+    EXPECT_EQ(readEvyatFile(simulated).size(), 10u);
+}
+
+TEST_F(CliCommands, SimulateReusesCalibratedErrorProfile)
+{
+    std::string dataset = tmpPath("reuse_in.evyat");
+    std::string profile = tmpPath("reuse_profile.txt");
+    std::string simulated = tmpPath("reuse_out.evyat");
+    cleanup_.push_back(dataset);
+    cleanup_.push_back(profile);
+    cleanup_.push_back(simulated);
+
+    Args gen = makeArgs({"generate", "--clusters", "15", "--out",
+                         dataset, "--seed", "4"});
+    ASSERT_EQ(cmdGenerate(gen), 0);
+    Args cal = makeArgs({"calibrate", dataset, "--out", profile});
+    ASSERT_EQ(cmdCalibrate(cal), 0);
+
+    Args sim = makeArgs({"simulate", dataset, "--error-profile",
+                         profile, "--out", simulated});
+    EXPECT_EQ(cmdSimulate(sim), 0);
+    EXPECT_EQ(readEvyatFile(simulated).size(), 15u);
+
+    // Legacy valued spelling keeps working.
+    Args legacy = makeArgs({"simulate", dataset, "--profile", profile,
+                            "--out", simulated});
+    EXPECT_EQ(cmdSimulate(legacy), 0);
+}
+
 TEST_F(CliCommands, ReconstructUnknownAlgoIsFatal)
 {
     std::string dataset = tmpPath("bad_algo.evyat");

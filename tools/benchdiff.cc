@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Standalone bench-ledger comparator, the CI perf gate's entry
+ * point. Equivalent to `dnasim bench diff` but links only the obs
+ * layer, so the gate can compare BENCH_*.json artifacts without
+ * building the full simulator.
+ *
+ *   benchdiff <baseline> <candidate> [--threshold p] [--sigma k]
+ *             [--json] [--out FILE]
+ *
+ * Inputs are single .json reports, .jsonl ledgers, or directories
+ * scanned recursively for BENCH_*.json (repeats in subdirectories
+ * group into samples). Exit codes: 0 clean, 1 usage/IO error,
+ * 2 regression detected.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "obs/history.hh"
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr
+        << "usage: benchdiff <baseline> <candidate> [options]\n"
+           "  --threshold p   minimum relative slowdown to flag "
+           "(default 0.05)\n"
+           "  --sigma k       noise multiplier over the pooled "
+           "stddev (default 3.0)\n"
+           "  --json          machine-readable dnasim.benchdiff.v1 "
+           "output\n"
+           "  --out FILE      also write the JSON report to FILE\n"
+           "inputs: BENCH_*.json file, BENCH_LEDGER.jsonl, or a "
+           "directory\n"
+           "exit: 0 ok, 1 error, 2 regression\n";
+    return 1;
+}
+
+} // anonymous namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace dnasim;
+
+    std::vector<std::string> inputs;
+    obs::DiffOptions options;
+    bool json = false;
+    std::string out_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg == "--threshold" && i + 1 < argc) {
+            options.threshold = std::strtod(argv[++i], nullptr);
+        } else if (arg.rfind("--threshold=", 0) == 0) {
+            options.threshold =
+                std::strtod(arg.c_str() + 12, nullptr);
+        } else if (arg == "--sigma" && i + 1 < argc) {
+            options.sigma = std::strtod(argv[++i], nullptr);
+        } else if (arg.rfind("--sigma=", 0) == 0) {
+            options.sigma = std::strtod(arg.c_str() + 8, nullptr);
+        } else if (arg == "--out" && i + 1 < argc) {
+            out_path = argv[++i];
+        } else if (arg.rfind("--out=", 0) == 0) {
+            out_path = arg.substr(6);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "benchdiff: unknown option " << arg << "\n";
+            return usage();
+        } else {
+            inputs.push_back(arg);
+        }
+    }
+    if (inputs.size() != 2)
+        return usage();
+
+    std::vector<std::string> errors;
+    auto baseline = obs::loadBenchInput(inputs[0], &errors);
+    auto candidate = obs::loadBenchInput(inputs[1], &errors);
+    for (const auto &e : errors)
+        std::cerr << "benchdiff: skipped: " << e << "\n";
+    if (baseline.empty()) {
+        std::cerr << "benchdiff: no baseline runs in " << inputs[0]
+                  << "\n";
+        return 1;
+    }
+    if (candidate.empty()) {
+        std::cerr << "benchdiff: no candidate runs in " << inputs[1]
+                  << "\n";
+        return 1;
+    }
+
+    obs::DiffReport report =
+        obs::diffBenchRuns(baseline, candidate, options);
+    if (json)
+        std::cout << obs::diffToJson(report, options);
+    else
+        std::cout << obs::diffToText(report, options);
+    if (!out_path.empty()) {
+        std::ofstream os(out_path);
+        if (!os) {
+            std::cerr << "benchdiff: cannot write " << out_path
+                      << "\n";
+            return 1;
+        }
+        os << obs::diffToJson(report, options);
+    }
+    return report.ok() ? 0 : 2;
+}
