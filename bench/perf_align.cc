@@ -13,6 +13,8 @@
 #include "align/edit_distance.hh"
 #include "align/gestalt.hh"
 #include "align/hamming.hh"
+#include "base/packed.hh"
+#include "base/rng.hh"
 #include "core/ids_model.hh"
 #include "data/strand_factory.hh"
 
@@ -118,6 +120,54 @@ BM_HammingErrorPositions(benchmark::State &state)
             hammingErrorPositions(f.ref, f.copy));
 }
 
+void
+BM_HammingChars(benchmark::State &state)
+{
+    Fixture f(static_cast<size_t>(state.range(0)), 0.06);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(hammingDistance(f.ref, f.copy));
+}
+
+void
+BM_HammingPacked(benchmark::State &state)
+{
+    // Pack once, compare many times — the shape of a cluster loop
+    // that holds packed representatives.
+    Fixture f(static_cast<size_t>(state.range(0)), 0.06);
+    PackedStrand a(f.ref);
+    PackedStrand b(f.copy);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(hammingDistance(a, b));
+}
+
+void
+BM_MyersPatternReuse(benchmark::State &state)
+{
+    // One pattern queried against many texts (the clusterReads
+    // shape) vs. rebuilding the match tables per call, which is what
+    // levenshtein() does.
+    Fixture f(static_cast<size_t>(state.range(0)), 0.06);
+    MyersPattern pattern{std::string_view(f.ref)};
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pattern.distance(f.copy));
+}
+
+void
+BM_MyersPatternBounded(benchmark::State &state)
+{
+    // Thresholded query with an unrelated text: the early-abandon
+    // path that dominates cluster probing of non-members.
+    Fixture f(static_cast<size_t>(state.range(0)), 0.06);
+    Rng rng = benchRng(0x0ff);
+    StrandFactory factory;
+    Strand other = factory.make(f.ref.size(), rng);
+    MyersPattern pattern{std::string_view(f.ref)};
+    const size_t limit = f.ref.size() / 8;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(
+            pattern.distanceBounded(other, limit));
+}
+
 } // anonymous namespace
 
 BENCHMARK(BM_Levenshtein)->Arg(110)->Arg(220);
@@ -127,3 +177,7 @@ BENCHMARK(BM_EditOps)->Arg(110)->Arg(220);
 BENCHMARK(BM_GestaltScore)->Arg(110)->Arg(220);
 BENCHMARK(BM_GestaltErrorPositions)->Arg(110);
 BENCHMARK(BM_HammingErrorPositions)->Arg(110);
+BENCHMARK(BM_HammingChars)->Arg(110)->Arg(1000);
+BENCHMARK(BM_HammingPacked)->Arg(110)->Arg(1000);
+BENCHMARK(BM_MyersPatternReuse)->Arg(110)->Arg(150);
+BENCHMARK(BM_MyersPatternBounded)->Arg(110)->Arg(150);

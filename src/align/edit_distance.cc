@@ -4,6 +4,7 @@
 #include <array>
 #include <limits>
 
+#include "align/path_stats.hh"
 #include "base/logging.hh"
 
 namespace dnasim
@@ -207,6 +208,141 @@ levenshteinBitParallel(std::string_view a, std::string_view b)
                             : myersDistanceBlocked(pat, txt);
 }
 
+MyersPattern::MyersPattern(std::string_view pattern)
+{
+    build(pattern);
+}
+
+MyersPattern::MyersPattern(const PackedStrand &pattern)
+{
+    // Peq built straight from the 2-bit words: each word yields 32
+    // codes without touching character data.
+    m_ = pattern.size();
+    blocks_ = m_ == 0 ? 0 : (m_ + 63) / 64;
+    peq_.assign(kNumBases * blocks_, 0);
+    const auto words = pattern.words();
+    size_t i = 0;
+    for (size_t w = 0; w < words.size(); ++w) {
+        uint64_t word = words[w];
+        const size_t stop =
+            std::min(m_, (w + 1) * PackedStrand::kBasesPerWord);
+        for (; i < stop; ++i, word >>= 2) {
+            peq_[(word & 3u) * blocks_ + i / 64] |= uint64_t{1}
+                                                    << (i % 64);
+        }
+    }
+}
+
+void
+MyersPattern::build(std::string_view pattern)
+{
+    m_ = pattern.size();
+    blocks_ = m_ == 0 ? 0 : (m_ + 63) / 64;
+    peq_.assign(kNumBases * blocks_, 0);
+    for (size_t i = 0; i < m_; ++i) {
+        const uint8_t code =
+            kCharToCode[static_cast<unsigned char>(pattern[i])];
+        if (code == kInvalidCode) {
+            // Non-ACGT pattern: remember it and serve queries
+            // through the generic kernel.
+            peq_.clear();
+            fallback_.assign(pattern);
+            return;
+        }
+        peq_[code * blocks_ + i / 64] |= uint64_t{1} << (i % 64);
+    }
+}
+
+size_t
+MyersPattern::run(std::string_view txt, size_t limit) const
+{
+    const size_t m = m_;
+    const size_t n = txt.size();
+    if (m == 0 || n == 0)
+        return m + n;
+    // Certified lower bound: every edit script needs at least the
+    // length difference. Only useful for bounded queries; for exact
+    // ones limit is saturated and the test never fires.
+    const size_t diff = m > n ? m - n : n - m;
+    if (diff > limit)
+        return diff;
+
+    size_t score = m;
+    if (blocks_ == 1) {
+        uint64_t pv = ~uint64_t{0};
+        uint64_t mv = 0;
+        const uint64_t last = uint64_t{1} << (m - 1);
+        for (size_t t = 0; t < n; ++t) {
+            const uint8_t code =
+                kCharToCode[static_cast<unsigned char>(txt[t])];
+            const uint64_t eq = code != kInvalidCode ? peq_[code] : 0;
+            const int hout = myersAdvanceBlock(pv, mv, eq, 1, last);
+            score = static_cast<size_t>(static_cast<int64_t>(score) +
+                                        hout);
+            // Each remaining text character lowers the score by at
+            // most one; abandon once the bound is certified.
+            const size_t remaining = n - t - 1;
+            if (score > remaining && score - remaining > limit)
+                return score - remaining;
+        }
+        return score;
+    }
+
+    thread_local std::vector<uint64_t> pv, mv;
+    pv.assign(blocks_, ~uint64_t{0});
+    mv.assign(blocks_, 0);
+    thread_local std::vector<uint64_t> zeros;
+    if (zeros.size() < blocks_)
+        zeros.assign(blocks_, 0);
+
+    const uint64_t top = uint64_t{1} << 63;
+    const uint64_t final_row = uint64_t{1} << ((m - 1) % 64);
+    for (size_t t = 0; t < n; ++t) {
+        const uint8_t code =
+            kCharToCode[static_cast<unsigned char>(txt[t])];
+        const uint64_t *eq = code != kInvalidCode
+                                 ? &peq_[code * blocks_]
+                                 : zeros.data();
+        int hin = 1;
+        for (size_t b = 0; b + 1 < blocks_; ++b)
+            hin = myersAdvanceBlock(pv[b], mv[b], eq[b], hin, top);
+        const int hout =
+            myersAdvanceBlock(pv[blocks_ - 1], mv[blocks_ - 1],
+                              eq[blocks_ - 1], hin, final_row);
+        score =
+            static_cast<size_t>(static_cast<int64_t>(score) + hout);
+        const size_t remaining = n - t - 1;
+        if (score > remaining && score - remaining > limit)
+            return score - remaining;
+    }
+    return score;
+}
+
+size_t
+MyersPattern::distance(std::string_view text) const
+{
+    auto &ps = align_detail::PathStats::get();
+    if (!fallback_.empty()) {
+        ps.char_fallback.inc();
+        return levenshtein(fallback_, text);
+    }
+    ps.packed_fastpath.inc();
+    return run(text, std::numeric_limits<size_t>::max());
+}
+
+size_t
+MyersPattern::distanceBounded(std::string_view text,
+                              size_t limit) const
+{
+    auto &ps = align_detail::PathStats::get();
+    if (!fallback_.empty()) {
+        ps.char_fallback.inc();
+        return levenshtein(fallback_, text);
+    }
+    ps.packed_fastpath.inc();
+    return run(text, limit);
+}
+
 size_t
 levenshtein(std::string_view a, std::string_view b)
 {
@@ -236,46 +372,54 @@ levenshtein(std::string_view a, std::string_view b)
     }
 }
 
-std::vector<EditOp>
-editOps(std::string_view ref, std::string_view copy, Rng *rng)
+void
+editOpsInto(std::string_view ref, std::string_view copy, Rng *rng,
+            std::vector<EditOp> &out)
 {
     const size_t n = ref.size(), m = copy.size();
+    const size_t stride = m + 1;
+    const size_t cells = (n + 1) * stride;
 
-    // dist[i][j]: edit distance between ref[:i] and copy[:j].
-    std::vector<std::vector<uint32_t>> dist(
-        n + 1, std::vector<uint32_t>(m + 1, 0));
+    // dist[i * stride + j]: edit distance between ref[:i] and
+    // copy[:j]. One flat reused buffer — the old row-of-rows layout
+    // allocated n + 2 vectors per call, which dominated consensus
+    // voting (one editOps per copy per refinement round).
+    thread_local std::vector<uint32_t> dist;
+    dist.resize(cells);
     for (size_t i = 0; i <= n; ++i)
-        dist[i][0] = static_cast<uint32_t>(i);
+        dist[i * stride] = static_cast<uint32_t>(i);
     for (size_t j = 0; j <= m; ++j)
-        dist[0][j] = static_cast<uint32_t>(j);
+        dist[j] = static_cast<uint32_t>(j);
     for (size_t i = 1; i <= n; ++i) {
+        const uint32_t *prev = &dist[(i - 1) * stride];
+        uint32_t *cur = &dist[i * stride];
+        const char rc = ref[i - 1];
         for (size_t j = 1; j <= m; ++j) {
-            uint32_t diag =
-                dist[i - 1][j - 1] + (ref[i - 1] == copy[j - 1] ? 0 : 1);
-            dist[i][j] = std::min({diag, dist[i - 1][j] + 1,
-                                   dist[i][j - 1] + 1});
+            uint32_t diag = prev[j - 1] + (rc == copy[j - 1] ? 0 : 1);
+            cur[j] = std::min({diag, prev[j] + 1, cur[j - 1] + 1});
         }
     }
 
     // Backtrace from (n, m), choosing among minimum-cost predecessors
     // either at random (Appendix B's ChooseRandomAndInsertOp) or with
     // a fixed diagonal > delete > insert preference.
-    std::vector<EditOp> rev;
-    rev.reserve(n + m);
+    out.clear();
+    out.reserve(n + m);
     size_t i = n, j = m;
     while (i > 0 || j > 0) {
         // Candidate moves encoded as 0 = diagonal, 1 = delete (up),
         // 2 = insert (left).
         uint8_t candidates[3];
         size_t num = 0;
+        const uint32_t here = dist[i * stride + j];
         if (i > 0 && j > 0) {
             uint32_t cost = ref[i - 1] == copy[j - 1] ? 0 : 1;
-            if (dist[i][j] == dist[i - 1][j - 1] + cost)
+            if (here == dist[(i - 1) * stride + j - 1] + cost)
                 candidates[num++] = 0;
         }
-        if (i > 0 && dist[i][j] == dist[i - 1][j] + 1)
+        if (i > 0 && here == dist[(i - 1) * stride + j] + 1)
             candidates[num++] = 1;
-        if (j > 0 && dist[i][j] == dist[i][j - 1] + 1)
+        if (j > 0 && here == dist[i * stride + j - 1] + 1)
             candidates[num++] = 2;
         DNASIM_ASSERT(num > 0, "edit backtrace stuck at (", i, ",", j, ")");
 
@@ -287,22 +431,37 @@ editOps(std::string_view ref, std::string_view copy, Rng *rng)
           case 0:
             --i;
             --j;
-            rev.push_back({ref[i] == copy[j] ? EditOpType::Equal
+            out.push_back({ref[i] == copy[j] ? EditOpType::Equal
                                              : EditOpType::Substitute,
                            i, ref[i], copy[j]});
             break;
           case 1:
             --i;
-            rev.push_back({EditOpType::Delete, i, ref[i], '\0'});
+            out.push_back({EditOpType::Delete, i, ref[i], '\0'});
             break;
           default:
             --j;
-            rev.push_back({EditOpType::Insert, i, '\0', copy[j]});
+            out.push_back({EditOpType::Insert, i, '\0', copy[j]});
             break;
         }
     }
-    std::reverse(rev.begin(), rev.end());
-    return rev;
+    std::reverse(out.begin(), out.end());
+
+    // Don't let one pair of unusually long strands pin a large DP
+    // matrix in every worker thread for the rest of the process.
+    constexpr size_t kKeepCells = size_t{1} << 22;
+    if (cells > kKeepCells) {
+        dist.clear();
+        dist.shrink_to_fit();
+    }
+}
+
+std::vector<EditOp>
+editOps(std::string_view ref, std::string_view copy, Rng *rng)
+{
+    std::vector<EditOp> out;
+    editOpsInto(ref, copy, rng, out);
+    return out;
 }
 
 size_t

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "base/dna.hh"
+#include "base/packed.hh"
 #include "base/rng.hh"
 
 namespace dnasim
@@ -89,6 +90,66 @@ size_t levenshteinBanded(std::string_view a, std::string_view b,
                          size_t band);
 
 /**
+ * A Myers bit-parallel pattern with precomputed match tables.
+ *
+ * The free levenshtein* functions rebuild the per-character match
+ * bit-vectors (Peq) on every call. When one string is compared
+ * against many others — a cluster representative probed by thousands
+ * of reads, a consensus estimate scored against every copy — the
+ * tables can be built once and reused. A MyersPattern owns the Peq
+ * rows for the four bases (built from a character strand or directly
+ * from a PackedStrand's 2-bit words) and answers distance queries
+ * against arbitrary texts with zero per-call allocation.
+ *
+ * Distances are exact and identical to levenshtein() for all
+ * inputs. Patterns containing non-ACGT characters fall back to the
+ * generic kernel (and are flagged in the align.char_fallback
+ * counter); texts may contain arbitrary characters either way.
+ */
+class MyersPattern
+{
+  public:
+    MyersPattern() = default;
+
+    /** Build the match tables for @p pattern. */
+    explicit MyersPattern(std::string_view pattern);
+
+    /** Build the match tables from 2-bit packed words. */
+    explicit MyersPattern(const PackedStrand &pattern);
+
+    /** Pattern length in bases. */
+    size_t size() const { return m_; }
+
+    /** False when the pattern required the non-ACGT fallback. */
+    bool packed() const { return fallback_.empty(); }
+
+    /** Exact Levenshtein distance between the pattern and @p text. */
+    size_t distance(std::string_view text) const;
+
+    /**
+     * Thresholded distance: the exact distance when it is at most
+     * @p limit, otherwise some value strictly greater than @p limit
+     * (the kernel abandons a column as soon as the running score
+     * minus the remaining text length certifies the bound). Callers
+     * comparing the result against @p limit get exactly the same
+     * accept/reject decisions as with distance().
+     */
+    size_t distanceBounded(std::string_view text, size_t limit) const;
+
+  private:
+    void build(std::string_view pattern);
+    size_t run(std::string_view text, size_t limit) const;
+
+    size_t m_ = 0;
+    size_t blocks_ = 0;
+    /// Peq rows, kNumBases * blocks_: match bits of pattern slice b
+    /// for base code c live at peq_[c * blocks_ + b].
+    std::vector<uint64_t> peq_;
+    /// Pattern copy, only set for non-ACGT patterns (generic path).
+    std::string fallback_;
+};
+
+/**
  * Recover a minimum-cost edit script transforming @p ref into
  * @p copy.
  *
@@ -105,6 +166,15 @@ size_t levenshteinBanded(std::string_view a, std::string_view b,
  */
 std::vector<EditOp> editOps(std::string_view ref, std::string_view copy,
                             Rng *rng = nullptr);
+
+/**
+ * editOps() into a caller-provided buffer (cleared first). The DP
+ * matrix lives in reused thread-local scratch, so a steady-state
+ * caller (consensus voting iterates this over every copy of every
+ * cluster) performs no per-call heap allocation.
+ */
+void editOpsInto(std::string_view ref, std::string_view copy, Rng *rng,
+                 std::vector<EditOp> &out);
 
 /** Number of non-Equal operations in a script. */
 size_t numErrors(const std::vector<EditOp> &ops);

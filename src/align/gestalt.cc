@@ -1,9 +1,13 @@
 #include "align/gestalt.hh"
 
 #include <algorithm>
+#include <array>
+#include <bit>
 #include <vector>
 
+#include "align/path_stats.hh"
 #include "base/logging.hh"
+#include "base/packed.hh"
 
 namespace dnasim
 {
@@ -12,20 +16,47 @@ namespace
 {
 
 /**
- * Longest common substring of a[a_lo, a_hi) and b[b_lo, b_hi),
- * earliest occurrence on ties (difflib semantics, modulo its junk
- * heuristics, which do not apply to a 4-letter alphabet).
+ * Reused buffers for the longest-match recursion. One recursive
+ * matchingBlocks() call used to allocate two fresh DP rows per
+ * longestMatch() invocation — O(log n) allocations per pair, times
+ * millions of pairs in the profiler — so all scratch is hoisted here
+ * and kept thread-local by the entry points.
+ */
+struct GestaltScratch
+{
+    /// Match masks over the current b-subrange: bit (j - b_lo) of
+    /// eq[c] is set iff b[j] has base code c.
+    std::array<std::vector<uint64_t>, kNumBases> eq;
+    /// Suffix-run lengths for the current and previous row
+    /// (bit-parallel path). Stale entries are never read: prev[jj-1]
+    /// is consulted only when the previous row matched at jj-1, i.e.
+    /// when that cell was freshly written.
+    std::vector<uint32_t> prev, cur;
+    /// Dense rows for the scalar fallback (non-ACGT content).
+    std::vector<size_t> sprev, scur;
+};
+
+/**
+ * Scalar longest common substring of a[a_lo, a_hi) and b[b_lo, b_hi)
+ * — the original character DP, kept as the exact fallback for
+ * strings with non-ACGT content. Earliest occurrence on ties
+ * (difflib semantics, modulo its junk heuristics, which do not apply
+ * to a 4-letter alphabet).
  */
 MatchBlock
-longestMatch(std::string_view a, std::string_view b, size_t a_lo,
-             size_t a_hi, size_t b_lo, size_t b_hi)
+longestMatchScalar(std::string_view a, std::string_view b, size_t a_lo,
+                   size_t a_hi, size_t b_lo, size_t b_hi,
+                   GestaltScratch &scratch)
 {
     MatchBlock best{a_lo, b_lo, 0};
     if (a_lo >= a_hi || b_lo >= b_hi)
         return best;
 
     // lengths[j]: length of the common suffix ending at (i, j).
-    std::vector<size_t> prev(b_hi - b_lo + 1, 0), cur(b_hi - b_lo + 1, 0);
+    auto &prev = scratch.sprev;
+    auto &cur = scratch.scur;
+    prev.assign(b_hi - b_lo + 1, 0);
+    cur.assign(b_hi - b_lo + 1, 0);
     for (size_t i = a_lo; i < a_hi; ++i) {
         for (size_t j = b_lo; j < b_hi; ++j) {
             size_t jj = j - b_lo + 1;
@@ -46,16 +77,105 @@ longestMatch(std::string_view a, std::string_view b, size_t a_lo,
     return best;
 }
 
+/**
+ * Bit-parallel longest common substring for ACGT content.
+ *
+ * Per-base match masks over the b-subrange are built once; each row
+ * then visits only the positions where a[i] == b[j] (about a quarter
+ * of the columns on a 4-letter alphabet) by iterating the set bits
+ * of the mask. The diagonal predecessor's validity is itself a mask
+ * lookup — prev[jj-1] holds a live value exactly when bit jj-1 of
+ * the previous row's mask is set — so neither row is ever cleared.
+ *
+ * Traversal order (i ascending, j ascending, strictly-greater
+ * updates) matches the scalar DP, so tie-breaking is identical.
+ */
+MatchBlock
+longestMatchBits(std::string_view a, std::string_view b, size_t a_lo,
+                 size_t a_hi, size_t b_lo, size_t b_hi,
+                 GestaltScratch &scratch)
+{
+    MatchBlock best{a_lo, b_lo, 0};
+    if (a_lo >= a_hi || b_lo >= b_hi)
+        return best;
+
+    const size_t width = b_hi - b_lo;
+    const size_t words = (width + 63) / 64;
+    for (auto &mask : scratch.eq)
+        mask.assign(words, 0);
+    for (size_t j = b_lo; j < b_hi; ++j) {
+        const uint8_t code =
+            kCharToCode[static_cast<unsigned char>(b[j])];
+        const size_t jj = j - b_lo;
+        scratch.eq[code][jj / 64] |= uint64_t{1} << (jj % 64);
+    }
+
+    auto &prev = scratch.prev;
+    auto &cur = scratch.cur;
+    if (prev.size() < width) {
+        prev.resize(width);
+        cur.resize(width);
+    }
+
+    uint8_t prev_code = kInvalidCode; // no previous row yet
+    for (size_t i = a_lo; i < a_hi; ++i) {
+        const uint8_t code =
+            kCharToCode[static_cast<unsigned char>(a[i])];
+        const auto &row = scratch.eq[code];
+        const uint64_t *diag = prev_code != kInvalidCode
+                                   ? scratch.eq[prev_code].data()
+                                   : nullptr;
+        for (size_t w = 0; w < words; ++w) {
+            uint64_t bits = row[w];
+            while (bits != 0) {
+                const size_t jj =
+                    w * 64 +
+                    static_cast<size_t>(std::countr_zero(bits));
+                bits &= bits - 1;
+                uint32_t len = 1;
+                if (jj > 0 && diag != nullptr &&
+                    ((diag[(jj - 1) / 64] >> ((jj - 1) % 64)) & 1u))
+                    len = prev[jj - 1] + 1;
+                cur[jj] = len;
+                if (len > best.len) {
+                    best.len = len;
+                    best.a_pos = i + 1 - len;
+                    best.b_pos = b_lo + jj + 1 - len;
+                }
+            }
+        }
+        std::swap(prev, cur);
+        prev_code = code;
+    }
+    return best;
+}
+
 void
 recurse(std::string_view a, std::string_view b, size_t a_lo, size_t a_hi,
-        size_t b_lo, size_t b_hi, std::vector<MatchBlock> &out)
+        size_t b_lo, size_t b_hi, std::vector<MatchBlock> &out,
+        GestaltScratch &scratch, bool use_bits)
 {
-    MatchBlock m = longestMatch(a, b, a_lo, a_hi, b_lo, b_hi);
+    MatchBlock m =
+        use_bits
+            ? longestMatchBits(a, b, a_lo, a_hi, b_lo, b_hi, scratch)
+            : longestMatchScalar(a, b, a_lo, a_hi, b_lo, b_hi,
+                                 scratch);
     if (m.len == 0)
         return;
-    recurse(a, b, a_lo, m.a_pos, b_lo, m.b_pos, out);
+    recurse(a, b, a_lo, m.a_pos, b_lo, m.b_pos, out, scratch,
+            use_bits);
     out.push_back(m);
-    recurse(a, b, m.a_pos + m.len, a_hi, m.b_pos + m.len, b_hi, out);
+    recurse(a, b, m.a_pos + m.len, a_hi, m.b_pos + m.len, b_hi, out,
+            scratch, use_bits);
+}
+
+bool
+allBases(std::string_view s)
+{
+    for (char c : s)
+        if (kCharToCode[static_cast<unsigned char>(c)] == kInvalidCode)
+            return false;
+    return true;
 }
 
 } // anonymous namespace
@@ -63,8 +183,18 @@ recurse(std::string_view a, std::string_view b, size_t a_lo, size_t a_hi,
 std::vector<MatchBlock>
 matchingBlocks(std::string_view a, std::string_view b)
 {
+    thread_local GestaltScratch scratch;
+    auto &ps = align_detail::PathStats::get();
+    // Non-ACGT characters (e.g. N calls in real FASTQ data) fall
+    // back to the scalar DP for the whole pair: a stray character
+    // could legitimately match an identical stray character, which
+    // the 4-row masks cannot represent.
+    const bool use_bits = allBases(a) && allBases(b);
+    (use_bits ? ps.packed_fastpath : ps.char_fallback).inc();
+
     std::vector<MatchBlock> blocks;
-    recurse(a, b, 0, a.size(), 0, b.size(), blocks);
+    recurse(a, b, 0, a.size(), 0, b.size(), blocks, scratch,
+            use_bits);
     blocks.push_back({a.size(), b.size(), 0}); // terminating sentinel
     return blocks;
 }

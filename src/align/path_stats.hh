@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Shared fast-path/fallback counters for the alignment kernels.
+ *
+ * Every kernel with both a packed (or bit-parallel) fast path and a
+ * generic character path reports which one served each call, so
+ * mixed-path usage — e.g. datasets with non-ACGT reads silently
+ * degrading to scalar code — is visible in dnasim.stats.v1 as
+ * align.packed_fastpath / align.char_fallback.
+ */
+
+#ifndef DNASIM_ALIGN_PATH_STATS_HH
+#define DNASIM_ALIGN_PATH_STATS_HH
+
+#include "obs/stats.hh"
+
+namespace dnasim
+{
+namespace align_detail
+{
+
+struct PathStats
+{
+    obs::Counter &packed_fastpath;
+    obs::Counter &char_fallback;
+
+    static PathStats &
+    get()
+    {
+        auto &reg = obs::Registry::global();
+        static PathStats ps{
+            reg.counter("align.packed_fastpath",
+                        "alignment/consensus calls served by a packed "
+                        "or bit-parallel fast path"),
+            reg.counter("align.char_fallback",
+                        "alignment/consensus calls that fell back to "
+                        "the generic character path"),
+        };
+        return ps;
+    }
+};
+
+} // namespace align_detail
+} // namespace dnasim
+
+#endif // DNASIM_ALIGN_PATH_STATS_HH

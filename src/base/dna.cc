@@ -91,7 +91,16 @@ baseCounts(std::string_view s)
 std::vector<bool>
 homopolymerRunMask(std::string_view s, size_t min_run)
 {
-    std::vector<bool> mask(s.size(), false);
+    std::vector<bool> mask;
+    homopolymerRunMask(s, min_run, mask);
+    return mask;
+}
+
+void
+homopolymerRunMask(std::string_view s, size_t min_run,
+                   std::vector<bool> &out)
+{
+    out.assign(s.size(), false);
     if (min_run == 0)
         min_run = 1;
     size_t start = 0;
@@ -99,11 +108,10 @@ homopolymerRunMask(std::string_view s, size_t min_run)
         if (i == s.size() || s[i] != s[start]) {
             if (i - start >= min_run)
                 for (size_t k = start; k < i; ++k)
-                    mask[k] = true;
+                    out[k] = true;
             start = i;
         }
     }
-    return mask;
 }
 
 } // namespace dnasim

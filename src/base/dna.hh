@@ -111,6 +111,15 @@ std::array<size_t, kNumBases> baseCounts(std::string_view s);
 std::vector<bool> homopolymerRunMask(std::string_view s,
                                      size_t min_run);
 
+/**
+ * homopolymerRunMask() into a caller-provided buffer (assigned to
+ * |s| entries; storage reused). Lets per-read hot paths — the
+ * contextual channel computes this mask for every transmission —
+ * run without a per-call allocation.
+ */
+void homopolymerRunMask(std::string_view s, size_t min_run,
+                        std::vector<bool> &out);
+
 } // namespace dnasim
 
 #endif // DNASIM_BASE_DNA_HH

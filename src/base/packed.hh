@@ -1,0 +1,151 @@
+/**
+ * @file
+ * 2-bit packed DNA strands.
+ *
+ * A PackedStrand stores a strand over {A, C, G, T} at 2 bits per
+ * base, 32 bases per 64-bit word, least-significant pair first. The
+ * bit codes are the Base enum indices (A=0, C=1, G=2, T=3), so a
+ * packed word is directly usable as a vector of probability-table
+ * indices. Unused tail bits of the last word are always zero, which
+ * makes whole-word equality, XOR-based Hamming comparison, and
+ * word-wise vote accumulation valid without per-call masking.
+ *
+ * The packed layout is a *kernel substrate*, not a replacement for
+ * the public Strand API: pipelines still exchange std::string
+ * strands, and every packed kernel is required to be bit-identical
+ * to its character-path counterpart (see DESIGN.md, "Packed strand
+ * core").
+ */
+
+#ifndef DNASIM_BASE_PACKED_HH
+#define DNASIM_BASE_PACKED_HH
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "base/dna.hh"
+
+namespace dnasim
+{
+
+/**
+ * Per-character 2-bit codes: kCharToCode[c] is the Base index of c,
+ * or kInvalidCode for characters outside {A, C, G, T}. Shared by the
+ * packer and by kernels that walk char strands word-wise.
+ */
+inline constexpr uint8_t kInvalidCode = 0xff;
+
+namespace detail
+{
+constexpr std::array<uint8_t, 256>
+makeCharToCode()
+{
+    std::array<uint8_t, 256> t{};
+    for (auto &e : t)
+        e = kInvalidCode;
+    t['A'] = 0;
+    t['C'] = 1;
+    t['G'] = 2;
+    t['T'] = 3;
+    return t;
+}
+} // namespace detail
+
+inline constexpr std::array<uint8_t, 256> kCharToCode =
+    detail::makeCharToCode();
+
+/** A DNA strand packed at 2 bits per base. */
+class PackedStrand
+{
+  public:
+    /** Bases stored per 64-bit word. */
+    static constexpr size_t kBasesPerWord = 32;
+
+    /** Words needed for @p len bases. */
+    static constexpr size_t
+    numWords(size_t len)
+    {
+        return (len + kBasesPerWord - 1) / kBasesPerWord;
+    }
+
+    PackedStrand() = default;
+
+    /**
+     * Pack @p s. Every character must be one of A, C, G, T; invalid
+     * content is a bug upstream and is checked with an assertion.
+     * Use tryPack() for untrusted input.
+     */
+    explicit PackedStrand(std::string_view s);
+
+    /** Pack @p s, or nullopt if it contains a non-ACGT character. */
+    static std::optional<PackedStrand> tryPack(std::string_view s);
+
+    /**
+     * Repack @p s into this strand, reusing the existing word
+     * storage (no allocation once capacity has grown to the working
+     * length). Asserts validity like the constructor.
+     */
+    void packFrom(std::string_view s);
+
+    /** Number of bases. */
+    size_t size() const { return len_; }
+
+    bool empty() const { return len_ == 0; }
+
+    /** Base at position @p i (asserted in range). */
+    Base base(size_t i) const;
+
+    /** Character at position @p i. */
+    char charAt(size_t i) const
+    {
+        return baseToChar(base(i));
+    }
+
+    /** The packed words; tail bits beyond size() are zero. */
+    std::span<const uint64_t> words() const
+    {
+        return {words_.data(), numWords(len_)};
+    }
+
+    /** Word @p w (asserted in range). */
+    uint64_t word(size_t w) const;
+
+    /** Unpack back to the public string representation. */
+    Strand toStrand() const;
+
+    /** Unpack into @p out (resized; storage reused). */
+    void unpackInto(Strand &out) const;
+
+    /**
+     * Equality is length + word equality — valid because tail bits
+     * are canonically zero.
+     */
+    bool operator==(const PackedStrand &other) const
+    {
+        return len_ == other.len_ && words_same(other);
+    }
+
+  private:
+    bool words_same(const PackedStrand &other) const;
+
+    std::vector<uint64_t> words_;
+    size_t len_ = 0;
+};
+
+/**
+ * Pack the first min(|s|, max_bases) bases of @p s into @p out
+ * (resized to the needed word count, tail bits zeroed). Returns
+ * false — leaving @p out unspecified — if a non-ACGT character is
+ * encountered. This is the allocation-free workhorse behind
+ * PackedStrand and the consensus fast path, which packs into a
+ * reused arena instead of one PackedStrand per copy.
+ */
+bool packWordsInto(std::string_view s, size_t max_bases,
+                   std::vector<uint64_t> &out, size_t *packed_len);
+
+} // namespace dnasim
+
+#endif // DNASIM_BASE_PACKED_HH

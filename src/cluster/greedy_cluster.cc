@@ -67,6 +67,12 @@ clusterReads(const std::vector<Strand> &reads,
     uint64_t comparisons = 0;
 
     std::vector<ReadCluster> clusters;
+    // One Myers pattern per cluster representative, built when the
+    // cluster opens and reused for every later probe. Probing used
+    // to call levenshtein(), which rebuilds the bit-vector match
+    // tables from the representative on every one of the thousands
+    // of probes against it; the cached pattern pays that cost once.
+    std::vector<MyersPattern> rep_patterns;
     // anchor -> cluster indices whose representative starts with it.
     // string_view-keyed heterogeneous lookup: probing never copies
     // the anchor; only bucket creation materializes the key.
@@ -107,6 +113,11 @@ clusterReads(const std::vector<Strand> &reads,
         // probe order) within the threshold — survive
         // parallelization because the winner is selected by
         // candidate order, not by completion order.
+        // Probes use the thresholded kernel: a probe's exact
+        // distance above the threshold is irrelevant, so the kernel
+        // abandons the text as soon as the bound is certified.
+        // Placement decisions — and therefore the clustering — are
+        // byte-identical to the exact-distance code.
         size_t placed_in = clusters.size();
         if (par::numThreads() > 1 &&
             candidates.size() >= kMinParallelProbes) {
@@ -114,9 +125,9 @@ clusterReads(const std::vector<Strand> &reads,
             par::parallelFor(
                 0, candidates.size(),
                 [&](size_t k) {
-                    distances[k] = levenshtein(
-                        clusters[candidates[k]].representative,
-                        read);
+                    distances[k] =
+                        rep_patterns[candidates[k]].distanceBounded(
+                            read, options.distance_threshold);
                 },
                 /*grain=*/4);
             comparisons += candidates.size();
@@ -129,7 +140,8 @@ clusterReads(const std::vector<Strand> &reads,
         } else {
             for (size_t c : candidates) {
                 ++comparisons;
-                if (levenshtein(clusters[c].representative, read) <=
+                if (rep_patterns[c].distanceBounded(
+                        read, options.distance_threshold) <=
                     options.distance_threshold) {
                     placed_in = c;
                     break;
@@ -142,6 +154,8 @@ clusterReads(const std::vector<Strand> &reads,
             fresh.members.push_back(i);
             fresh.representative = read;
             clusters.push_back(std::move(fresh));
+            rep_patterns.emplace_back(
+                std::string_view(clusters.back().representative));
             auto bucket = buckets.find(anchor_of(read));
             if (bucket == buckets.end()) {
                 bucket = buckets

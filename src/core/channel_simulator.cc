@@ -19,6 +19,10 @@ ChannelSimulator::simulateCluster(const Strand &reference, size_t n,
     Cluster cluster;
     cluster.reference = reference;
     cluster.copies.reserve(n);
+    // Steady-state heap traffic here is the output strands only:
+    // per-transmit scratch (e.g. the contextual channel's
+    // homopolymer mask) lives in thread_local buffers inside the
+    // models, sized once per worker.
     for (size_t k = 0; k < n; ++k)
         cluster.copies.push_back(model_.transmit(reference, rng));
     return cluster;

@@ -357,13 +357,17 @@ IdsChannelModel::transmitScaled(const Strand &ref, double rate_scale,
 
     // Homopolymer context: positions inside runs err more, with the
     // multipliers normalized per strand so the aggregate rate is
-    // preserved.
-    std::vector<bool> in_run;
+    // preserved. The mask lives in per-worker scratch — this runs
+    // once per transmitted read, and a fresh vector here was the
+    // channel's only per-read allocation besides the emitted strand.
+    thread_local std::vector<bool> in_run;
+    bool use_ctx = false;
     double ctx_in = 1.0, ctx_out = 1.0;
     const double hp_mult = profile_.homopolymer_mult;
     if (features_.context && hp_mult != 1.0 && len > 0) {
-        in_run = homopolymerRunMask(
-            ref, ErrorProfile::kHomopolymerRunLength);
+        use_ctx = true;
+        homopolymerRunMask(ref, ErrorProfile::kHomopolymerRunLength,
+                           in_run);
         size_t run_positions = 0;
         for (bool b : in_run)
             run_positions += b ? 1 : 0;
@@ -378,7 +382,7 @@ IdsChannelModel::transmitScaled(const Strand &ref, double rate_scale,
     while (i < len) {
         const char base = ref[i];
         Rates r = ratesAt(base, i, len);
-        if (!in_run.empty()) {
+        if (use_ctx) {
             double ctx = in_run[i] ? ctx_in : ctx_out;
             r.sub *= ctx;
             r.ins *= ctx;

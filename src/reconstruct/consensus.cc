@@ -4,7 +4,9 @@
 #include <limits>
 
 #include "align/edit_distance.hh"
+#include "align/path_stats.hh"
 #include "base/logging.hh"
+#include "base/packed.hh"
 
 namespace dnasim
 {
@@ -40,13 +42,88 @@ pluralityChar(std::span<const char> votes, Rng &rng)
     return vote.winner(rng);
 }
 
+namespace
+{
+
+/**
+ * Unweighted column voting over packed words: each copy is packed
+ * once (into a reused arena) and its 2-bit codes are streamed into
+ * per-column integer counters, 32 columns per word load. The
+ * per-column winner logic mirrors BaseVote::winner exactly —
+ * including the order of tie candidates and when the Rng is
+ * consumed — so the result is bit-identical to the character path
+ * (unit weights are exact in both integer and double arithmetic).
+ *
+ * Returns false (leaving @p out untouched and the Rng unconsumed)
+ * when a copy contains a non-ACGT character; the caller then runs
+ * the generic weighted path.
+ */
+bool
+packedPlurality(std::span<const Strand> copies, size_t design_len,
+                Rng &rng, Strand &out)
+{
+    thread_local std::vector<uint64_t> packed;
+    thread_local std::vector<uint32_t> counts;
+    counts.assign(kNumBases * design_len, 0);
+
+    for (const Strand &copy : copies) {
+        size_t plen = 0;
+        if (!packWordsInto(copy, design_len, packed, &plen))
+            return false;
+        size_t pos = 0;
+        for (size_t w = 0; w < packed.size(); ++w) {
+            uint64_t word = packed[w];
+            const size_t stop = std::min(
+                plen, (w + 1) * PackedStrand::kBasesPerWord);
+            for (; pos < stop; ++pos, word >>= 2)
+                ++counts[pos * kNumBases + (word & 3u)];
+        }
+    }
+
+    out.clear();
+    out.reserve(design_len);
+    for (size_t pos = 0; pos < design_len; ++pos) {
+        const uint32_t *c = &counts[pos * kNumBases];
+        if (c[0] == 0 && c[1] == 0 && c[2] == 0 && c[3] == 0) {
+            out.push_back('A'); // no copy reaches this column
+            continue;
+        }
+        uint32_t best = 0;
+        size_t num_best = 0;
+        std::array<size_t, kNumBases> tied{};
+        for (size_t b = 0; b < kNumBases; ++b) {
+            if (b == 0 || c[b] > best) {
+                best = c[b];
+                tied[0] = b;
+                num_best = 1;
+            } else if (c[b] == best) {
+                tied[num_best++] = b;
+            }
+        }
+        size_t pick =
+            num_best == 1 ? tied[0] : tied[rng.index(num_best)];
+        out.push_back(kBaseChars[pick]);
+    }
+    return true;
+}
+
+} // anonymous namespace
+
 Strand
 positionalPlurality(std::span<const Strand> copies, size_t design_len,
                     Rng &rng, std::span<const double> weights)
 {
     DNASIM_ASSERT(weights.empty() || weights.size() == copies.size(),
                   "weight/copy count mismatch");
+    auto &ps = align_detail::PathStats::get();
     Strand out;
+    if (weights.empty() &&
+        packedPlurality(copies, design_len, rng, out)) {
+        ps.packed_fastpath.inc();
+        return out;
+    }
+    ps.char_fallback.inc();
+    out.clear();
     out.reserve(design_len);
     BaseVote vote;
     for (size_t pos = 0; pos < design_len; ++pos) {
@@ -72,12 +149,18 @@ alignedConsensus(const Strand &estimate,
                   "weight/copy count mismatch");
     const size_t len = estimate.size();
 
-    std::vector<BaseVote> base_votes(len);
-    std::vector<double> del_votes(len, 0.0);
+    // Reused vote buffers: one alignedConsensus call runs per
+    // refinement round per cluster, and the old per-call vectors
+    // were a steady allocation source in the reconstruction loop.
+    thread_local std::vector<BaseVote> base_votes;
+    thread_local std::vector<double> del_votes;
+    thread_local std::vector<std::array<double, kNumBases>> ins_votes;
+    thread_local std::vector<EditOp> ops;
+    base_votes.assign(len, BaseVote{});
+    del_votes.assign(len, 0.0);
     // Insertion votes for the gap before position i (i == len is an
     // append).
-    std::vector<std::array<double, kNumBases>> ins_votes(
-        len + 1, std::array<double, kNumBases>{});
+    ins_votes.assign(len + 1, std::array<double, kNumBases>{});
     double total_weight = 0.0;
 
     for (size_t c = 0; c < copies.size(); ++c) {
@@ -88,7 +171,8 @@ alignedConsensus(const Strand &estimate,
         // Deterministic (leftmost) alignments keep equally-minimal
         // edit scripts attributed to the same positions across
         // copies, so their votes reinforce instead of spreading.
-        for (const auto &op : editOps(estimate, copies[c])) {
+        editOpsInto(estimate, copies[c], nullptr, ops);
+        for (const auto &op : ops) {
             switch (op.type) {
               case EditOpType::Equal:
               case EditOpType::Substitute:
@@ -131,9 +215,12 @@ size_t
 totalEditDistance(const Strand &estimate,
                   std::span<const Strand> copies)
 {
+    // One Myers pattern for the estimate, reused across every copy
+    // (levenshtein() would rebuild its match tables per copy).
+    MyersPattern pattern{std::string_view(estimate)};
     size_t total = 0;
     for (const auto &c : copies)
-        total += levenshtein(estimate, c);
+        total += pattern.distance(c);
     return total;
 }
 
@@ -151,8 +238,10 @@ enforceDesignLength(Strand estimate, std::span<const Strand> copies,
         std::vector<double> del_votes(len, 0.0);
         std::vector<std::array<double, kNumBases>> ins_votes(
             len + 1, std::array<double, kNumBases>{});
+        thread_local std::vector<EditOp> ops;
         for (const auto &copy : copies) {
-            for (const auto &op : editOps(estimate, copy)) {
+            editOpsInto(estimate, copy, nullptr, ops);
+            for (const auto &op : ops) {
                 if (op.type == EditOpType::Delete)
                     del_votes[op.ref_pos] += 1.0;
                 else if (op.type == EditOpType::Insert)

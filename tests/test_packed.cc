@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Tests for the 2-bit packed strand core and the kernels specialized
+ * on it: PackedStrand round-trips and validation, word-wise Hamming,
+ * MyersPattern reuse, thresholded distances, and packed consensus
+ * voting. The load-bearing property throughout is *bit-identical
+ * equivalence* with the character paths — the packed kernels are an
+ * optimization, never a semantic change.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "align/edit_distance.hh"
+#include "align/hamming.hh"
+#include "base/packed.hh"
+#include "base/rng.hh"
+#include "data/strand_factory.hh"
+#include "reconstruct/consensus.hh"
+
+namespace dnasim
+{
+namespace
+{
+
+/// Boundary lengths around the 32-bases-per-word packing: empty,
+/// single base, word-straddling 63/64/65, and multi-word 4096+.
+const std::vector<size_t> kBoundaryLengths = {0,  1,  31,  32,  33,
+                                              63, 64, 65,  127, 128,
+                                              4096, 4133};
+
+std::string
+randomStrand(size_t len, Rng &rng)
+{
+    std::string s;
+    s.reserve(len);
+    for (size_t i = 0; i < len; ++i)
+        s.push_back(kBaseChars[rng.index(kNumBases)]);
+    return s;
+}
+
+/** Mutate ~rate of positions to a random other base. */
+std::string
+mutate(std::string s, double rate, Rng &rng)
+{
+    for (char &c : s) {
+        if (rng.uniform() < rate)
+            c = kBaseChars[rng.index(kNumBases)];
+    }
+    return s;
+}
+
+TEST(PackedStrand, RoundTripBoundaryLengths)
+{
+    Rng rng(0x9a11);
+    for (size_t len : kBoundaryLengths) {
+        const std::string s = randomStrand(len, rng);
+        PackedStrand p(s);
+        EXPECT_EQ(p.size(), len);
+        EXPECT_EQ(p.toStrand(), s) << "len " << len;
+        for (size_t i = 0; i < len; ++i) {
+            EXPECT_EQ(p.charAt(i), s[i]) << "len " << len << " pos "
+                                         << i;
+        }
+    }
+}
+
+TEST(PackedStrand, TailBitsAreZero)
+{
+    // Canonical zero tail is what makes word equality and XOR
+    // kernels valid without masking.
+    PackedStrand p(std::string(65, 'T')); // T = code 3, all-ones pairs
+    ASSERT_EQ(p.words().size(), 3u);
+    EXPECT_EQ(p.word(2), uint64_t{3}); // one base, 62 zero tail bits
+}
+
+TEST(PackedStrand, EqualityAndReuse)
+{
+    PackedStrand a(std::string_view("ACGTACGT"));
+    PackedStrand b(std::string_view("ACGTACGT"));
+    PackedStrand c(std::string_view("ACGTACGA"));
+    EXPECT_TRUE(a == b);
+    EXPECT_FALSE(a == c);
+
+    // packFrom reuses storage and must fully replace prior content,
+    // including the canonical tail.
+    Rng rng(3);
+    PackedStrand r(randomStrand(4096, rng));
+    r.packFrom("ACGT");
+    EXPECT_EQ(r.size(), 4u);
+    EXPECT_EQ(r.toStrand(), "ACGT");
+    EXPECT_TRUE(r == PackedStrand(std::string_view("ACGT")));
+}
+
+TEST(PackedStrand, RejectsNonAcgt)
+{
+    EXPECT_FALSE(PackedStrand::tryPack("ACGN").has_value());
+    EXPECT_FALSE(PackedStrand::tryPack("acgt").has_value());
+    EXPECT_FALSE(PackedStrand::tryPack(std::string_view("AC\0T", 4))
+                     .has_value());
+    EXPECT_TRUE(PackedStrand::tryPack("").has_value());
+    EXPECT_TRUE(PackedStrand::tryPack("ACGT").has_value());
+}
+
+TEST(PackedHamming, MatchesCharKernelRandomized)
+{
+    Rng rng(0x7a33);
+    for (size_t la : kBoundaryLengths) {
+        for (int trial = 0; trial < 3; ++trial) {
+            // Unequal lengths exercise the length-difference term
+            // and the masked tail of the common prefix.
+            const size_t lb =
+                trial == 0 ? la
+                           : (la > 2 ? la - 1 - rng.index(2) : la + 7);
+            const std::string a = randomStrand(la, rng);
+            std::string b = mutate(randomStrand(lb, rng), 0.0, rng);
+            // Make b a noisy copy of a's prefix so distances are
+            // non-trivial (pure random pairs differ everywhere).
+            for (size_t i = 0; i < std::min(la, lb); ++i)
+                b[i] = rng.uniform() < 0.8 ? a[i] : b[i];
+
+            // Reference: the naive per-character definition.
+            size_t expected =
+                std::max(la, lb) - std::min(la, lb);
+            for (size_t i = 0; i < std::min(la, lb); ++i)
+                expected += a[i] != b[i] ? 1 : 0;
+
+            EXPECT_EQ(hammingDistance(a, b), expected);
+            EXPECT_EQ(hammingDistance(PackedStrand(a),
+                                      PackedStrand(b)),
+                      expected)
+                << "la " << la << " lb " << lb;
+        }
+    }
+}
+
+TEST(MyersPattern, MatchesLevenshteinAcrossLengths)
+{
+    Rng rng(0xabcd);
+    for (size_t len : kBoundaryLengths) {
+        const std::string pat = randomStrand(len, rng);
+        MyersPattern pattern{std::string_view(pat)};
+        EXPECT_EQ(pattern.size(), len);
+        EXPECT_TRUE(pattern.packed());
+        // Reuse the same pattern across several texts — the cached
+        // Peq tables must not carry state between queries.
+        for (int trial = 0; trial < 4; ++trial) {
+            std::string txt = mutate(pat, 0.1, rng);
+            if (trial == 2 && !txt.empty())
+                txt.erase(txt.begin());
+            if (trial == 3)
+                txt.push_back('C');
+            EXPECT_EQ(pattern.distance(txt), levenshtein(pat, txt))
+                << "len " << len << " trial " << trial;
+        }
+        EXPECT_EQ(pattern.distance(""), len);
+    }
+}
+
+TEST(MyersPattern, PackedConstructionMatchesCharConstruction)
+{
+    Rng rng(0x5eed);
+    for (size_t len : kBoundaryLengths) {
+        const std::string pat = randomStrand(len, rng);
+        MyersPattern from_chars{std::string_view(pat)};
+        MyersPattern from_words{PackedStrand(pat)};
+        for (int trial = 0; trial < 3; ++trial) {
+            const std::string txt = mutate(pat, 0.15, rng);
+            EXPECT_EQ(from_words.distance(txt),
+                      from_chars.distance(txt))
+                << "len " << len;
+        }
+    }
+}
+
+TEST(MyersPattern, BoundedIsExactWithinLimitAndConsistentAbove)
+{
+    Rng rng(0xf00d);
+    for (int trial = 0; trial < 200; ++trial) {
+        const size_t len = 1 + rng.index(150);
+        const std::string pat = randomStrand(len, rng);
+        const std::string txt = mutate(randomStrand(len, rng),
+                                       0.5, rng);
+        const size_t exact = levenshtein(pat, txt);
+        MyersPattern pattern{std::string_view(pat)};
+        for (size_t limit : {size_t{0}, size_t{3}, exact,
+                             exact + 5}) {
+            const size_t got = pattern.distanceBounded(txt, limit);
+            if (exact <= limit) {
+                EXPECT_EQ(got, exact) << "limit " << limit;
+            } else {
+                // Above the limit only the accept/reject decision is
+                // contractual.
+                EXPECT_GT(got, limit) << "exact " << exact;
+            }
+        }
+    }
+}
+
+TEST(MyersPattern, NonAcgtPatternFallsBack)
+{
+    MyersPattern pattern{std::string_view("ACGNACGT")};
+    EXPECT_FALSE(pattern.packed());
+    EXPECT_EQ(pattern.distance("ACGNACGT"), 0u);
+    EXPECT_EQ(pattern.distance("ACGTACGT"), 1u);
+    // Non-ACGT *text* stays on the fast path: those characters
+    // simply match nothing in an ACGT pattern.
+    MyersPattern acgt{std::string_view("ACGT")};
+    EXPECT_TRUE(acgt.packed());
+    EXPECT_EQ(acgt.distance("ANGT"), 1u);
+    EXPECT_EQ(acgt.distance("NNNN"), 4u);
+}
+
+TEST(PackedConsensus, MatchesCharVotingRandomized)
+{
+    // The unweighted (packed) path must consume the Rng exactly like
+    // the weighted character path with unit weights: same winners,
+    // same tie-breaks, same draws.
+    Rng rng(0x51de);
+    for (size_t design_len :
+         {size_t{0}, size_t{1}, size_t{63}, size_t{64}, size_t{65},
+          size_t{110}}) {
+        for (size_t copies_n : {size_t{0}, size_t{1}, size_t{2},
+                                size_t{5}, size_t{9}}) {
+            const std::string ref = randomStrand(design_len, rng);
+            std::vector<Strand> copies;
+            for (size_t k = 0; k < copies_n; ++k) {
+                Strand c = mutate(ref, 0.2, rng);
+                // Length diversity: some copies short, some long.
+                if (k % 3 == 1 && c.size() > 4)
+                    c.resize(c.size() - 3);
+                if (k % 3 == 2)
+                    c += randomStrand(4, rng);
+                copies.push_back(std::move(c));
+            }
+            const std::vector<double> unit(copies.size(), 1.0);
+            Rng packed_rng(1000 + design_len);
+            Rng char_rng(1000 + design_len);
+            Strand via_packed = positionalPlurality(
+                copies, design_len, packed_rng, {});
+            Strand via_chars = positionalPlurality(
+                copies, design_len, char_rng, unit);
+            EXPECT_EQ(via_packed, via_chars)
+                << "design_len " << design_len << " copies "
+                << copies_n;
+            // Identical residual Rng state proves identical
+            // consumption, not just identical output.
+            EXPECT_EQ(packed_rng.uniform(), char_rng.uniform());
+        }
+    }
+}
+
+TEST(PackedConsensus, EmptyColumnsFillWithA)
+{
+    std::vector<Strand> copies = {"AC", "AC"};
+    std::vector<Strand> none;
+    Rng rng(5);
+    EXPECT_EQ(positionalPlurality(copies, 5, rng, {}), "ACAAA");
+    EXPECT_EQ(positionalPlurality(none, 3, rng, {}), "AAA");
+}
+
+} // anonymous namespace
+} // namespace dnasim
