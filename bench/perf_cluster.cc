@@ -1,8 +1,10 @@
 /**
  * @file
- * Microbenchmarks of greedy read clustering: shuffled read pools at
+ * Microbenchmarks of read clustering: shuffled read pools at
  * realistic sizes, exercising the anchor-bucket probing (transparent
- * string_view lookup) and the parallel candidate-distance probes.
+ * string_view lookup) and the parallel candidate-distance probes,
+ * plus large-N scaling rows pitting the greedy recency scan against
+ * the MinHash sketch index (10k/50k/200k reads, purity recorded).
  * Results funnel into BENCH_perf_cluster.json; compare rows across
  * --threads values for the scaling curve.
  */
@@ -27,9 +29,13 @@ namespace
  * A shuffled pool of noisy reads from @p clusters references at
  * @p coverage copies each — the simulator's perfectly clustered
  * output flattened into the unordered pool a real pipeline sees.
+ * When @p origins is non-null it receives the true origin of each
+ * pooled read (for purity scoring).
  */
 std::vector<Strand>
-makePool(size_t clusters, size_t coverage, uint64_t salt)
+makePool(size_t clusters, size_t coverage, uint64_t salt,
+         std::vector<size_t> *origins = nullptr,
+         double error_rate = 0.06)
 {
     Rng rng = benchRng(salt);
     StrandFactory factory;
@@ -38,7 +44,7 @@ makePool(size_t clusters, size_t coverage, uint64_t salt)
     for (size_t i = 0; i < clusters; ++i)
         refs.push_back(factory.make(110, rng));
 
-    ErrorProfile profile = ErrorProfile::uniform(0.06, 110);
+    ErrorProfile profile = ErrorProfile::uniform(error_rate, 110);
     IdsChannelModel model = IdsChannelModel::naive(profile);
     ChannelSimulator sim(model);
     FixedCoverage cov(coverage);
@@ -55,6 +61,13 @@ makePool(size_t clusters, size_t coverage, uint64_t salt)
     for (size_t i = 0; i < pool.size(); ++i) {
         size_t j = (i % coverage) * clusters + i / coverage;
         shuffled[j] = std::move(pool[i]);
+    }
+    if (origins) {
+        origins->resize(shuffled.size());
+        for (size_t i = 0; i < shuffled.size(); ++i) {
+            size_t j = (i % coverage) * clusters + i / coverage;
+            (*origins)[j] = i / coverage;
+        }
     }
     return shuffled;
 }
@@ -91,9 +104,64 @@ BM_ClusterReadsWideProbe(benchmark::State &state)
     state.SetItemsProcessed(static_cast<int64_t>(reads));
 }
 
+/**
+ * Large-N scaling of the two candidate-generation backends on the
+ * same pools and the same options. The pools use a 3% error rate so
+ * the default distance gate actually accepts same-origin reads, and
+ * the probe budget is sized for large-N recall (max_probes=256: at
+ * 25k clusters the default window of 24 covers 0.1% of the pool and
+ * the recency tier finds essentially nothing). That budget is where
+ * the asymmetry lives: greedy *spends* it — anchor-missing reads burn
+ * the whole window on blind probes, so cost grows as reads x probes —
+ * while the sketch tier proposes a handful of targeted band
+ * collisions per read and never comes near the cap. The purity of
+ * each clustering is recorded as a metric so the speedup rows double
+ * as the quality-parity evidence (EXPERIMENTS.md scaling table).
+ */
+void
+BM_ClusterScaling(benchmark::State &state, ClusterIndexKind kind)
+{
+    const auto clusters = static_cast<size_t>(state.range(0));
+    std::vector<size_t> origins;
+    std::vector<Strand> pool =
+        makePool(clusters, 8, 0xc3, &origins, 0.03);
+    ClusterOptions options;
+    options.index = kind;
+    options.max_probes = 256;
+    size_t reads = 0;
+    double purity = 0.0;
+    double found = 0.0;
+    for (auto _ : state) {
+        std::vector<ReadCluster> result = clusterReads(pool, options);
+        benchmark::DoNotOptimize(result);
+        reads += pool.size();
+        state.PauseTiming();
+        purity = scoreClustering(result, origins).purity();
+        found = static_cast<double>(result.size());
+        state.ResumeTiming();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(reads));
+    state.counters["purity"] = purity;
+    state.counters["clusters"] = found;
+    const std::string tag = std::string("_") +
+                            clusterIndexName(kind) + "_" +
+                            std::to_string(pool.size());
+    BenchReport::global().addMetric("purity" + tag, purity);
+    BenchReport::global().addMetric("clusters" + tag, found);
+}
+
 } // anonymous namespace
 
 BENCHMARK(BM_ClusterReads)->Arg(100)->Arg(400)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
 BENCHMARK(BM_ClusterReadsWideProbe)->Arg(200)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+// 1250/6250/25000 references at coverage 8 = 10k/50k/200k reads.
+BENCHMARK_CAPTURE(BM_ClusterScaling, greedy,
+                  ClusterIndexKind::Greedy)
+    ->Arg(1250)->Arg(6250)->Arg(25000)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+BENCHMARK_CAPTURE(BM_ClusterScaling, sketch,
+                  ClusterIndexKind::Sketch)
+    ->Arg(1250)->Arg(6250)->Arg(25000)
     ->Unit(benchmark::kMillisecond)->UseRealTime();

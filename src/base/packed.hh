@@ -146,6 +146,41 @@ class PackedStrand
 bool packWordsInto(std::string_view s, size_t max_bases,
                    std::vector<uint64_t> &out, size_t *packed_len);
 
+/**
+ * Invoke @p fn(code) for every k-mer of a packed strand, in position
+ * order. The code of the k-mer starting at base i packs bases
+ * i..i+k-1 at 2 bits each with the first base in the least
+ * significant pair — the same layout as the packed words themselves,
+ * so a code is directly comparable against a word slice. The walk is
+ * word-wise (one word load per 32 bases, two shifts per base); the
+ * character representation is never touched, which is what makes
+ * per-read MinHash sketching (cluster/sketch_index.hh) cheap enough
+ * to run in front of every clustering probe.
+ *
+ * @p words must hold at least numWords(@p len) packed words (e.g.
+ * PackedStrand::words() or a packWordsInto() arena). @p k outside
+ * [1, kBasesPerWord] or @p len < @p k yields no invocations.
+ */
+template <typename Fn>
+inline void
+forEachPackedKmer(std::span<const uint64_t> words, size_t len, size_t k,
+                  Fn &&fn)
+{
+    if (k == 0 || k > PackedStrand::kBasesPerWord || len < k)
+        return;
+    const uint64_t top_shift = 2 * (k - 1);
+    uint64_t cur = 0;
+    uint64_t w = 0;
+    for (size_t i = 0; i < len; ++i) {
+        if ((i & (PackedStrand::kBasesPerWord - 1)) == 0)
+            w = words[i / PackedStrand::kBasesPerWord];
+        cur = (cur >> 2) | ((w & 3) << top_shift);
+        w >>= 2;
+        if (i + 1 >= k)
+            fn(cur);
+    }
+}
+
 } // namespace dnasim
 
 #endif // DNASIM_BASE_PACKED_HH

@@ -1,15 +1,18 @@
 #include "cli/commands.hh"
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <iterator>
 #include <memory>
+#include <numeric>
 
 #include "analysis/accuracy.hh"
 #include "analysis/error_positions.hh"
 #include "analysis/second_order.hh"
 #include "base/logging.hh"
 #include "base/table.hh"
+#include "cluster/greedy_cluster.hh"
 #include "core/channel_simulator.hh"
 #include "core/dnasimulator_model.hh"
 #include "core/ids_model.hh"
@@ -74,6 +77,41 @@ makeModel(const std::string &name, const ErrorProfile &profile)
     DNASIM_FATAL("unknown model '", name,
                  "'; expected naive, conditional, skew, second-order, "
                  "or dnasimulator");
+}
+
+/**
+ * Clusterer settings shared by the cluster and roundtrip commands:
+ * --cluster-index {greedy,sketch}, the probe bounds, and the sketch
+ * tier's MinHash/LSH shape.
+ */
+ClusterOptions
+clusterOptionsFromArgs(const Args &args)
+{
+    ClusterOptions options;
+    std::string index_name = args.get("cluster-index", "sketch");
+    auto kind = parseClusterIndex(index_name);
+    if (!kind) {
+        DNASIM_FATAL("unknown cluster index '", index_name,
+                     "'; expected greedy or sketch");
+    }
+    options.index = *kind;
+    options.distance_threshold = static_cast<size_t>(args.getInt(
+        "distance-threshold",
+        static_cast<int64_t>(options.distance_threshold)));
+    options.anchor_length = static_cast<size_t>(args.getInt(
+        "anchor-length", static_cast<int64_t>(options.anchor_length)));
+    options.max_probes = static_cast<size_t>(args.getInt(
+        "max-probes", static_cast<int64_t>(options.max_probes)));
+    options.sketch.kmer_length = static_cast<size_t>(args.getInt(
+        "sketch-kmer",
+        static_cast<int64_t>(options.sketch.kmer_length)));
+    options.sketch.num_bands = static_cast<size_t>(args.getInt(
+        "sketch-bands",
+        static_cast<int64_t>(options.sketch.num_bands)));
+    options.sketch.rows_per_band = static_cast<size_t>(args.getInt(
+        "sketch-rows",
+        static_cast<int64_t>(options.sketch.rows_per_band)));
+    return options;
 }
 
 void
@@ -249,6 +287,63 @@ cmdAnalyze(const Args &args)
 }
 
 int
+cmdCluster(const Args &args)
+{
+    if (args.positional().size() < 2) {
+        DNASIM_FATAL("usage: dnasim cluster <dataset.evyat> "
+                     "[--cluster-index sketch|greedy] "
+                     "[--distance-threshold D] [--anchor-length A] "
+                     "[--max-probes P] [--sketch-kmer K] "
+                     "[--sketch-bands B] [--sketch-rows R]");
+    }
+    Dataset dataset = readEvyatFile(args.positional()[1]);
+    ClusterOptions options = clusterOptionsFromArgs(args);
+    Rng rng(args.getSeed("seed", 0xc105));
+
+    // Pool every copy with its true origin, then shuffle both
+    // through one permutation: the clusterer sees a wetlab-shaped
+    // unordered pool, the scorer still knows the ground truth.
+    std::vector<Strand> pool;
+    std::vector<size_t> origins;
+    for (size_t i = 0; i < dataset.size(); ++i) {
+        for (const auto &copy : dataset[i].copies) {
+            pool.push_back(copy);
+            origins.push_back(i);
+        }
+    }
+    std::vector<size_t> perm(pool.size());
+    std::iota(perm.begin(), perm.end(), size_t{0});
+    rng.shuffle(perm);
+    std::vector<Strand> shuffled(pool.size());
+    std::vector<size_t> shuffled_origins(pool.size());
+    for (size_t i = 0; i < perm.size(); ++i) {
+        shuffled[i] = std::move(pool[perm[i]]);
+        shuffled_origins[i] = origins[perm[i]];
+    }
+
+    auto start = std::chrono::steady_clock::now();
+    std::vector<ReadCluster> clusters = clusterReads(shuffled, options);
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+    ClusterPurity purity = scoreClustering(clusters, shuffled_origins);
+
+    TextTable table("clustering");
+    table.setHeader({"index", "reads", "clusters", "purity%",
+                     "reads/s"});
+    table.addRow({clusterIndexName(options.index),
+                  std::to_string(purity.num_reads),
+                  std::to_string(purity.num_clusters),
+                  fmtPercent(purity.purity()),
+                  std::to_string(static_cast<uint64_t>(
+                      secs > 0.0 ? static_cast<double>(purity.num_reads)
+                                       / secs
+                                 : 0.0))});
+    table.print(std::cout);
+    return 0;
+}
+
+int
 cmdRoundtrip(const Args &args)
 {
     if (args.positional().size() < 2) {
@@ -269,7 +364,10 @@ cmdRoundtrip(const Args &args)
     std::string algo_name = args.get("algo", "iterative");
     Rng rng(args.getSeed("seed", 0x3071));
 
-    ArchivalPipeline pipeline;
+    PipelineConfig pipeline_config;
+    pipeline_config.recluster = args.has("recluster");
+    pipeline_config.cluster = clusterOptionsFromArgs(args);
+    ArchivalPipeline pipeline(pipeline_config);
     StoredObject object = pipeline.store(file);
     std::cout << "encoded " << file.size() << " bytes into "
               << object.strands.size() << " strands of length "
@@ -321,9 +419,16 @@ printUsage()
         "               majority] [--coverage N]\n"
         "  analyze      positional error profiles and second-order\n"
         "               census <dataset.evyat> [--buckets B]\n"
+        "  cluster      re-cluster a shuffled read pool and score\n"
+        "               purity <dataset.evyat>\n"
+        "               [--cluster-index sketch|greedy]\n"
+        "               [--distance-threshold D] [--anchor-length A]\n"
+        "               [--max-probes P] [--sketch-kmer K]\n"
+        "               [--sketch-bands B] [--sketch-rows R]\n"
         "  roundtrip    store a file in simulated DNA and read it\n"
         "               back <file> [--coverage N] [--error-rate p]\n"
-        "               [--algo iterative]\n"
+        "               [--algo iterative] [--recluster]\n"
+        "               [--cluster-index sketch|greedy]\n"
         "  bench        bench trajectory ledger and perf diffing\n"
         "               ingest <input>... [--ledger FILE]\n"
         "               diff <baseline> <candidate> [--threshold p]\n"

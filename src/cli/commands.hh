@@ -26,6 +26,9 @@ int cmdReconstruct(const Args &args);
 /** analyze: positional profiles and second-order census. */
 int cmdAnalyze(const Args &args);
 
+/** cluster: re-cluster a shuffled read pool and score purity. */
+int cmdCluster(const Args &args);
+
 /** roundtrip: store a file in simulated DNA and read it back. */
 int cmdRoundtrip(const Args &args);
 

@@ -47,6 +47,8 @@ dispatch(const std::string &command, const dnasim::Args &args)
         return cmdReconstruct(args);
     if (command == "analyze")
         return cmdAnalyze(args);
+    if (command == "cluster")
+        return cmdCluster(args);
     if (command == "roundtrip")
         return cmdRoundtrip(args);
     if (command == "bench")

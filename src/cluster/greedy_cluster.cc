@@ -1,7 +1,6 @@
 #include "cluster/greedy_cluster.hh"
 
 #include <algorithm>
-#include <map>
 #include <string_view>
 #include <unordered_map>
 
@@ -33,15 +32,6 @@ struct AnchorHash
     }
 };
 
-/**
- * Candidate probes below this count are not worth a per-read
- * fork/join: with the bit-parallel kernel a probe costs ~2 µs, so
- * the default 24-probe cap stays on the serial fast path and only
- * widened probe lists (corrupted-prefix fallbacks, large max_probes)
- * fan out.
- */
-constexpr size_t kMinParallelProbes = 32;
-
 } // anonymous namespace
 
 std::vector<ReadCluster>
@@ -62,9 +52,32 @@ clusterReads(const std::vector<Strand> &reads,
         "cluster.created", "fresh clusters opened");
     static obs::Timer &stat_time =
         reg.timer("cluster.time", "wall time in clusterReads()");
+    static obs::Counter &stat_sk_bands = reg.counter(
+        "cluster.sketch.bands_probed",
+        "LSH band-bucket lookups by the sketch tier");
+    static obs::Counter &stat_sk_collisions = reg.counter(
+        "cluster.sketch.collisions",
+        "cluster ids scanned in colliding band buckets");
+    static obs::Counter &stat_sk_candidates = reg.counter(
+        "cluster.sketch.candidates",
+        "deduped sketch candidates emitted into probe lists");
+    static obs::Counter &stat_sk_probes = reg.counter(
+        "cluster.sketch.probes",
+        "sketch candidates verified with the edit-distance gate");
+    static obs::Counter &stat_sk_verified = reg.counter(
+        "cluster.sketch.verified",
+        "placements won by a sketch-tier candidate (probes minus "
+        "verified over probes is the sketch false-positive rate)");
+    static obs::Counter &stat_sk_empty = reg.counter(
+        "cluster.sketch.empty_signatures",
+        "reads with no sketchable k-mer (short or non-ACGT)");
     obs::ScopedTimer timer(stat_time);
-    obs::ScopedTrace span("cluster.greedy", "cluster");
+    const bool use_sketch = options.index == ClusterIndexKind::Sketch;
+    obs::ScopedTrace span(
+        use_sketch ? "cluster.sketch" : "cluster.greedy", "cluster");
     uint64_t comparisons = 0;
+    uint64_t sketch_probes = 0;
+    uint64_t sketch_verified = 0;
 
     std::vector<ReadCluster> clusters;
     // One Myers pattern per cluster representative, built when the
@@ -79,6 +92,11 @@ clusterReads(const std::vector<Strand> &reads,
     std::unordered_map<std::string, std::vector<size_t>, AnchorHash,
                        std::equal_to<>>
         buckets;
+    // Signatures for the whole pool up front (parallel, order
+    // preserving); the band index itself fills in as clusters open.
+    std::optional<SketchIndex> sketch;
+    if (use_sketch)
+        sketch.emplace(reads, options.sketch);
 
     auto anchor_of = [&](const Strand &s) -> std::string_view {
         return std::string_view(s).substr(
@@ -86,66 +104,105 @@ clusterReads(const std::vector<Strand> &reads,
     };
 
     std::vector<size_t> candidates;
+    std::vector<size_t> sketch_candidates;
     std::vector<size_t> distances;
+    // Epoch-stamped dedup across the probe tiers. The fallback tier
+    // used to run std::find over the candidate list per scanned
+    // cluster — O(candidates) each, quadratic across a probe window.
+    EpochSeen seen;
+
+    // Probe a candidate list in order; the first representative
+    // within the threshold wins. Returns the winning position (or
+    // the list size) and reports how many probes actually ran.
+    // The serial semantics — attach to the first candidate in probe
+    // order — survive parallelization because the winner is selected
+    // by candidate order, not by completion order. Probes use the
+    // thresholded kernel: a probe's exact distance above the
+    // threshold is irrelevant, so the kernel abandons the text as
+    // soon as the bound is certified. Placement decisions — and
+    // therefore the clustering — are byte-identical to the
+    // exact-distance code at any thread count.
+    auto probe_list = [&](const std::vector<size_t> &cand,
+                          const Strand &read,
+                          size_t &probed) -> size_t {
+        probed = cand.size();
+        if (par::numThreads() > 1 &&
+            cand.size() >= options.parallel_probe_min) {
+            distances.assign(cand.size(), 0);
+            par::parallelFor(
+                0, cand.size(),
+                [&](size_t k) {
+                    distances[k] =
+                        rep_patterns[cand[k]].distanceBounded(
+                            read, options.distance_threshold);
+                },
+                /*grain=*/4);
+            comparisons += cand.size();
+            for (size_t k = 0; k < cand.size(); ++k)
+                if (distances[k] <= options.distance_threshold)
+                    return k;
+            return cand.size();
+        }
+        for (size_t k = 0; k < cand.size(); ++k) {
+            ++comparisons;
+            if (rep_patterns[cand[k]].distanceBounded(
+                    read, options.distance_threshold) <=
+                options.distance_threshold) {
+                probed = k + 1;
+                return k;
+            }
+        }
+        return cand.size();
+    };
+
     for (size_t i = 0; i < reads.size(); ++i) {
         const Strand &read = reads[i];
 
-        // Probe candidate clusters sharing the anchor first, then
-        // (bounded) recently created clusters as a fallback for
-        // reads whose prefix was corrupted.
+        // Tier 1: candidate clusters sharing the anchor prefix.
+        seen.begin(clusters.size());
         candidates.clear();
         auto it = buckets.find(anchor_of(read));
-        if (it != buckets.end())
+        if (it != buckets.end()) {
             candidates = it->second;
-        size_t extra = 0;
-        for (size_t c = clusters.size(); c-- > 0 &&
-                                         extra < options.max_probes;) {
-            if (std::find(candidates.begin(), candidates.end(), c) ==
-                candidates.end()) {
-                candidates.push_back(c);
-                ++extra;
+            for (size_t c : candidates)
+                seen.set(c);
+        }
+        if (!use_sketch) {
+            // Greedy tier 2: the bounded newest-first scan over
+            // existing clusters, dedup'd against the anchor tier by
+            // the epoch marks (same probe order as the original
+            // std::find implementation).
+            size_t extra = 0;
+            for (size_t c = clusters.size();
+                 c-- > 0 && extra < options.max_probes;) {
+                if (!seen.testAndSet(c)) {
+                    candidates.push_back(c);
+                    ++extra;
+                }
             }
         }
         if (candidates.size() > options.max_probes)
             candidates.resize(options.max_probes);
 
-        // The serial semantics — attach to the first candidate (in
-        // probe order) within the threshold — survive
-        // parallelization because the winner is selected by
-        // candidate order, not by completion order.
-        // Probes use the thresholded kernel: a probe's exact
-        // distance above the threshold is irrelevant, so the kernel
-        // abandons the text as soon as the bound is certified.
-        // Placement decisions — and therefore the clustering — are
-        // byte-identical to the exact-distance code.
-        size_t placed_in = clusters.size();
-        if (par::numThreads() > 1 &&
-            candidates.size() >= kMinParallelProbes) {
-            distances.assign(candidates.size(), 0);
-            par::parallelFor(
-                0, candidates.size(),
-                [&](size_t k) {
-                    distances[k] =
-                        rep_patterns[candidates[k]].distanceBounded(
-                            read, options.distance_threshold);
-                },
-                /*grain=*/4);
-            comparisons += candidates.size();
-            for (size_t k = 0; k < candidates.size(); ++k) {
-                if (distances[k] <= options.distance_threshold) {
-                    placed_in = candidates[k];
-                    break;
-                }
-            }
-        } else {
-            for (size_t c : candidates) {
-                ++comparisons;
-                if (rep_patterns[c].distanceBounded(
-                        read, options.distance_threshold) <=
-                    options.distance_threshold) {
-                    placed_in = c;
-                    break;
-                }
+        size_t probed = 0;
+        size_t pos = probe_list(candidates, read, probed);
+        size_t placed_in = pos < candidates.size() ? candidates[pos]
+                                                   : clusters.size();
+
+        // Sketch tier 2, only when the anchor tier rejected (the
+        // common accept path never pays a band probe): MinHash band
+        // collisions ranked by collision count then cluster id.
+        if (use_sketch && placed_in == clusters.size()) {
+            sketch_candidates.clear();
+            sketch->appendCandidates(i, seen, options.max_probes,
+                                     sketch_candidates);
+            size_t sprobed = 0;
+            size_t spos =
+                probe_list(sketch_candidates, read, sprobed);
+            sketch_probes += sprobed;
+            if (spos < sketch_candidates.size()) {
+                placed_in = sketch_candidates[spos];
+                ++sketch_verified;
             }
         }
 
@@ -164,6 +221,8 @@ clusterReads(const std::vector<Strand> &reads,
                              .first;
             }
             bucket->second.push_back(clusters.size() - 1);
+            if (use_sketch)
+                sketch->addCluster(i, clusters.size() - 1);
             stat_created.inc();
         } else {
             clusters[placed_in].members.push_back(i);
@@ -172,6 +231,15 @@ clusterReads(const std::vector<Strand> &reads,
     }
     stat_reads.add(reads.size());
     stat_comparisons.add(comparisons);
+    if (use_sketch) {
+        const SketchCounters &sc = sketch->counters();
+        stat_sk_bands.add(sc.bands_probed);
+        stat_sk_collisions.add(sc.collisions);
+        stat_sk_candidates.add(sc.candidates);
+        stat_sk_probes.add(sketch_probes);
+        stat_sk_verified.add(sketch_verified);
+        stat_sk_empty.add(sc.empty_signatures);
+    }
     return clusters;
 }
 
@@ -181,20 +249,31 @@ scoreClustering(const std::vector<ReadCluster> &clusters,
 {
     ClusterPurity purity;
     purity.num_clusters = clusters.size();
+    // Majority counting over a sorted scratch of the cluster's
+    // origins: the longest run wins, first (= smallest origin) on
+    // ties — the exact semantics of the ordered std::map this
+    // replaces, without a node allocation per distinct origin.
+    std::vector<size_t> scratch;
     for (const auto &cluster : clusters) {
-        std::map<size_t, size_t> counts;
+        scratch.clear();
+        scratch.reserve(cluster.members.size());
         for (size_t member : cluster.members) {
             DNASIM_ASSERT(member < origins.size(),
                           "read index out of range");
-            ++counts[origins[member]];
+            scratch.push_back(origins[member]);
         }
+        std::sort(scratch.begin(), scratch.end());
         size_t majority_origin = 0;
         size_t best = 0;
-        for (const auto &[origin, count] : counts) {
-            if (count > best) {
-                best = count;
-                majority_origin = origin;
+        for (size_t lo = 0; lo < scratch.size();) {
+            size_t hi = lo;
+            while (hi < scratch.size() && scratch[hi] == scratch[lo])
+                ++hi;
+            if (hi - lo > best) {
+                best = hi - lo;
+                majority_origin = scratch[lo];
             }
+            lo = hi;
         }
         for (size_t member : cluster.members) {
             ++purity.num_reads;

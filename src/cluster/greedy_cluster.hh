@@ -6,9 +6,12 @@
  * in section 3.1). To emulate a real pipeline, the reads can be
  * shuffled into an unordered pool and re-clustered by edit-distance
  * similarity. The implementation is a greedy index-based clusterer
- * in the spirit of Rashtchian et al. [18]: reads are bucketed by
- * k-mer anchors to avoid all-pairs comparisons, then attached to the
- * first cluster whose representative is within a distance threshold.
+ * in the spirit of Rashtchian et al. [18]: candidate clusters come
+ * from a two-tier index — a prefix-anchor bucket, then either
+ * MinHash band collisions (ClusterIndexKind::Sketch, the default;
+ * see sketch_index.hh) or a bounded recency scan
+ * (ClusterIndexKind::Greedy) — and a read attaches to the first
+ * candidate whose representative is within a distance threshold.
  */
 
 #ifndef DNASIM_CLUSTER_GREEDY_CLUSTER_HH
@@ -18,6 +21,7 @@
 
 #include "base/dna.hh"
 #include "base/rng.hh"
+#include "cluster/sketch_index.hh"
 
 namespace dnasim
 {
@@ -32,6 +36,24 @@ struct ClusterOptions
     size_t anchor_length = 12;
     /// Maximum clusters probed per read before opening a new one.
     size_t max_probes = 24;
+    /// Candidate lists at least this long fan their distance probes
+    /// out through the par layer. Per-read fork/join costs far more
+    /// than a thresholded probe against a ~110-base representative
+    /// (the kernel early-abandons in well under a microsecond), so
+    /// the default keeps realistic configs on the serial fast path;
+    /// lower it when probes are genuinely expensive (long reads,
+    /// wide thresholds). Placements are byte-identical either way —
+    /// the winner is picked by candidate order, not completion
+    /// order.
+    size_t parallel_probe_min = 1024;
+    /// Second-tier candidate generator behind the anchor bucket:
+    /// Sketch ranks MinHash band collisions (near-constant targeted
+    /// probes per read); Greedy scans recently opened clusters (the
+    /// original reads x probes fallback). Surfaced on the CLI and
+    /// bench binaries as --cluster-index={greedy,sketch}.
+    ClusterIndexKind index = ClusterIndexKind::Sketch;
+    /// MinHash/LSH parameters of the sketch tier.
+    SketchOptions sketch;
 };
 
 /** A cluster of reads (indices into the input pool). */

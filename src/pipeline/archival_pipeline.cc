@@ -369,6 +369,30 @@ ArchivalPipeline::roundTrip(const Bytes &file, const ErrorModel &model,
     Rng channel_rng = rng.fork(0xc4a);
     Dataset clusters =
         sim.simulate(object.strands, coverage, channel_rng);
+    if (config_.recluster) {
+        // Throw away the simulator's pseudo-clustering: pool the
+        // reads, shuffle them into wetlab order, and re-group them by
+        // edit-distance similarity. Retrieval does not need the true
+        // origins — frames carry their own indices — so imperfect
+        // clusters only cost decode attempts, not correctness.
+        obs::ScopedTrace cluster_span("pipeline.recluster", "pipeline");
+        std::vector<Strand> pool = clusters.pooledReads();
+        Rng shuffle_rng = rng.fork(0x5eed);
+        shuffle_rng.shuffle(pool);
+        std::vector<ReadCluster> regrouped =
+            clusterReads(pool, config_.cluster);
+        std::vector<Cluster> rebuilt;
+        rebuilt.reserve(regrouped.size());
+        for (auto &rc : regrouped) {
+            Cluster c;
+            c.reference = std::move(rc.representative);
+            c.copies.reserve(rc.members.size());
+            for (size_t m : rc.members)
+                c.copies.push_back(pool[m]);
+            rebuilt.push_back(std::move(c));
+        }
+        clusters = Dataset(std::move(rebuilt));
+    }
     Rng decode_rng = rng.fork(0xdec0de);
     return retrieve(clusters, algo, object, decode_rng);
 }

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/greedy_cluster.hh"
 #include "codec/dna_codec.hh"
 #include "codec/framing.hh"
 #include "core/channel_simulator.hh"
@@ -56,6 +57,13 @@ struct PipelineConfig
     size_t rs_parity = 8;
     /// Data frames per XOR group.
     size_t xor_group = 7;
+
+    /// Discard the simulator's pseudo-clustering (section 3.1): pool
+    /// the reads, shuffle them, and re-cluster with clusterReads()
+    /// before reconstruction — the full wetlab-shaped pipeline.
+    bool recluster = false;
+    /// Clusterer settings used when recluster is on.
+    ClusterOptions cluster;
 };
 
 /** Outcome counters of a retrieval. */

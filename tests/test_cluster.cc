@@ -128,6 +128,156 @@ TEST(GreedyCluster, EveryReadAssignedExactlyOnce)
         EXPECT_EQ(seen[i], 1) << "read " << i;
 }
 
+/** Flatten a clustering for exact-equality comparison. */
+std::string
+flatten(const std::vector<ReadCluster> &clusters)
+{
+    std::string s;
+    for (const auto &c : clusters) {
+        s += c.representative;
+        s += ':';
+        for (size_t m : c.members) {
+            s += std::to_string(m);
+            s += ',';
+        }
+        s += '\n';
+    }
+    return s;
+}
+
+TEST(SketchCluster, EmptyPoolBothBackends)
+{
+    for (ClusterIndexKind kind :
+         {ClusterIndexKind::Greedy, ClusterIndexKind::Sketch}) {
+        ClusterOptions options;
+        options.index = kind;
+        EXPECT_TRUE(clusterReads({}, options).empty())
+            << clusterIndexName(kind);
+    }
+}
+
+TEST(SketchCluster, ReadsShorterThanAnchorAndKmer)
+{
+    // Reads shorter than both the anchor prefix and the sketch k-mer
+    // have no signature (cluster.sketch.empty_signatures path) and
+    // must still cluster by the exact distance gate.
+    std::vector<Strand> reads = {"ACGT", "ACGT", "TTTT", "ACGT",
+                                 "TTTT"};
+    for (ClusterIndexKind kind :
+         {ClusterIndexKind::Greedy, ClusterIndexKind::Sketch}) {
+        ClusterOptions options;
+        options.index = kind;
+        options.distance_threshold = 0;
+        auto clusters = clusterReads(reads, options);
+        ASSERT_EQ(clusters.size(), 2u) << clusterIndexName(kind);
+        EXPECT_EQ(clusters[0].members.size(), 3u);
+        EXPECT_EQ(clusters[1].members.size(), 2u);
+    }
+}
+
+TEST(SketchCluster, MaxProbesZeroOpensOneClusterPerRead)
+{
+    Pool pool = makePool(6, 4, 0.03, 155);
+    for (ClusterIndexKind kind :
+         {ClusterIndexKind::Greedy, ClusterIndexKind::Sketch}) {
+        ClusterOptions options;
+        options.index = kind;
+        options.max_probes = 0;
+        // Long anchor so the anchor tier also proposes nothing.
+        options.anchor_length = 1000;
+        auto clusters = clusterReads(pool.reads, options);
+        EXPECT_EQ(clusters.size(), pool.reads.size())
+            << clusterIndexName(kind);
+    }
+}
+
+TEST(SketchCluster, FindsClustersOutsideRecencyWindow)
+{
+    // A pool wide enough that a read's true cluster is always older
+    // than a 2-probe recency window, with anchors disabled by
+    // corrupting prefix survival odds via a long anchor: the greedy
+    // fallback splits, the sketch tier still finds the old cluster.
+    Pool pool = makePool(40, 6, 0.03, 156);
+    ClusterOptions options;
+    options.max_probes = 2;
+    options.anchor_length = 40;
+    options.index = ClusterIndexKind::Greedy;
+    auto greedy = clusterReads(pool.reads, options);
+    options.index = ClusterIndexKind::Sketch;
+    auto sketch = clusterReads(pool.reads, options);
+    EXPECT_LT(sketch.size(), greedy.size());
+    // Recall must not cost purity: candidates stay distance-gated.
+    EXPECT_GT(scoreClustering(sketch, pool.origins).purity(), 0.95);
+}
+
+TEST(SketchCluster, PurityWithinHalfPercentOfGreedy)
+{
+    // The acceptance bar of the sketch index: quality parity (purity
+    // within 0.5%) with the greedy scan on a seed-config pool.
+    Pool pool = makePool(50, 8, 0.06, 157);
+    ClusterOptions options;
+    options.index = ClusterIndexKind::Greedy;
+    double greedy =
+        scoreClustering(clusterReads(pool.reads, options),
+                        pool.origins)
+            .purity();
+    options.index = ClusterIndexKind::Sketch;
+    double sketch =
+        scoreClustering(clusterReads(pool.reads, options),
+                        pool.origins)
+            .purity();
+    EXPECT_NEAR(sketch, greedy, 0.005);
+}
+
+TEST(SketchCluster, SketchOptionsChangeTheTradeoff)
+{
+    // Fewer bands -> fewer candidate proposals -> at least as many
+    // clusters (recall can only drop); still deterministic.
+    Pool pool = makePool(30, 6, 0.04, 158);
+    ClusterOptions wide;
+    wide.index = ClusterIndexKind::Sketch;
+    wide.anchor_length = 40;
+    wide.max_probes = 4;
+    ClusterOptions narrow = wide;
+    narrow.sketch.num_bands = 2;
+    auto with_wide = clusterReads(pool.reads, wide);
+    auto with_narrow = clusterReads(pool.reads, narrow);
+    EXPECT_GE(with_narrow.size(), with_wide.size());
+    EXPECT_EQ(flatten(clusterReads(pool.reads, narrow)),
+              flatten(with_narrow));
+}
+
+TEST(ParseClusterIndex, RoundTripsAndRejects)
+{
+    EXPECT_EQ(parseClusterIndex("greedy"), ClusterIndexKind::Greedy);
+    EXPECT_EQ(parseClusterIndex("sketch"), ClusterIndexKind::Sketch);
+    EXPECT_FALSE(parseClusterIndex("minhash").has_value());
+    EXPECT_FALSE(parseClusterIndex("").has_value());
+    EXPECT_STREQ(clusterIndexName(ClusterIndexKind::Greedy),
+                 "greedy");
+    EXPECT_STREQ(clusterIndexName(ClusterIndexKind::Sketch),
+                 "sketch");
+}
+
+TEST(EpochSeen, StampsAreScopedToTheEpoch)
+{
+    EpochSeen seen;
+    seen.begin(4);
+    EXPECT_FALSE(seen.test(2));
+    seen.set(2);
+    EXPECT_TRUE(seen.test(2));
+    EXPECT_TRUE(seen.testAndSet(2));
+    EXPECT_FALSE(seen.testAndSet(3));
+    EXPECT_TRUE(seen.test(3));
+    seen.begin(4); // new epoch invalidates every mark
+    EXPECT_FALSE(seen.test(2));
+    EXPECT_FALSE(seen.test(3));
+    seen.begin(8); // growing the domain keeps O(1) semantics
+    EXPECT_FALSE(seen.test(7));
+    seen.set(7);
+    EXPECT_TRUE(seen.test(7));
+}
+
 TEST(ScoreClustering, PerfectClusteringIsPure)
 {
     std::vector<ReadCluster> clusters(2);

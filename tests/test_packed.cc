@@ -263,5 +263,77 @@ TEST(PackedConsensus, EmptyColumnsFillWithA)
     EXPECT_EQ(positionalPlurality(none, 3, rng, {}), "AAA");
 }
 
+/** Character-path reference: the 2-bit code of s[i..i+k). */
+uint64_t
+kmerCodeFromChars(std::string_view s, size_t i, size_t k)
+{
+    uint64_t code = 0;
+    for (size_t j = 0; j < k; ++j) {
+        uint64_t b = 0;
+        switch (s[i + j]) {
+        case 'A': b = 0; break;
+        case 'C': b = 1; break;
+        case 'G': b = 2; break;
+        case 'T': b = 3; break;
+        }
+        code |= b << (2 * j);
+    }
+    return code;
+}
+
+TEST(ForEachPackedKmer, MatchesCharacterPath)
+{
+    StrandFactory factory;
+    Rng rng(77);
+    // Lengths straddling the word boundary and k spanning the full
+    // legal range, including k == word width.
+    for (size_t len : {size_t{10}, size_t{31}, size_t{32}, size_t{33},
+                       size_t{64}, size_t{65}, size_t{110}}) {
+        Strand s = factory.make(len, rng);
+        PackedStrand packed(s);
+        for (size_t k : {size_t{1}, size_t{5}, size_t{10}, size_t{31},
+                         size_t{32}}) {
+            std::vector<uint64_t> codes;
+            forEachPackedKmer(packed.words(), len, k,
+                              [&](uint64_t c) { codes.push_back(c); });
+            if (len < k) {
+                EXPECT_TRUE(codes.empty()) << len << " " << k;
+                continue;
+            }
+            ASSERT_EQ(codes.size(), len - k + 1)
+                << "len " << len << " k " << k;
+            for (size_t i = 0; i < codes.size(); ++i)
+                EXPECT_EQ(codes[i], kmerCodeFromChars(s, i, k))
+                    << "len " << len << " k " << k << " pos " << i;
+        }
+    }
+}
+
+TEST(ForEachPackedKmer, DegenerateKYieldsNothing)
+{
+    PackedStrand packed(Strand(40, 'G'));
+    size_t calls = 0;
+    auto count = [&](uint64_t) { ++calls; };
+    forEachPackedKmer(packed.words(), 40, 0, count);
+    forEachPackedKmer(packed.words(), 40,
+                      PackedStrand::kBasesPerWord + 1, count);
+    forEachPackedKmer(packed.words(), 0, 5, count);
+    EXPECT_EQ(calls, 0u);
+}
+
+TEST(ForEachPackedKmer, WholeReadAsSingleKmer)
+{
+    // len == k == 32: exactly one code, equal to the packed word.
+    StrandFactory factory;
+    Rng rng(78);
+    Strand s = factory.make(32, rng);
+    PackedStrand packed(s);
+    std::vector<uint64_t> codes;
+    forEachPackedKmer(packed.words(), 32, 32,
+                      [&](uint64_t c) { codes.push_back(c); });
+    ASSERT_EQ(codes.size(), 1u);
+    EXPECT_EQ(codes[0], packed.words()[0]);
+}
+
 } // anonymous namespace
 } // namespace dnasim
