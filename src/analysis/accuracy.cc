@@ -4,6 +4,7 @@
 
 #include "base/logging.hh"
 #include "core/channel_simulator.hh"
+#include "obs/progress.hh"
 #include "par/thread_pool.hh"
 
 namespace dnasim
@@ -16,9 +17,12 @@ reconstructAll(const Dataset &data, const Reconstructor &algo,
     // Pre-forked per-cluster streams keep the estimates identical to
     // the serial run for any thread count (see forkClusterStreams).
     std::vector<Rng> streams = forkClusterStreams(rng, data.size());
+    obs::ProgressScope progress("reconstruct", data.size());
     return par::parallelTransform(data.size(), [&](size_t i) {
-        return algo.reconstruct(data[i].copies,
-                                data[i].reference.size(), streams[i]);
+        auto estimate = algo.reconstruct(
+            data[i].copies, data[i].reference.size(), streams[i]);
+        progress.advance();
+        return estimate;
     });
 }
 

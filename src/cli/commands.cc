@@ -434,6 +434,9 @@ printUsage()
         "               diff <baseline> <candidate> [--threshold p]\n"
         "               [--sigma k] [--json] (exit 2 on regression)\n"
         "               list [--ledger FILE]\n"
+        "  watch        tail a telemetry JSONL stream and render\n"
+        "               rates <telemetry.jsonl> [--follow]\n"
+        "               [--interval MS]\n"
         "\n"
         "global flags (any command):\n"
         "  --stats-out FILE  write a JSON stats snapshot on exit\n"
@@ -441,6 +444,15 @@ printUsage()
         "  --trace-out FILE  record a Chrome/Perfetto trace JSON\n"
         "  --profile         print the hierarchical phase profile\n"
         "                    (inclusive/exclusive tree + RSS peaks)\n"
+        "  --metrics-out FILE    stream an OpenMetrics snapshot to\n"
+        "                    FILE (atomically rewritten each tick;\n"
+        "                    node_exporter textfile compatible)\n"
+        "  --telemetry-out FILE  append dnasim.telemetry.v1 JSONL\n"
+        "                    samples and events to FILE (see watch)\n"
+        "  --telemetry-interval MS  sampler period (default 500)\n"
+        "  --progress {auto,always,never}  live stderr status line\n"
+        "                    (default auto: only when stderr is a\n"
+        "                    TTY and telemetry/progress is active)\n"
         "  --threads N       worker threads for parallel loops\n"
         "                    (default: DNASIM_THREADS env var or\n"
         "                    hardware concurrency; output is\n"

@@ -35,6 +35,9 @@ int cmdRoundtrip(const Args &args);
 /** bench: ingest/diff/list over the bench trajectory ledger. */
 int cmdBench(const Args &args);
 
+/** watch: tail a dnasim.telemetry.v1 JSONL stream and render it. */
+int cmdWatch(const Args &args);
+
 /** Print top-level usage. */
 void printUsage();
 

@@ -12,20 +12,35 @@
  *                     hierarchical phase profile to stderr on exit;
  *                     combined with --stats-out the JSON snapshot
  *                     gains a "profile" section
+ *   --metrics-out=FILE    stream an OpenMetrics text snapshot to
+ *                     FILE on every sampler tick (atomic rewrite)
+ *   --telemetry-out=FILE  append dnasim.telemetry.v1 JSONL samples
+ *                     and events to FILE (tail with `dnasim watch`)
+ *   --telemetry-interval=MS  sampler period, default 500
+ *   --progress={auto,always,never}  live stderr status line; auto
+ *                     paints only on a TTY
  *   --threads=N       worker threads for parallel loops (default:
  *                     DNASIM_THREADS or hardware concurrency);
  *                     results are identical for every N
+ *
+ * Telemetry only ever writes to its own files and stderr; stdout and
+ * all data outputs stay byte-identical whether or not it is enabled.
  */
 
 #include <cstring>
 #include <iostream>
+#include <memory>
 
 #include "base/logging.hh"
 #include "cli/args.hh"
 #include "cli/commands.hh"
+#include "obs/openmetrics.hh"
 #include "obs/profile.hh"
+#include "obs/progress.hh"
 #include "obs/report.hh"
+#include "obs/snapshot.hh"
 #include "obs/stats.hh"
+#include "obs/telemetry.hh"
 #include "obs/trace.hh"
 #include "par/thread_pool.hh"
 
@@ -53,6 +68,8 @@ dispatch(const std::string &command, const dnasim::Args &args)
         return cmdRoundtrip(args);
     if (command == "bench")
         return cmdBench(args);
+    if (command == "watch")
+        return cmdWatch(args);
     if (command == "help" || command.empty()) {
         printUsage();
         return command.empty() ? 1 : 0;
@@ -81,6 +98,14 @@ main(int argc, char **argv)
 
     const std::string stats_out = args.get("stats-out");
     const std::string trace_out = args.get("trace-out");
+    const std::string metrics_out = args.get("metrics-out");
+    const std::string telemetry_out = args.get("telemetry-out");
+    const auto telemetry_interval = static_cast<uint64_t>(
+        args.getInt("telemetry-interval", 500));
+    // Bare --progress is shorthand for --progress=auto.
+    std::string progress_mode = args.get("progress", "auto");
+    if (progress_mode.empty())
+        progress_mode = "auto";
     const bool stats_text = args.has("stats");
     // Bare --profile is the phase profiler; simulate's valued
     // --profile FILE (calibrated error profile) must not enable it.
@@ -90,6 +115,16 @@ main(int argc, char **argv)
     par::setThreads(
         static_cast<size_t>(args.getInt("threads", 0)));
 
+    if (progress_mode != "auto" && progress_mode != "always" &&
+        progress_mode != "never") {
+        DNASIM_FATAL("--progress must be auto, always or never, "
+                     "got '", progress_mode, "'");
+    }
+    const bool heartbeat =
+        progress_mode == "always" ||
+        (progress_mode == "auto" && obs::stderrIsTty());
+    obs::setProgressHeartbeat(heartbeat);
+
     if (!trace_out.empty() || profile) {
         obs::Trace::global().enable();
         // A subcommand (or a dependency) may call std::exit or fail
@@ -98,8 +133,33 @@ main(int argc, char **argv)
         if (!trace_out.empty())
             obs::Trace::global().setExitFlushPath(trace_out);
     }
-    if (profile)
+
+    // One background sampler drives every streaming consumer: the
+    // OpenMetrics file, the telemetry JSONL, the stderr heartbeat —
+    // and, when --profile is also active, the phase profiler's RSS
+    // buffer (instead of RssSampler's own polling thread).
+    auto &sampler = obs::TelemetrySampler::global();
+    const bool telemetry = !metrics_out.empty() ||
+                           !telemetry_out.empty() || heartbeat;
+    std::shared_ptr<obs::OpenMetricsSink> metrics_sink;
+    std::shared_ptr<obs::JsonlTelemetrySink> telemetry_sink;
+    if (telemetry) {
+        if (!metrics_out.empty()) {
+            metrics_sink =
+                std::make_shared<obs::OpenMetricsSink>(metrics_out);
+            sampler.addSink(metrics_sink);
+        }
+        if (!telemetry_out.empty()) {
+            telemetry_sink =
+                std::make_shared<obs::JsonlTelemetrySink>(
+                    telemetry_out);
+            sampler.addSink(telemetry_sink);
+        }
+        sampler.setFeedProfilerRss(profile);
+        sampler.start(telemetry_interval);
+    } else if (profile) {
         obs::RssSampler::global().start();
+    }
     if (!stats_out.empty())
         obs::startLogCapture();
 
@@ -117,6 +177,17 @@ main(int argc, char **argv)
         // stats and trace data accumulated before the failure.
     }
 
+    if (telemetry) {
+        // Takes one final sample (so short runs still get one),
+        // clears the heartbeat line and closes the sinks.
+        sampler.stop();
+        if (metrics_sink && metrics_sink->ok())
+            std::cerr << "metrics: wrote " << metrics_out << "\n";
+        if (telemetry_sink && telemetry_sink->ok()) {
+            std::cerr << "telemetry: wrote " << telemetry_out << " ("
+                      << sampler.samplesTaken() << " samples)\n";
+        }
+    }
     if (profile)
         obs::RssSampler::global().stop();
 

@@ -6,6 +6,7 @@
 
 #include "align/edit_distance.hh"
 #include "base/logging.hh"
+#include "obs/progress.hh"
 #include "obs/stats.hh"
 #include "obs/trace.hh"
 #include "par/thread_pool.hh"
@@ -155,8 +156,10 @@ clusterReads(const std::vector<Strand> &reads,
         return cand.size();
     };
 
+    obs::ProgressScope progress("cluster", reads.size());
     for (size_t i = 0; i < reads.size(); ++i) {
         const Strand &read = reads[i];
+        progress.advance();
 
         // Tier 1: candidate clusters sharing the anchor prefix.
         seen.begin(clusters.size());

@@ -1,6 +1,7 @@
 #include "core/channel_simulator.hh"
 
 #include "base/logging.hh"
+#include "obs/progress.hh"
 #include "obs/stats.hh"
 #include "obs/trace.hh"
 #include "par/thread_pool.hh"
@@ -80,11 +81,13 @@ ChannelSimulator::simulate(const std::vector<Strand> &references,
     std::vector<Rng> streams =
         forkClusterStreams(rng, references.size());
     std::vector<Cluster> clusters(references.size());
+    obs::ProgressScope progress("simulate", references.size());
     par::parallelFor(0, references.size(), [&](size_t i) {
         size_t n = coverage.sample(i, streams[i]);
         clusters[i] = simulateCluster(references[i], n, streams[i]);
         ss.clusters.inc();
         ss.cluster_size.record(n);
+        progress.advance();
     });
     return Dataset(std::move(clusters));
 }
@@ -98,11 +101,13 @@ ChannelSimulator::simulateLike(const Dataset &shape, Rng &rng) const
 
     std::vector<Rng> streams = forkClusterStreams(rng, shape.size());
     std::vector<Cluster> clusters(shape.size());
+    obs::ProgressScope progress("simulate", shape.size());
     par::parallelFor(0, shape.size(), [&](size_t i) {
         clusters[i] = simulateCluster(
             shape[i].reference, shape[i].coverage(), streams[i]);
         ss.clusters.inc();
         ss.cluster_size.record(shape[i].coverage());
+        progress.advance();
     });
     return Dataset(std::move(clusters));
 }

@@ -1,0 +1,118 @@
+#include "obs/events.hh"
+
+#include <chrono>
+#include <deque>
+#include <mutex>
+
+namespace dnasim
+{
+namespace obs
+{
+
+namespace
+{
+
+/** Journal growth bound; oldest entries fall off past this. */
+constexpr size_t kMaxBuffered = 65536;
+
+struct JournalState
+{
+    mutable std::mutex mutex;
+    std::deque<Event> events;
+    uint64_t next_seq = 1;
+};
+
+JournalState &
+state()
+{
+    // Leaked for the same reason as Registry::global(): emitters may
+    // run during static destruction.
+    static JournalState *s = new JournalState();
+    return *s;
+}
+
+std::chrono::steady_clock::time_point
+processOrigin()
+{
+    static const auto origin = std::chrono::steady_clock::now();
+    return origin;
+}
+
+} // anonymous namespace
+
+uint64_t
+monotonicNowNs()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - processOrigin())
+            .count());
+}
+
+EventJournal &
+EventJournal::global()
+{
+    static EventJournal *j = new EventJournal();
+    return *j;
+}
+
+uint64_t
+EventJournal::emit(std::string kind, std::string name,
+                   std::vector<std::pair<std::string, std::string>>
+                       fields)
+{
+    Event e;
+    e.ts_ns = monotonicNowNs();
+    e.kind = std::move(kind);
+    e.name = std::move(name);
+    e.fields = std::move(fields);
+
+    JournalState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    e.seq = s.next_seq++;
+    s.events.push_back(std::move(e));
+    if (s.events.size() > kMaxBuffered)
+        s.events.pop_front();
+    return s.events.back().seq;
+}
+
+std::vector<Event>
+EventJournal::eventsSince(uint64_t after_seq) const
+{
+    JournalState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    std::vector<Event> out;
+    for (const auto &e : s.events) {
+        if (e.seq > after_seq)
+            out.push_back(e);
+    }
+    return out;
+}
+
+uint64_t
+EventJournal::lastSeq() const
+{
+    JournalState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    return s.events.empty() ? s.next_seq - 1 : s.events.back().seq;
+}
+
+void
+EventJournal::clear()
+{
+    JournalState &s = state();
+    std::lock_guard<std::mutex> lock(s.mutex);
+    s.events.clear();
+}
+
+uint64_t
+emitEvent(std::string kind, std::string name,
+          std::vector<std::pair<std::string, std::string>> fields)
+{
+    return EventJournal::global().emit(std::move(kind),
+                                       std::move(name),
+                                       std::move(fields));
+}
+
+} // namespace obs
+} // namespace dnasim

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * A structured event journal for discrete run happenings: phase
+ * transitions (progress scopes opening and closing), warnings, and
+ * ad-hoc markers. Events carry a monotonic timestamp and a small set
+ * of string fields; the journal is an append-only in-memory log with
+ * stable sequence numbers, so streaming consumers (the telemetry
+ * sampler) can drain incrementally with eventsSince() and never see
+ * an event twice or miss one.
+ *
+ * Emission is cheap (one mutex-protected push) and always on; the
+ * journal is bounded (oldest events are dropped past ~64k) so a
+ * long-lived daemon cannot grow it without bound.
+ */
+
+#ifndef DNASIM_OBS_EVENTS_HH
+#define DNASIM_OBS_EVENTS_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dnasim
+{
+namespace obs
+{
+
+/** One journal entry. */
+struct Event
+{
+    uint64_t seq = 0;     ///< global sequence number, from 1
+    uint64_t ts_ns = 0;   ///< monotonic time since process start
+    std::string kind;     ///< "phase_begin", "phase_end", "warning", ...
+    std::string name;     ///< subject (phase name, warning text, ...)
+    /** Optional key/value payload, exported verbatim. */
+    std::vector<std::pair<std::string, std::string>> fields;
+};
+
+/** The process-wide journal. */
+class EventJournal
+{
+  public:
+    static EventJournal &global();
+
+    /** Append an event; stamps seq and ts_ns. Returns the seq. */
+    uint64_t emit(std::string kind, std::string name,
+                  std::vector<std::pair<std::string, std::string>>
+                      fields = {});
+
+    /**
+     * Events with seq > @p after_seq, oldest first. Pass the last
+     * seq you saw (0 initially) to drain incrementally.
+     */
+    std::vector<Event> eventsSince(uint64_t after_seq) const;
+
+    /** Sequence number of the newest event (0 when empty). */
+    uint64_t lastSeq() const;
+
+    /** Drop all buffered events (test isolation). */
+    void clear();
+
+  private:
+    EventJournal() = default;
+};
+
+/** Convenience: emit into the global journal. */
+uint64_t emitEvent(std::string kind, std::string name,
+                   std::vector<std::pair<std::string, std::string>>
+                       fields = {});
+
+/** Monotonic nanoseconds since process start (journal clock). */
+uint64_t monotonicNowNs();
+
+} // namespace obs
+} // namespace dnasim
+
+#endif // DNASIM_OBS_EVENTS_HH

@@ -1,0 +1,118 @@
+#include "obs/hdr_histogram.hh"
+
+#include <algorithm>
+#include <bit>
+
+namespace dnasim
+{
+namespace obs
+{
+
+uint32_t
+HdrHistogram::bucketIndex(uint64_t value)
+{
+    if (value < kSubBuckets)
+        return static_cast<uint32_t>(value);
+    // Octave o = floor(log2(value)) >= kSubBucketBits; the octave
+    // [2^o, 2^(o+1)) is split into kSubBuckets linear buckets of
+    // width 2^(o - kSubBucketBits).
+    uint32_t o = 63 - static_cast<uint32_t>(std::countl_zero(value));
+    uint32_t sub = static_cast<uint32_t>(
+        (value >> (o - kSubBucketBits)) & (kSubBuckets - 1));
+    return (o - kSubBucketBits + 1) * kSubBuckets + sub;
+}
+
+uint64_t
+HdrHistogram::bucketLowerBound(uint32_t index)
+{
+    if (index < kSubBuckets)
+        return index;
+    uint32_t o = index / kSubBuckets + kSubBucketBits - 1;
+    uint64_t sub = index % kSubBuckets;
+    return (kSubBuckets + sub) << (o - kSubBucketBits);
+}
+
+void
+HdrHistogram::record(uint64_t value, uint64_t weight)
+{
+    if (weight == 0)
+        return;
+    uint32_t idx = bucketIndex(value);
+    if (idx >= counts_.size())
+        counts_.resize(idx + 1, 0);
+    counts_[idx] += weight;
+    if (count_ == 0 || value < min_)
+        min_ = value;
+    if (count_ == 0 || value > max_)
+        max_ = value;
+    count_ += weight;
+    sum_ += static_cast<double>(value) * static_cast<double>(weight);
+}
+
+double
+HdrHistogram::mean() const
+{
+    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+uint64_t
+HdrHistogram::percentile(double q) const
+{
+    if (count_ == 0)
+        return 0;
+    if (q <= 0.0)
+        return min_;
+    if (q >= 1.0)
+        return max_;
+    uint64_t target = static_cast<uint64_t>(
+        q * static_cast<double>(count_) + 0.5);
+    if (target < 1)
+        target = 1;
+    if (target > count_)
+        target = count_;
+    uint64_t seen = 0;
+    for (uint32_t idx = 0; idx < counts_.size(); ++idx) {
+        seen += counts_[idx];
+        if (seen >= target) {
+            uint64_t lo = bucketLowerBound(idx);
+            // The exact extremes are tracked; never report a bucket
+            // bound outside the observed range.
+            if (lo < min_)
+                return min_;
+            if (lo > max_)
+                return max_;
+            return lo;
+        }
+    }
+    return max_;
+}
+
+void
+HdrHistogram::merge(const HdrHistogram &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (other.counts_.size() > counts_.size())
+        counts_.resize(other.counts_.size(), 0);
+    for (size_t i = 0; i < other.counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    if (count_ == 0 || other.min_ < min_)
+        min_ = other.min_;
+    if (count_ == 0 || other.max_ > max_)
+        max_ = other.max_;
+    count_ += other.count_;
+    sum_ += other.sum_;
+}
+
+void
+HdrHistogram::clear()
+{
+    std::fill(counts_.begin(), counts_.end(), 0);
+    count_ = 0;
+    sum_ = 0.0;
+    min_ = 0;
+    max_ = 0;
+}
+
+} // namespace obs
+} // namespace dnasim

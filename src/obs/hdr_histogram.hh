@@ -1,0 +1,87 @@
+/**
+ * @file
+ * A log-bucketed HDR-style histogram for latency-shaped values.
+ *
+ * Values are binned into octaves (powers of two), each octave split
+ * into 64 linear sub-buckets, so the recorded value is always within
+ * 1/64 (~1.6%) of its bucket's lower bound across the whole uint64
+ * range — accurate percentiles from nanoseconds to minutes at
+ * bounded memory. Values below 64 land in unit-width buckets and are
+ * represented exactly.
+ *
+ * The bucket array grows on demand up to a hard cap of ~3.8k buckets
+ * (64 octaves x 64 sub-buckets), so a histogram that only ever sees
+ * small values stays small. Histograms with the same layout merge by
+ * bucket-wise addition, which is how per-shard recordings combine
+ * into one mergeable percentile source.
+ *
+ * Not thread-safe; wrap in a mutex (obs::Distribution, obs::Timer)
+ * or keep one per thread and merge.
+ */
+
+#ifndef DNASIM_OBS_HDR_HISTOGRAM_HH
+#define DNASIM_OBS_HDR_HISTOGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace dnasim
+{
+namespace obs
+{
+
+class HdrHistogram
+{
+  public:
+    /** Sub-buckets per octave; also the size of the exact region. */
+    static constexpr uint64_t kSubBuckets = 64;
+    static constexpr uint32_t kSubBucketBits = 6;
+
+    HdrHistogram() = default;
+
+    /** Bucket index of @p value (dense, monotone in value). */
+    static uint32_t bucketIndex(uint64_t value);
+
+    /** Smallest value mapping to bucket @p index. */
+    static uint64_t bucketLowerBound(uint32_t index);
+
+    /** Add @p weight observations of @p value. */
+    void record(uint64_t value, uint64_t weight = 1);
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    uint64_t min() const { return count_ == 0 ? 0 : min_; }
+    uint64_t max() const { return count_ == 0 ? 0 : max_; }
+    double mean() const;
+
+    /**
+     * Smallest bucket lower bound whose cumulative mass reaches
+     * quantile @p q in (0, 1]; 0 when empty. Exact for values < 64,
+     * within one log-bucket (<= ~1.6% relative) above. The exact
+     * observed min/max clamp the ends, so percentile(1.0) == max().
+     */
+    uint64_t percentile(double q) const;
+
+    /** Bucket-wise accumulate @p other into this histogram. */
+    void merge(const HdrHistogram &other);
+
+    /** Reset to empty, keeping allocated capacity. */
+    void clear();
+
+    bool empty() const { return count_ == 0; }
+
+    /** Raw bucket counts (index -> count), for exporters. */
+    const std::vector<uint64_t> &buckets() const { return counts_; }
+
+  private:
+    std::vector<uint64_t> counts_;
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    uint64_t min_ = 0;
+    uint64_t max_ = 0;
+};
+
+} // namespace obs
+} // namespace dnasim
+
+#endif // DNASIM_OBS_HDR_HISTOGRAM_HH

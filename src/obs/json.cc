@@ -443,14 +443,54 @@ class JsonParser
     bool
     parseNumber(JsonValue &out)
     {
-        const char *begin = text_.c_str() + pos_;
-        char *end = nullptr;
-        double v = std::strtod(begin, &end);
-        if (end == begin)
+        // Validate against the JSON grammar before handing the span
+        // to strtod: strtod alone also accepts "nan", "inf", hex
+        // floats and leading zeros, none of which are JSON.
+        const size_t start = pos_;
+        auto digit = [&] {
+            return pos_ < text_.size() && text_[pos_] >= '0' &&
+                   text_[pos_] <= '9';
+        };
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        if (!digit()) {
+            pos_ = start;
             return fail("expected value");
+        }
+        if (text_[pos_] == '0') {
+            ++pos_;
+            if (digit()) {
+                pos_ = start;
+                return fail("leading zero in number");
+            }
+        } else {
+            while (digit())
+                ++pos_;
+        }
+        if (pos_ < text_.size() && text_[pos_] == '.') {
+            ++pos_;
+            if (!digit()) {
+                pos_ = start;
+                return fail("digit expected after decimal point");
+            }
+            while (digit())
+                ++pos_;
+        }
+        if (pos_ < text_.size() &&
+            (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+            ++pos_;
+            if (pos_ < text_.size() &&
+                (text_[pos_] == '+' || text_[pos_] == '-'))
+                ++pos_;
+            if (!digit()) {
+                pos_ = start;
+                return fail("digit expected in exponent");
+            }
+            while (digit())
+                ++pos_;
+        }
         out.kind_ = JsonValue::Kind::Number;
-        out.num_ = v;
-        pos_ += static_cast<size_t>(end - begin);
+        out.num_ = std::strtod(text_.c_str() + start, nullptr);
         return true;
     }
 

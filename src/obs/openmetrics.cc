@@ -1,0 +1,190 @@
+#include "obs/openmetrics.hh"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "obs/outfile.hh"
+
+namespace dnasim
+{
+namespace obs
+{
+
+namespace
+{
+
+std::string
+fmtDouble(double v)
+{
+    if (!std::isfinite(v))
+        return v > 0 ? "+Inf" : (v < 0 ? "-Inf" : "NaN");
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+void
+typeAndHelp(std::ostream &os, const std::string &name,
+            const char *type, const std::string &help)
+{
+    os << "# TYPE " << name << " " << type << "\n";
+    if (!help.empty())
+        os << "# HELP " << name << " " << openMetricsEscape(help)
+           << "\n";
+}
+
+void
+summary(std::ostream &os, const std::string &name,
+        const std::string &help, uint64_t count, double sum,
+        double scale, uint64_t p50, uint64_t p90, uint64_t p99,
+        uint64_t p999)
+{
+    typeAndHelp(os, name, "summary", help);
+    auto q = [&](const char *label, uint64_t v) {
+        os << name << "{quantile=\"" << label << "\"} "
+           << fmtDouble(static_cast<double>(v) * scale) << "\n";
+    };
+    q("0.5", p50);
+    q("0.9", p90);
+    q("0.99", p99);
+    q("0.999", p999);
+    os << name << "_count " << count << "\n";
+    os << name << "_sum " << fmtDouble(sum * scale) << "\n";
+}
+
+} // anonymous namespace
+
+std::string
+openMetricsName(const std::string &stat_name)
+{
+    std::string out = "dnasim_";
+    for (char c : stat_name) {
+        bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                  (c >= '0' && c <= '9') || c == '_' || c == ':';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+std::string
+openMetricsEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '"':
+            out += "\\\"";
+            break;
+          default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+snapshotToOpenMetrics(const Snapshot &snap,
+                      const std::vector<ProgressState> &progress,
+                      uint64_t rss_bytes)
+{
+    std::ostringstream os;
+
+    for (const auto &c : snap.counters) {
+        std::string name = openMetricsName(c.name);
+        typeAndHelp(os, name, "counter", c.desc);
+        os << name << "_total " << c.value << "\n";
+    }
+
+    for (const auto &g : snap.gauges) {
+        std::string name = openMetricsName(g.name);
+        typeAndHelp(os, name, "gauge", g.desc);
+        os << name << " " << g.value << "\n";
+    }
+
+    // Timers export in seconds per Prometheus convention; the HDR
+    // quantiles are recorded in ns, so scale by 1e-9.
+    for (const auto &t : snap.timers) {
+        std::string name = openMetricsName(t.name) + "_seconds";
+        summary(os, name, t.desc, t.count,
+                static_cast<double>(t.total_ns), 1e-9, t.p50_ns,
+                t.p90_ns, t.p99_ns, t.p999_ns);
+    }
+
+    for (const auto &d : snap.distributions) {
+        std::string name = openMetricsName(d.name);
+        summary(os, name, d.desc, d.count, d.sum, 1.0, d.p50, d.p90,
+                d.p99, d.p999);
+    }
+
+    if (!progress.empty()) {
+        typeAndHelp(os, "dnasim_progress_items_done", "gauge",
+                    "items completed by the active phase");
+        for (const auto &p : progress) {
+            os << "dnasim_progress_items_done{phase=\""
+               << openMetricsEscape(p.name) << "\"} " << p.done
+               << "\n";
+        }
+        typeAndHelp(os, "dnasim_progress_items_total", "gauge",
+                    "items expected by the active phase (0 = "
+                    "unknown)");
+        for (const auto &p : progress) {
+            os << "dnasim_progress_items_total{phase=\""
+               << openMetricsEscape(p.name) << "\"} " << p.total
+               << "\n";
+        }
+    }
+
+    if (rss_bytes > 0) {
+        typeAndHelp(os, "dnasim_process_resident_memory_bytes",
+                    "gauge", "resident set size");
+        os << "dnasim_process_resident_memory_bytes " << rss_bytes
+           << "\n";
+    }
+
+    os << "# EOF\n";
+    return os.str();
+}
+
+OpenMetricsSink::OpenMetricsSink(std::string path)
+    : path_(std::move(path))
+{
+    std::string error;
+    if (!prepareOutputPath(path_, &error)) {
+        warn("metrics: ", error);
+        ok_ = false;
+        warned_ = true;
+    }
+}
+
+void
+OpenMetricsSink::onSample(const IntervalSample &sample)
+{
+    std::string doc = snapshotToOpenMetrics(
+        sample.snap, sample.progress, sample.rss_bytes);
+    std::string error;
+    if (!writeFileAtomic(path_, doc, &error)) {
+        ok_ = false;
+        if (!warned_) {
+            warn("metrics: ", error);
+            warned_ = true;
+        }
+    }
+}
+
+void
+OpenMetricsSink::close()
+{
+}
+
+} // namespace obs
+} // namespace dnasim

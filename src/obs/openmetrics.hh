@@ -1,0 +1,70 @@
+/**
+ * @file
+ * OpenMetrics / Prometheus text exposition of a stats snapshot.
+ *
+ * snapshotToOpenMetrics() renders a Snapshot (plus optional progress
+ * state and RSS) as an OpenMetrics text document: every dnasim
+ * instrument becomes a `dnasim_`-prefixed metric family (dots in the
+ * dotted stat names map to underscores), counters gain the `_total`
+ * suffix, timers and distributions export as summaries with
+ * p50/p90/p99/p999 quantile labels out of the HDR histograms, and
+ * progress scopes export as gauges labelled by phase. The document
+ * ends with the mandatory `# EOF` terminator.
+ *
+ * OpenMetricsSink writes that document on every sampler tick through
+ * writeFileAtomic(), so the target file always holds one complete,
+ * parseable exposition — the contract node_exporter's textfile
+ * collector expects of *.prom files.
+ */
+
+#ifndef DNASIM_OBS_OPENMETRICS_HH
+#define DNASIM_OBS_OPENMETRICS_HH
+
+#include <string>
+#include <vector>
+
+#include "obs/snapshot.hh"
+
+namespace dnasim
+{
+namespace obs
+{
+
+/** "channel.errors.sub" -> "dnasim_channel_errors_sub". */
+std::string openMetricsName(const std::string &stat_name);
+
+/** Escape a label value or HELP text per the exposition format. */
+std::string openMetricsEscape(const std::string &s);
+
+/**
+ * Render @p snap as a complete OpenMetrics text document.
+ * @p progress and @p rss_bytes add the live-run gauges; pass empty/0
+ * for a plain end-of-run exposition.
+ */
+std::string
+snapshotToOpenMetrics(const Snapshot &snap,
+                      const std::vector<ProgressState> &progress = {},
+                      uint64_t rss_bytes = 0);
+
+/** Sink that atomically rewrites @p path on every sampler tick. */
+class OpenMetricsSink : public TelemetrySink
+{
+  public:
+    explicit OpenMetricsSink(std::string path);
+
+    void onSample(const IntervalSample &sample) override;
+    void close() override;
+
+    /** False after any write failure (diagnostic already warned). */
+    bool ok() const { return ok_; }
+
+  private:
+    std::string path_;
+    bool ok_ = true;
+    bool warned_ = false;
+};
+
+} // namespace obs
+} // namespace dnasim
+
+#endif // DNASIM_OBS_OPENMETRICS_HH

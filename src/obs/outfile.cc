@@ -1,0 +1,93 @@
+#include "obs/outfile.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+namespace dnasim
+{
+namespace obs
+{
+
+namespace
+{
+
+void
+setError(std::string *error, std::string msg)
+{
+    if (error)
+        *error = std::move(msg);
+}
+
+} // anonymous namespace
+
+bool
+prepareOutputPath(const std::string &path, std::string *error)
+{
+    namespace fs = std::filesystem;
+    if (path.empty()) {
+        setError(error, "empty output path");
+        return false;
+    }
+    fs::path parent = fs::path(path).parent_path();
+    if (parent.empty())
+        return true;
+    std::error_code ec;
+    if (fs::exists(parent, ec)) {
+        if (!fs::is_directory(parent, ec)) {
+            setError(error, "cannot write '" + path + "': '" +
+                                parent.string() +
+                                "' exists and is not a directory");
+            return false;
+        }
+        return true;
+    }
+    fs::create_directories(parent, ec);
+    if (ec) {
+        setError(error, "cannot create parent directory '" +
+                            parent.string() + "' for '" + path +
+                            "': " + ec.message());
+        return false;
+    }
+    return true;
+}
+
+bool
+writeFileAtomic(const std::string &path, const std::string &content,
+                std::string *error)
+{
+    if (!prepareOutputPath(path, error))
+        return false;
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+        if (!os) {
+            setError(error, "cannot open '" + tmp +
+                                "' for writing: " +
+                                std::strerror(errno));
+            return false;
+        }
+        os << content;
+        os.flush();
+        if (!os.good()) {
+            setError(error,
+                     "write to '" + tmp +
+                         "' failed: " + std::strerror(errno));
+            std::remove(tmp.c_str());
+            return false;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        setError(error, "cannot rename '" + tmp + "' to '" + path +
+                            "': " + std::strerror(errno));
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace obs
+} // namespace dnasim

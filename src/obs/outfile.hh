@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Output-file plumbing shared by every exporter that takes a --*-out
+ * path (--stats-out, --trace-out, --metrics-out, --telemetry-out):
+ *
+ *  - prepareOutputPath() creates missing parent directories up
+ *    front, so "out/run1/stats.json" works without a manual mkdir,
+ *    and turns the previously opaque open failure into a diagnostic
+ *    naming the path and the errno cause.
+ *  - writeFileAtomic() writes through a temporary sibling and
+ *    renames it into place, so readers polling the file (node_
+ *    exporter's textfile collector, `dnasim watch`) never observe a
+ *    half-written document.
+ */
+
+#ifndef DNASIM_OBS_OUTFILE_HH
+#define DNASIM_OBS_OUTFILE_HH
+
+#include <string>
+
+namespace dnasim
+{
+namespace obs
+{
+
+/**
+ * Create the missing parent directories of @p path. Returns false
+ * (and sets @p error when non-null) when a parent cannot be created;
+ * the error names the directory and the cause.
+ */
+bool prepareOutputPath(const std::string &path,
+                       std::string *error = nullptr);
+
+/**
+ * Atomically replace @p path with @p content: parent directories are
+ * created, the content goes to "<path>.tmp", and a rename publishes
+ * it. Returns false (and sets @p error) on any failure.
+ */
+bool writeFileAtomic(const std::string &path,
+                     const std::string &content,
+                     std::string *error = nullptr);
+
+} // namespace obs
+} // namespace dnasim
+
+#endif // DNASIM_OBS_OUTFILE_HH

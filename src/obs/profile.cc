@@ -331,6 +331,15 @@ RssSampler::stop()
     running_.store(false);
 }
 
+void
+RssSampler::record(uint64_t ts_ns, uint64_t rss_bytes)
+{
+    if (rss_bytes == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    samples_.push_back(RssSample{ts_ns, rss_bytes});
+}
+
 std::vector<RssSample>
 RssSampler::samples() const
 {

@@ -124,6 +124,14 @@ class RssSampler
     /** Stop and join the sampling thread (no-op when stopped). */
     void stop();
 
+    /**
+     * Append one externally measured sample (trace-relative
+     * timestamp). The telemetry sampler feeds the profiler through
+     * this when both are active, so one background thread serves
+     * both consumers instead of two threads polling /proc.
+     */
+    void record(uint64_t ts_ns, uint64_t rss_bytes);
+
     bool running() const { return running_.load(); }
 
     /** Copy of the samples collected since the last start(). */

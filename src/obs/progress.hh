@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Progress heartbeats for long-running loops.
+ *
+ * A ProgressScope brackets one logical phase (simulate, cluster,
+ * reconstruct, retrieve): it registers the phase with the global
+ * progress board, the loop calls advance() as items complete, and
+ * observers — the telemetry sampler and the live stderr status line
+ * — read items-done/items-total without ever touching the loop.
+ *
+ * advance() is one relaxed atomic add, cheap enough for per-cluster
+ * or per-read granularity (not per-base). Scopes nest; the board
+ * lists active scopes in creation order. Opening and closing a scope
+ * emits "phase_begin"/"phase_end" events into the event journal, so
+ * phase transitions land in the telemetry stream even between
+ * samples.
+ *
+ * The stderr heartbeat is TTY-aware: when enabled it repaints one
+ * carriage-returned status line on a real terminal and prints plain
+ * newline-terminated lines otherwise (so logs stay greppable).
+ * Everything goes to stderr; stdout and all data outputs remain
+ * byte-identical with progress enabled.
+ */
+
+#ifndef DNASIM_OBS_PROGRESS_HH
+#define DNASIM_OBS_PROGRESS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dnasim
+{
+namespace obs
+{
+
+/** Point-in-time view of one active scope. */
+struct ProgressState
+{
+    std::string name;
+    uint64_t done = 0;
+    uint64_t total = 0;   ///< 0 = unknown / open-ended
+    uint64_t start_ns = 0; ///< monotonicNowNs() at scope open
+};
+
+namespace detail
+{
+struct ProgressSlot;
+} // namespace detail
+
+/** RAII progress reporter for one phase. */
+class ProgressScope
+{
+  public:
+    /**
+     * Open a phase named @p name expecting @p total items (0 when
+     * unknown). Registers with the board and journals phase_begin.
+     */
+    ProgressScope(std::string name, uint64_t total);
+    ~ProgressScope();
+
+    ProgressScope(const ProgressScope &) = delete;
+    ProgressScope &operator=(const ProgressScope &) = delete;
+
+    /** Mark @p n more items complete (relaxed atomic add). */
+    void advance(uint64_t n = 1);
+
+    /** Adjust the expected total (discovered mid-phase). */
+    void setTotal(uint64_t total);
+
+    uint64_t done() const;
+
+  private:
+    std::shared_ptr<detail::ProgressSlot> slot_;
+};
+
+/** Active scopes, oldest first (empty when no phase is running). */
+std::vector<ProgressState> progressSnapshot();
+
+/**
+ * Render @p states as one human status line, e.g.
+ * "simulate 1200/5000 (24.0%) 38.1k/s · cluster 10/..". @p now_ns
+ * supplies the rate clock (monotonicNowNs()).
+ */
+std::string renderProgressLine(const std::vector<ProgressState> &states,
+                               uint64_t now_ns,
+                               uint64_t rss_bytes = 0);
+
+/**
+ * Whether the stderr heartbeat is enabled. The CLI sets this from
+ * --progress {auto,always,never}; "auto" resolves to stderr-is-a-TTY.
+ */
+bool progressHeartbeatEnabled();
+void setProgressHeartbeat(bool enabled);
+
+/** True when stderr is an interactive terminal. */
+bool stderrIsTty();
+
+/**
+ * Paint the heartbeat for the current board state onto stderr (no-op
+ * when disabled or no scope is active). Called by the telemetry
+ * sampler each tick; safe from any thread.
+ */
+void paintProgressHeartbeat(uint64_t rss_bytes);
+
+/** Erase a previously painted TTY status line (end of run). */
+void clearProgressHeartbeat();
+
+} // namespace obs
+} // namespace dnasim
+
+#endif // DNASIM_OBS_PROGRESS_HH

@@ -1,6 +1,7 @@
 #include "obs/report.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <iomanip>
@@ -9,6 +10,7 @@
 
 #include "base/logging.hh"
 #include "obs/json.hh"
+#include "obs/outfile.hh"
 #include "obs/profile.hh"
 
 namespace dnasim
@@ -106,7 +108,10 @@ statsToText(const Snapshot &snap)
         os << "timers:\n";
         for (const auto &t : snap.timers) {
             std::ostringstream v;
-            v << fmtDurationNs(t.total_ns) << " /" << t.count;
+            v << fmtDurationNs(t.total_ns) << " /" << t.count
+              << " p50=" << fmtDurationNs(t.p50_ns)
+              << " p90=" << fmtDurationNs(t.p90_ns)
+              << " p99=" << fmtDurationNs(t.p99_ns);
             line(os, t.name, v.str(), t.desc);
         }
     }
@@ -163,6 +168,10 @@ statsToJson(const Snapshot &snap, const std::vector<LogLine> &log,
                     ? 0.0
                     : static_cast<double>(t.total_ns) /
                           static_cast<double>(t.count));
+        w.value("p50_ns", t.p50_ns);
+        w.value("p90_ns", t.p90_ns);
+        w.value("p99_ns", t.p99_ns);
+        w.value("p999_ns", t.p999_ns);
         w.endObject();
     }
     w.endObject();
@@ -178,6 +187,7 @@ statsToJson(const Snapshot &snap, const std::vector<LogLine> &log,
         w.value("p50", d.p50);
         w.value("p90", d.p90);
         w.value("p99", d.p99);
+        w.value("p999", d.p999);
         w.endObject();
     }
     w.endObject();
@@ -223,9 +233,17 @@ writeStatsJson(const std::string &path, const Snapshot &snap,
                const std::vector<LogLine> &log,
                const Profile *profile)
 {
-    std::ofstream os(path);
-    if (!os)
+    std::string error;
+    if (!prepareOutputPath(path, &error)) {
+        warn("stats: ", error);
         return false;
+    }
+    std::ofstream os(path);
+    if (!os) {
+        warn("stats: cannot open '", path,
+             "': ", std::strerror(errno));
+        return false;
+    }
     os << statsToJson(snap, log, profile);
     return os.good();
 }

@@ -209,6 +209,15 @@ Timer::record(uint64_t ns)
            !max_ns_.compare_exchange_weak(prev, ns,
                                           std::memory_order_relaxed)) {
     }
+    std::lock_guard<std::mutex> lock(mutex_);
+    hist_.record(ns);
+}
+
+uint64_t
+Timer::percentileNs(double q) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hist_.percentile(q);
 }
 
 void
@@ -227,67 +236,56 @@ void
 Distribution::record(uint64_t value)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    hist_.add(value);
-    if (count_ == 0 || value < min_)
-        min_ = value;
-    if (count_ == 0 || value > max_)
-        max_ = value;
-    ++count_;
-    sum_ += static_cast<double>(value);
+    hist_.record(value);
 }
 
 uint64_t
 Distribution::count() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return count_;
+    return hist_.count();
 }
 
 double
 Distribution::sum() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return sum_;
+    return hist_.sum();
 }
 
 uint64_t
 Distribution::min() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return min_;
+    return hist_.min();
 }
 
 uint64_t
 Distribution::max() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return max_;
+    return hist_.max();
 }
 
 double
 Distribution::mean() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+    return hist_.mean();
 }
 
 uint64_t
 Distribution::percentile(double q) const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (count_ == 0)
-        return 0;
-    uint64_t target = static_cast<uint64_t>(
-        q * static_cast<double>(count_) + 0.5);
-    if (target < 1)
-        target = 1;
-    uint64_t seen = 0;
-    for (size_t bin = 0; bin < hist_.numBins(); ++bin) {
-        seen += hist_.count(bin);
-        if (seen >= target)
-            return bin;
-    }
-    return max_;
+    return hist_.percentile(q);
+}
+
+HdrHistogram
+Distribution::histogram() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hist_;
 }
 
 uint64_t
@@ -383,8 +381,20 @@ Registry::snapshot() const
             Snapshot::GaugeVal{name, g->desc(), g->value()});
     }
     for (const auto &[name, t] : core_->timers) {
-        snap.timers.push_back(Snapshot::TimerVal{
-            name, t->desc(), t->count(), t->totalNs(), t->maxNs()});
+        Snapshot::TimerVal v;
+        v.name = name;
+        v.desc = t->desc();
+        v.count = t->count();
+        v.total_ns = t->totalNs();
+        v.max_ns = t->maxNs();
+        // Timer's histogram lock nests inside the registry lock
+        // (never taken in the other order).
+        std::lock_guard<std::mutex> tlock(t->mutex_);
+        v.p50_ns = t->hist_.percentile(0.50);
+        v.p90_ns = t->hist_.percentile(0.90);
+        v.p99_ns = t->hist_.percentile(0.99);
+        v.p999_ns = t->hist_.percentile(0.999);
+        snap.timers.push_back(std::move(v));
     }
     for (const auto &[name, d] : core_->distributions) {
         Snapshot::DistVal v;
@@ -392,14 +402,16 @@ Registry::snapshot() const
         v.desc = d->desc();
         // Distribution has its own lock; safe to take under the
         // registry lock (never taken in the other order).
-        v.count = d->count();
-        v.sum = d->sum();
-        v.mean = d->mean();
-        v.min = d->min();
-        v.max = d->max();
-        v.p50 = d->percentile(0.50);
-        v.p90 = d->percentile(0.90);
-        v.p99 = d->percentile(0.99);
+        std::lock_guard<std::mutex> dlock(d->mutex_);
+        v.count = d->hist_.count();
+        v.sum = d->hist_.sum();
+        v.mean = d->hist_.mean();
+        v.min = d->hist_.min();
+        v.max = d->hist_.max();
+        v.p50 = d->hist_.percentile(0.50);
+        v.p90 = d->hist_.percentile(0.90);
+        v.p99 = d->hist_.percentile(0.99);
+        v.p999 = d->hist_.percentile(0.999);
         snap.distributions.push_back(std::move(v));
     }
     return snap;
@@ -420,14 +432,12 @@ Registry::reset()
         t->count_.store(0, std::memory_order_relaxed);
         t->total_ns_.store(0, std::memory_order_relaxed);
         t->max_ns_.store(0, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> tlock(t->mutex_);
+        t->hist_.clear();
     }
     for (auto &[name, d] : core_->distributions) {
         std::lock_guard<std::mutex> dlock(d->mutex_);
         d->hist_.clear();
-        d->count_ = 0;
-        d->sum_ = 0.0;
-        d->min_ = 0;
-        d->max_ = 0;
     }
 }
 

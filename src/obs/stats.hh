@@ -12,9 +12,13 @@
  *                  threads never contend.
  *  - Gauge:        a signed level that can move both ways.
  *  - Timer:        accumulated wall time over intervals, fed by the
- *                  RAII ScopedTimer.
- *  - Distribution: a value distribution backed by stats/histogram.hh
- *                  (count/sum/min/max plus percentiles on snapshot).
+ *                  RAII ScopedTimer; intervals also feed a
+ *                  log-bucketed HDR histogram, so snapshots carry
+ *                  p50/p90/p99/p999 latencies accurate across the
+ *                  ns–minutes range.
+ *  - Distribution: a value distribution backed by obs/hdr_histogram
+ *                  (count/sum/min/max plus log-bucketed percentiles
+ *                  at ~constant memory, mergeable across shards).
  *
  * Instruments live as long as their Registry; references returned by
  * the lookup methods are stable. The process-wide registry
@@ -35,7 +39,7 @@
 #include <string>
 #include <vector>
 
-#include "stats/histogram.hh"
+#include "obs/hdr_histogram.hh"
 
 namespace dnasim
 {
@@ -109,6 +113,9 @@ class Timer
     uint64_t totalNs() const { return total_ns_.load(std::memory_order_relaxed); }
     uint64_t maxNs() const { return max_ns_.load(std::memory_order_relaxed); }
 
+    /** Interval-duration percentile from the HDR histogram. */
+    uint64_t percentileNs(double q) const;
+
     const std::string &name() const { return name_; }
     const std::string &desc() const { return desc_; }
 
@@ -122,6 +129,8 @@ class Timer
     std::atomic<uint64_t> count_{0};
     std::atomic<uint64_t> total_ns_{0};
     std::atomic<uint64_t> max_ns_{0};
+    mutable std::mutex mutex_; ///< guards hist_ only
+    HdrHistogram hist_;
     std::string name_;
     std::string desc_;
 };
@@ -149,8 +158,10 @@ class ScopedTimer
 
 /**
  * A distribution of non-negative integer values, backed by a
- * Histogram. record() takes a short lock, so keep it out of
- * per-base hot loops; per-cluster or coarser is fine.
+ * log-bucketed HdrHistogram: exact below 64, within one log-bucket
+ * (<= ~1.6% relative) above, at bounded memory regardless of range.
+ * record() takes a short lock, so keep it out of per-base hot loops;
+ * per-cluster or coarser is fine.
  */
 class Distribution
 {
@@ -163,8 +174,14 @@ class Distribution
     uint64_t max() const;
     double mean() const;
 
-    /** Smallest value v with cumulative mass >= q (0 if empty). */
+    /**
+     * Lower bound of the bucket reaching cumulative mass q, clamped
+     * to the observed [min, max] (0 if empty).
+     */
     uint64_t percentile(double q) const;
+
+    /** Copy of the backing histogram (mergeable across shards). */
+    HdrHistogram histogram() const;
 
     const std::string &name() const { return name_; }
     const std::string &desc() const { return desc_; }
@@ -177,11 +194,7 @@ class Distribution
     {}
 
     mutable std::mutex mutex_;
-    Histogram hist_;
-    uint64_t count_ = 0;
-    double sum_ = 0.0;
-    uint64_t min_ = 0;
-    uint64_t max_ = 0;
+    HdrHistogram hist_;
     std::string name_;
     std::string desc_;
 };
@@ -203,13 +216,14 @@ struct Snapshot
     {
         std::string name, desc;
         uint64_t count, total_ns, max_ns;
+        uint64_t p50_ns = 0, p90_ns = 0, p99_ns = 0, p999_ns = 0;
     };
     struct DistVal
     {
         std::string name, desc;
         uint64_t count;
         double sum, mean;
-        uint64_t min, max, p50, p90, p99;
+        uint64_t min, max, p50, p90, p99, p999;
     };
 
     std::vector<CounterVal> counters;

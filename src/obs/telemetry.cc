@@ -1,0 +1,159 @@
+#include "obs/telemetry.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "base/logging.hh"
+#include "obs/json.hh"
+#include "obs/outfile.hh"
+
+namespace dnasim
+{
+namespace obs
+{
+
+std::string
+telemetrySampleLine(const IntervalSample &sample)
+{
+    std::ostringstream os;
+    JsonWriter w(os, 0);
+    w.beginObject();
+    w.value("schema", "dnasim.telemetry.v1");
+    w.value("kind", "sample");
+    w.value("seq", sample.seq);
+    w.value("ts_ns", sample.mono_ns);
+    w.value("interval_ns", sample.interval_ns);
+    w.value("final", sample.final_sample);
+    w.value("rss_bytes", sample.rss_bytes);
+    w.beginArray("counters");
+    for (const auto &r : sample.rates) {
+        w.beginObject();
+        w.value("name", r.name);
+        w.value("value", r.value);
+        w.value("delta", r.delta);
+        w.value("per_sec", r.per_sec);
+        w.endObject();
+    }
+    w.endArray();
+    w.beginArray("gauges");
+    for (const auto &g : sample.snap.gauges) {
+        w.beginObject();
+        w.value("name", g.name);
+        w.value("value", g.value);
+        w.endObject();
+    }
+    w.endArray();
+    w.beginArray("timers");
+    for (const auto &t : sample.snap.timers) {
+        w.beginObject();
+        w.value("name", t.name);
+        w.value("count", t.count);
+        w.value("total_ns", t.total_ns);
+        w.value("p50_ns", t.p50_ns);
+        w.value("p90_ns", t.p90_ns);
+        w.value("p99_ns", t.p99_ns);
+        w.value("p999_ns", t.p999_ns);
+        w.endObject();
+    }
+    w.endArray();
+    w.beginArray("progress");
+    for (const auto &p : sample.progress) {
+        w.beginObject();
+        w.value("phase", p.name);
+        w.value("done", p.done);
+        w.value("total", p.total);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return os.str();
+}
+
+std::string
+telemetryEventLine(const Event &event)
+{
+    std::ostringstream os;
+    JsonWriter w(os, 0);
+    w.beginObject();
+    w.value("schema", "dnasim.telemetry.v1");
+    w.value("kind", "event");
+    w.value("seq", event.seq);
+    w.value("ts_ns", event.ts_ns);
+    w.value("event", event.kind);
+    w.value("name", event.name);
+    w.beginObject("fields");
+    for (const auto &[key, val] : event.fields)
+        w.value(key, val);
+    w.endObject();
+    w.endObject();
+    return os.str();
+}
+
+JsonlTelemetrySink::JsonlTelemetrySink(std::string path)
+    : path_(std::move(path))
+{
+    std::string error;
+    if (!prepareOutputPath(path_, &error)) {
+        warn("telemetry: ", error);
+        ok_ = false;
+        warned_ = true;
+        return;
+    }
+    file_ = std::fopen(path_.c_str(), "wb");
+    if (!file_) {
+        warn("telemetry: cannot open '", path_,
+             "': ", std::strerror(errno));
+        ok_ = false;
+        warned_ = true;
+    }
+}
+
+JsonlTelemetrySink::~JsonlTelemetrySink()
+{
+    close();
+}
+
+void
+JsonlTelemetrySink::onSample(const IntervalSample &sample)
+{
+    // Events precede the sample that collected them.
+    for (const auto &event : sample.events)
+        writeLine(telemetryEventLine(event));
+    writeLine(telemetrySampleLine(sample));
+    if (file_)
+        std::fflush(file_);
+}
+
+void
+JsonlTelemetrySink::writeLine(const std::string &line)
+{
+    if (!file_)
+        return;
+    if (std::fwrite(line.data(), 1, line.size(), file_) !=
+            line.size() ||
+        std::fputc('\n', file_) == EOF) {
+        ok_ = false;
+        if (!warned_) {
+            warn("telemetry: write to '", path_,
+                 "' failed: ", std::strerror(errno));
+            warned_ = true;
+        }
+    }
+}
+
+void
+JsonlTelemetrySink::close()
+{
+    if (!file_)
+        return;
+    if (std::fclose(file_) != 0 && ok_) {
+        ok_ = false;
+        warn("telemetry: closing '", path_,
+             "' failed: ", std::strerror(errno));
+    }
+    file_ = nullptr;
+}
+
+} // namespace obs
+} // namespace dnasim

@@ -1,13 +1,17 @@
 #include "obs/trace.hh"
 
+#include <cerrno>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 
 #if defined(__unix__) || defined(__APPLE__)
 #include <time.h>
 #endif
 
+#include "base/logging.hh"
 #include "obs/json.hh"
+#include "obs/outfile.hh"
 
 namespace dnasim
 {
@@ -167,9 +171,17 @@ Trace::writeJson(std::ostream &os) const
 bool
 Trace::writeFile(const std::string &path) const
 {
-    std::ofstream os(path);
-    if (!os)
+    std::string error;
+    if (!prepareOutputPath(path, &error)) {
+        warn("trace: ", error);
         return false;
+    }
+    std::ofstream os(path);
+    if (!os) {
+        warn("trace: cannot open '", path,
+             "': ", std::strerror(errno));
+        return false;
+    }
     writeJson(os);
     return os.good();
 }

@@ -5,6 +5,7 @@
 
 #include "base/logging.hh"
 #include "codec/reed_solomon.hh"
+#include "obs/progress.hh"
 #include "obs/stats.hh"
 #include "obs/trace.hh"
 
@@ -184,7 +185,9 @@ ArchivalPipeline::retrieve(const Dataset &clusters,
     // Reconstruct and parse every cluster into frames by index.
     std::map<uint32_t, Frame> received;
     const size_t design_len = strandLength();
+    obs::ProgressScope progress("retrieve", clusters.size());
     for (size_t i = 0; i < clusters.size(); ++i) {
+        progress.advance();
         if (clusters[i].isErasure()) {
             ++stats.erasure_clusters;
             ps.erasures.inc();

@@ -199,6 +199,67 @@ TEST(ObsJson, WriterEscapesAndNests)
                         "\"f\":1.5,\"b\":true}");
 }
 
+TEST(ObsJson, ParserDecodesEscapedUnicode)
+{
+    obs::JsonValue v;
+    // 1-, 2- and 3-byte UTF-8 targets plus a surrogate-free BMP char.
+    ASSERT_TRUE(obs::parseJson(
+        "\"\\u0041\\u00e9\\u20ac\"", v, nullptr));
+    EXPECT_EQ(v.asString(), "A\xc3\xa9\xe2\x82\xac");
+    // Uppercase hex digits are equally valid.
+    ASSERT_TRUE(obs::parseJson("\"\\u00E9\"", v, nullptr));
+    EXPECT_EQ(v.asString(), "\xc3\xa9");
+    // Truncated and non-hex escapes are malformed.
+    std::string error;
+    EXPECT_FALSE(obs::parseJson("\"\\u00\"", v, &error));
+    EXPECT_FALSE(obs::parseJson("\"\\u00zz\"", v, &error));
+}
+
+TEST(ObsJson, ParserBoundsNestingDepth)
+{
+    // Moderately nested arrays parse; pathological nesting is
+    // rejected instead of recursing toward a stack overflow.
+    auto nested = [](size_t depth) {
+        return std::string(depth, '[') + "1" +
+               std::string(depth, ']');
+    };
+    obs::JsonValue v;
+    EXPECT_TRUE(obs::parseJson(nested(32), v, nullptr));
+    std::string error;
+    EXPECT_FALSE(obs::parseJson(nested(100), v, &error));
+    EXPECT_NE(error.find("nesting too deep"), std::string::npos);
+}
+
+TEST(ObsJson, ParserRejectsTrailingGarbage)
+{
+    obs::JsonValue v;
+    std::string error;
+    EXPECT_FALSE(obs::parseJson("{\"a\":1} x", v, &error));
+    EXPECT_FALSE(obs::parseJson("[1,2]]", v, &error));
+    EXPECT_FALSE(obs::parseJson("1 2", v, &error));
+    // Trailing whitespace is fine.
+    EXPECT_TRUE(obs::parseJson("{\"a\": 1}  \n", v, nullptr));
+}
+
+TEST(ObsJson, ParserRejectsNonJsonNumbers)
+{
+    // strtod accepts all of these; the JSON grammar does not.
+    obs::JsonValue v;
+    for (const char *bad :
+         {"NaN", "nan", "Infinity", "-Infinity", "inf", "-inf",
+          "0x10", "0123", "+1", ".5", "1.", "1e", "1e+", "-"}) {
+        std::string error;
+        EXPECT_FALSE(obs::parseJson(bad, v, &error))
+            << "accepted non-JSON number: " << bad;
+    }
+    ASSERT_TRUE(obs::parseJson("-0.5e+2", v, nullptr));
+    EXPECT_DOUBLE_EQ(v.asDouble(), -50.0);
+    ASSERT_TRUE(obs::parseJson("0", v, nullptr));
+    EXPECT_DOUBLE_EQ(v.asDouble(), 0.0);
+    ASSERT_TRUE(obs::parseJson("1E3", v, nullptr));
+    EXPECT_DOUBLE_EQ(v.asDouble(), 1000.0);
+}
+
 TEST(ObsReport, JsonRoundTripsSchemaAndValues)
 {
     obs::Registry reg;
