@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "align/simd_dispatch.hh"
 #include "base/logging.hh"
 #include "bench_report.hh"
 #include "core/ids_model.hh"
@@ -42,6 +43,11 @@ makeBenchEnv(int argc, char **argv, size_t default_clusters)
                     static_cast<int64_t>(default_clusters)));
     env.seed = args.getSeed("seed", 0xbe9c);
     par::setThreads(static_cast<size_t>(args.getInt("threads", 0)));
+    const std::string simd = args.get("simd", "auto");
+    if (!applySimdOverride(simd.empty() ? "auto" : simd)) {
+        DNASIM_FATAL("--simd must be auto, scalar, avx2 or avx512, "
+                     "got '", simd, "'");
+    }
 
     auto &report = BenchReport::global();
     report.init(harnessName(argc > 0 ? argv[0] : nullptr), env.seed);
@@ -49,6 +55,8 @@ makeBenchEnv(int argc, char **argv, size_t default_clusters)
     report.setConfig("seed", env.seed);
     report.setConfig("threads",
                      static_cast<uint64_t>(par::numThreads()));
+    report.setConfig("simd",
+                     std::string(simdTierName(activeSimdTier())));
 
     env.wetlab_config.num_clusters = env.clusters;
     NanoporeDatasetGenerator generator(env.wetlab_config);

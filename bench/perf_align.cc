@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <string_view>
+#include <vector>
 
 #include <benchmark/benchmark.h>
 
@@ -13,6 +14,7 @@
 #include "align/edit_distance.hh"
 #include "align/gestalt.hh"
 #include "align/hamming.hh"
+#include "align/myers_batch.hh"
 #include "base/packed.hh"
 #include "base/rng.hh"
 #include "core/ids_model.hh"
@@ -168,6 +170,89 @@ BM_MyersPatternBounded(benchmark::State &state)
             pattern.distanceBounded(other, limit));
 }
 
+/**
+ * One pattern verified against N candidate texts — the clusterReads
+ * probe shape the batch kernel was built for.  accept=1 holds noisy
+ * copies of the pattern (every lane runs to the end of its text, the
+ * full-cost case); accept=0 holds unrelated strands under a tight
+ * limit (the early-abandon case that dominates probing non-members).
+ */
+struct BatchFixture
+{
+    Strand ref;
+    std::vector<Strand> store;
+    std::vector<std::string_view> texts;
+    MyersPattern pattern;
+    size_t limit = 0;
+
+    BatchFixture(size_t len, size_t n, bool accept)
+    {
+        Rng rng = benchRng(accept ? 0xacce97 : 0x4e9ec7);
+        StrandFactory factory;
+        ref = factory.make(len, rng);
+        pattern.assign(ref);
+        store.reserve(n);
+        if (accept) {
+            ErrorProfile profile = ErrorProfile::uniform(0.06, len);
+            IdsChannelModel model = IdsChannelModel::naive(profile);
+            for (size_t i = 0; i < n; ++i)
+                store.push_back(model.transmit(ref, rng));
+            limit = len / 2;
+        } else {
+            for (size_t i = 0; i < n; ++i)
+                store.push_back(factory.make(len, rng));
+            limit = len / 8;
+        }
+        texts.reserve(n);
+        for (const auto &s : store)
+            texts.emplace_back(s);
+    }
+};
+
+void
+BM_MyersBatchVerify(benchmark::State &state)
+{
+    BatchFixture f(static_cast<size_t>(state.range(0)),
+                   static_cast<size_t>(state.range(1)),
+                   state.range(2) != 0);
+    std::vector<size_t> out(f.texts.size());
+    for (auto _ : state) {
+        myersBatchDistanceBounded(f.pattern, f.texts, f.limit, out);
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) * state.range(1));
+}
+
+void
+BM_MyersScalarVerify(benchmark::State &state)
+{
+    // The scalar twin of BM_MyersBatchVerify: one distanceBounded
+    // call per text, same inputs, for the batch speedup ratio.
+    BatchFixture f(static_cast<size_t>(state.range(0)),
+                   static_cast<size_t>(state.range(1)),
+                   state.range(2) != 0);
+    std::vector<size_t> out(f.texts.size());
+    for (auto _ : state) {
+        for (size_t i = 0; i < f.texts.size(); ++i)
+            out[i] = f.pattern.distanceBounded(f.texts[i], f.limit);
+        benchmark::DoNotOptimize(out.data());
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) * state.range(1));
+}
+
+void
+batchVerifyArgs(benchmark::internal::Benchmark *b)
+{
+    for (int64_t accept : {0, 1})
+        for (int64_t len : {100, 150, 300})
+            for (int64_t n : {4, 8, 64, 256})
+                b->Args({len, n, accept});
+}
+
 } // anonymous namespace
 
 BENCHMARK(BM_Levenshtein)->Arg(110)->Arg(220);
@@ -181,3 +266,5 @@ BENCHMARK(BM_HammingChars)->Arg(110)->Arg(1000);
 BENCHMARK(BM_HammingPacked)->Arg(110)->Arg(1000);
 BENCHMARK(BM_MyersPatternReuse)->Arg(110)->Arg(150);
 BENCHMARK(BM_MyersPatternBounded)->Arg(110)->Arg(150);
+BENCHMARK(BM_MyersBatchVerify)->Apply(batchVerifyArgs);
+BENCHMARK(BM_MyersScalarVerify)->Apply(batchVerifyArgs);

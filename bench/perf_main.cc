@@ -6,6 +6,9 @@
  * benchmark::Initialize:
  *   --seed S        master RNG seed, recorded in the report
  *   --threads N     worker threads, recorded in the report
+ *   --simd T        batch alignment kernel tier override
+ *                   (auto/scalar/avx2/avx512), recorded in the
+ *                   report so baselines pin the tier they measured
  *   --quick         CI perf-gate mode: short repetitions
  *                   (--benchmark_min_time=0.05s) so a full perf_*
  *                   binary finishes in seconds; noise is handled by
@@ -22,6 +25,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "align/simd_dispatch.hh"
 #include "bench_report.hh"
 #include "obs/profile.hh"
 #include "obs/trace.hh"
@@ -62,6 +66,7 @@ main(int argc, char **argv)
 {
     uint64_t seed = 0xbe9c;
     uint64_t threads = 0;
+    std::string simd = "auto";
     bool quick = false;
     bool profile = false;
     std::string trace_out;
@@ -86,6 +91,14 @@ main(int argc, char **argv)
         }
         if (arg == "--threads" && i + 1 < argc) {
             threads = std::strtoull(argv[++i], nullptr, 0);
+            continue;
+        }
+        if (arg.rfind("--simd=", 0) == 0) {
+            simd = arg.substr(7);
+            continue;
+        }
+        if (arg == "--simd" && i + 1 < argc) {
+            simd = argv[++i];
             continue;
         }
         if (arg == "--quick") {
@@ -115,6 +128,12 @@ main(int argc, char **argv)
     int kept_argc = static_cast<int>(keep.size());
 
     dnasim::par::setThreads(static_cast<size_t>(threads));
+    if (!dnasim::applySimdOverride(simd)) {
+        std::cerr << "--simd must be auto, scalar, avx2 or avx512, "
+                     "got '"
+                  << simd << "'\n";
+        return 1;
+    }
 
     std::string name = argv[0];
     auto slash = name.find_last_of('/');
@@ -125,6 +144,9 @@ main(int argc, char **argv)
     dnasim::BenchReport::global().setConfig("seed", seed);
     dnasim::BenchReport::global().setConfig(
         "threads", static_cast<uint64_t>(dnasim::par::numThreads()));
+    dnasim::BenchReport::global().setConfig(
+        "simd",
+        std::string(dnasim::simdTierName(dnasim::activeSimdTier())));
     dnasim::BenchReport::global().setConfig(
         "quick", static_cast<uint64_t>(quick ? 1 : 0));
 

@@ -234,6 +234,13 @@ MyersPattern::MyersPattern(const PackedStrand &pattern)
 }
 
 void
+MyersPattern::assign(std::string_view pattern)
+{
+    fallback_.clear();
+    build(pattern);
+}
+
+void
 MyersPattern::build(std::string_view pattern)
 {
     m_ = pattern.size();

@@ -28,6 +28,11 @@
 namespace dnasim
 {
 
+namespace align_detail
+{
+struct PatternAccess;
+}
+
 /** The kind of a single edit operation transforming reference->copy. */
 enum class EditOpType : uint8_t
 {
@@ -117,6 +122,14 @@ class MyersPattern
     /** Build the match tables from 2-bit packed words. */
     explicit MyersPattern(const PackedStrand &pattern);
 
+    /**
+     * Rebuild the match tables for a new pattern, reusing the Peq
+     * storage. The batch call sites probe a different pattern per
+     * read; reassigning one thread-local MyersPattern keeps that
+     * loop allocation-free once capacity has grown.
+     */
+    void assign(std::string_view pattern);
+
     /** Pattern length in bases. */
     size_t size() const { return m_; }
 
@@ -137,6 +150,10 @@ class MyersPattern
     size_t distanceBounded(std::string_view text, size_t limit) const;
 
   private:
+    /// The batch kernels (align/myers_batch.cc) share the pattern's
+    /// Peq rows across SIMD lanes instead of rebuilding them.
+    friend struct align_detail::PatternAccess;
+
     void build(std::string_view pattern);
     size_t run(std::string_view text, size_t limit) const;
 

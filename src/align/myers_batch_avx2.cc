@@ -1,0 +1,387 @@
+/**
+ * @file
+ * AVX2 batch Myers kernel: up to 8 texts per invocation, one per
+ * 64-bit lane, processed as two independent 4-lane halves.
+ *
+ * This translation unit is compiled with -mavx2 (see
+ * src/align/CMakeLists.txt) and must only be entered through the
+ * runtime dispatcher (align/simd_dispatch.hh), which guarantees the
+ * CPU supports it. Every vector op below is the lane-wise image of
+ * one line of the scalar myersAdvanceBlock()/MyersPattern::run()
+ * pair in align/edit_distance.cc — see the lane-determinism argument
+ * in DESIGN.md for why this yields bit-identical results.
+ *
+ * Throughput notes (the recurrence is a serial dependency chain per
+ * character, so the kernel is latency- as much as throughput-bound,
+ * and every spared op shows up directly):
+ *  - two 4-lane halves advance in lock-step per character; their
+ *    chains are independent, so the out-of-order core overlaps them
+ *    (groups of <= 4 texts dispatch a single-half instantiation);
+ *  - the hot loop is instantiated once per small block count (1..8,
+ *    patterns up to 512 bp) so the pv/mv carry state is
+ *    register-resident across the whole text scan;
+ *  - Peq rows are fetched with plain loads + unpacks instead of
+ *    vpgatherqq (microcoded on most cores);
+ *  - horizontal deltas come from single shifts (the out mask is one
+ *    bit, so `srl` yields the 0/1 delta directly);
+ *  - `remaining` is carried as a decrementing vector register and
+ *    doubles as the text-end test, and that test is skipped entirely
+ *    until the shortest live text can end.
+ */
+
+#include "align/myers_batch_impl.hh"
+
+#ifdef DNASIM_X86_SIMD_KERNELS
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+namespace dnasim
+{
+namespace align_detail
+{
+
+namespace
+{
+
+/**
+ * One block advance for four lanes: the vector image of the scalar
+ * myersAdvanceBlock(). Updates pv/mv in place and chains the
+ * horizontal delta through hin_pos/hin_neg. kFinal selects the
+ * pattern's last block, whose out bit sits at final_shift instead of
+ * bit 63.
+ */
+template <bool kFinal>
+inline void
+advanceBlock(__m256i &pv, __m256i &mv, __m256i eq0, __m128i final_shift,
+             __m256i one, __m256i &hin_pos, __m256i &hin_neg,
+             __m256i all_ones)
+{
+    const __m256i xv = _mm256_or_si256(eq0, mv);
+    const __m256i eq = _mm256_or_si256(eq0, hin_neg);
+    const __m256i xh = _mm256_or_si256(
+        _mm256_xor_si256(
+            _mm256_add_epi64(_mm256_and_si256(eq, pv), pv), pv),
+        eq);
+    __m256i ph = _mm256_or_si256(
+        mv, _mm256_andnot_si256(_mm256_or_si256(xh, pv), all_ones));
+    __m256i mh = _mm256_and_si256(pv, xh);
+
+    // ph and mh are disjoint (mh ⊆ pv while ph ⊆ ~pv ∪ mv, and
+    // mv ∩ pv = ∅), so both horizontal deltas can be extracted
+    // independently — no lane needs the scalar kernel's
+    // ph-before-mh priority. The out mask is a single bit, so a
+    // right shift of that bit to position 0 IS the 0/1 delta.
+    __m256i hout_pos, hout_neg;
+    if constexpr (kFinal) {
+        hout_pos =
+            _mm256_and_si256(_mm256_srl_epi64(ph, final_shift), one);
+        hout_neg =
+            _mm256_and_si256(_mm256_srl_epi64(mh, final_shift), one);
+    } else {
+        hout_pos = _mm256_srli_epi64(ph, 63);
+        hout_neg = _mm256_srli_epi64(mh, 63);
+    }
+
+    ph = _mm256_or_si256(_mm256_slli_epi64(ph, 1), hin_pos);
+    mh = _mm256_or_si256(_mm256_slli_epi64(mh, 1), hin_neg);
+    pv = _mm256_or_si256(
+        mh, _mm256_andnot_si256(_mm256_or_si256(xv, ph), all_ones));
+    mv = _mm256_and_si256(ph, xv);
+    hin_pos = hout_pos;
+    hin_neg = hout_neg;
+}
+
+/// Build the eq vector for one block from four per-lane row
+/// pointers.
+inline __m256i
+loadEq(const uint64_t *const *row, size_t b)
+{
+    return _mm256_set_epi64x(static_cast<int64_t>(row[3][b]),
+                             static_cast<int64_t>(row[2][b]),
+                             static_cast<int64_t>(row[1][b]),
+                             static_cast<int64_t>(row[0][b]));
+}
+
+/**
+ * The full batch loop over G half-groups of four lanes each (G is 1
+ * or 2). B > 0 is a compile-time block count: pv/mv live in local
+ * arrays the unrolled loops keep in registers. B == 0 is the dynamic
+ * fallback that round-trips pv/mv through the caller's scratch each
+ * step. Lane layout always uses the 8-wide stride of the driver's
+ * packing, G == 1 merely never touches the upper half.
+ */
+template <size_t B, size_t G>
+void
+runBatch(const BatchState &st)
+{
+    constexpr size_t W = 8;       ///< lane stride of codes/pv/mv
+    constexpr size_t WH = 4;      ///< lanes per half
+    constexpr size_t NL = WH * G; ///< lanes actually processed
+    constexpr bool kResident = B != 0;
+    constexpr size_t kB = kResident ? B : 1;
+    constexpr uint32_t kAll = (1u << NL) - 1;
+    const size_t blocks = kResident ? B : st.blocks;
+    const __m256i zero = _mm256_setzero_si256();
+    const __m256i all_ones = _mm256_set1_epi64x(-1);
+    const __m256i one = _mm256_set1_epi64x(1);
+    const __m256i limit_v = _mm256_set1_epi64x(st.limit);
+    const __m128i final_shift =
+        _mm_cvtsi32_si128(std::countr_zero(st.final_row));
+
+    __m256i n_v[G], score_v[G], remaining_v[G], done_v[G];
+    for (size_t g = 0; g < G; ++g) {
+        n_v[g] = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(st.n + g * WH));
+        score_v[g] = _mm256_set1_epi64x(st.m);
+        // remaining = n - t - 1, carried across steps; a lane's
+        // text ends exactly when it hits -1.
+        remaining_v[g] = _mm256_sub_epi64(n_v[g], one);
+        const uint8_t *d = st.done + g * WH;
+        done_v[g] =
+            _mm256_set_epi64x(d[3] ? -1 : 0, d[2] ? -1 : 0,
+                              d[1] ? -1 : 0, d[0] ? -1 : 0);
+    }
+
+    __m256i pvr[G][kB];
+    __m256i mvr[G][kB];
+    if constexpr (kResident) {
+        for (size_t g = 0; g < G; ++g) {
+            for (size_t b = 0; b < B; ++b) {
+                pvr[g][b] = all_ones;
+                mvr[g][b] = zero;
+            }
+        }
+    } else {
+        for (size_t g = 0; g < G; ++g) {
+            for (size_t b = 0; b < blocks; ++b) {
+                _mm256_storeu_si256(
+                    reinterpret_cast<__m256i *>(st.pv + b * W +
+                                                g * WH),
+                    all_ones);
+                _mm256_storeu_si256(
+                    reinterpret_cast<__m256i *>(st.mv + b * W +
+                                                g * WH),
+                    zero);
+            }
+        }
+    }
+
+    uint32_t done_bits = 0;
+    for (size_t l = 0; l < NL; ++l)
+        done_bits |= st.done[l] ? (1u << l) : 0u;
+
+    // No lane can reach its text end before the shortest live text
+    // does; the end test is dead weight until then.
+    size_t min_end = st.max_n;
+    for (size_t l = 0; l < NL; ++l)
+        if (!st.done[l])
+            min_end = std::min(
+                min_end, static_cast<size_t>(st.n[l]));
+
+    for (size_t t = 0; t < st.max_n && done_bits != kAll; ++t) {
+        for (size_t g = 0; g < G; ++g) {
+            // A fully-resolved half costs nothing per step; the
+            // predicate flips at most twice over a whole scan, so
+            // the branch predicts essentially perfectly. The halves
+            // are source-ordered sequentially, but their chains are
+            // independent — the out-of-order window overlaps them.
+            constexpr uint32_t kHalf = 0xf;
+            const uint32_t half_done =
+                (done_bits >> (g * WH)) & kHalf;
+            if (half_done == kHalf)
+                continue;
+
+            if (t >= min_end) {
+                // Lanes whose text ends at this step: their column
+                // has consumed the whole text, so the running score
+                // is the final distance.
+                const __m256i end_now = _mm256_andnot_si256(
+                    done_v[g],
+                    _mm256_cmpeq_epi64(remaining_v[g], all_ones));
+                const uint32_t end_mask =
+                    static_cast<uint32_t>(_mm256_movemask_pd(
+                        _mm256_castsi256_pd(end_now)));
+                if (end_mask != 0) {
+                    alignas(32) int64_t sc[WH];
+                    _mm256_store_si256(
+                        reinterpret_cast<__m256i *>(sc), score_v[g]);
+                    for (size_t l = 0; l < WH; ++l) {
+                        if (end_mask & (1u << l)) {
+                            st.result[g * WH + l] =
+                                static_cast<uint64_t>(sc[l]);
+                            st.done[g * WH + l] = 1;
+                        }
+                    }
+                    done_v[g] = _mm256_or_si256(done_v[g], end_now);
+                    done_bits |= end_mask << (g * WH);
+                    if (((done_bits >> (g * WH)) & kHalf) == kHalf) {
+                        remaining_v[g] =
+                            _mm256_sub_epi64(remaining_v[g], one);
+                        continue;
+                    }
+                }
+            }
+
+            // Per-lane Peq row bases for this character; the pad
+            // row keeps finished and non-ACGT lanes at eq = 0.
+            uint32_t packed_codes;
+            std::memcpy(&packed_codes, st.codes + t * W + g * WH,
+                        sizeof(packed_codes));
+            const uint64_t *row[WH];
+            for (size_t l = 0; l < WH; ++l)
+                row[l] = st.peq +
+                         ((packed_codes >> (l * 8)) & 0xffu) * blocks;
+
+            __m256i hin_pos = one;
+            __m256i hin_neg = zero;
+            if constexpr (kResident) {
+                // eq[b][l] = row_l[b], fetched two blocks per lane
+                // at a time: four 128-bit loads + two unpacks yield
+                // both block vectors.
+                __m256i eqv[kB];
+                size_t b = 0;
+                for (; b + 1 < B; b += 2) {
+                    const __m256i v02 = _mm256_set_m128i(
+                        _mm_loadu_si128(
+                            reinterpret_cast<const __m128i *>(
+                                row[2] + b)),
+                        _mm_loadu_si128(
+                            reinterpret_cast<const __m128i *>(
+                                row[0] + b)));
+                    const __m256i v13 = _mm256_set_m128i(
+                        _mm_loadu_si128(
+                            reinterpret_cast<const __m128i *>(
+                                row[3] + b)),
+                        _mm_loadu_si128(
+                            reinterpret_cast<const __m128i *>(
+                                row[1] + b)));
+                    eqv[b] = _mm256_unpacklo_epi64(v02, v13);
+                    eqv[b + 1] = _mm256_unpackhi_epi64(v02, v13);
+                }
+                if (b < B)
+                    eqv[b] = loadEq(row, b);
+                for (size_t i = 0; i + 1 < B; ++i)
+                    advanceBlock<false>(pvr[g][i], mvr[g][i], eqv[i],
+                                        final_shift, one, hin_pos,
+                                        hin_neg, all_ones);
+                advanceBlock<true>(pvr[g][B - 1], mvr[g][B - 1],
+                                   eqv[B - 1], final_shift, one,
+                                   hin_pos, hin_neg, all_ones);
+            } else {
+                for (size_t b = 0; b < blocks; ++b) {
+                    const __m256i eq0 = loadEq(row, b);
+                    __m256i pv = _mm256_loadu_si256(
+                        reinterpret_cast<const __m256i *>(
+                            st.pv + b * W + g * WH));
+                    __m256i mv = _mm256_loadu_si256(
+                        reinterpret_cast<const __m256i *>(
+                            st.mv + b * W + g * WH));
+                    if (b + 1 == blocks) {
+                        advanceBlock<true>(pv, mv, eq0, final_shift,
+                                           one, hin_pos, hin_neg,
+                                           all_ones);
+                    } else {
+                        advanceBlock<false>(pv, mv, eq0, final_shift,
+                                            one, hin_pos, hin_neg,
+                                            all_ones);
+                    }
+                    _mm256_storeu_si256(
+                        reinterpret_cast<__m256i *>(st.pv + b * W +
+                                                    g * WH),
+                        pv);
+                    _mm256_storeu_si256(
+                        reinterpret_cast<__m256i *>(st.mv + b * W +
+                                                    g * WH),
+                        mv);
+                }
+            }
+            score_v[g] = _mm256_add_epi64(
+                score_v[g], _mm256_sub_epi64(hin_pos, hin_neg));
+
+            // Lane-wise early abandon: the scalar kernel's
+            // certified bound, evaluated with the same operands in
+            // the same step.
+            const __m256i over =
+                _mm256_sub_epi64(score_v[g], remaining_v[g]);
+            const __m256i abandon = _mm256_andnot_si256(
+                done_v[g],
+                _mm256_and_si256(
+                    _mm256_cmpgt_epi64(score_v[g], remaining_v[g]),
+                    _mm256_cmpgt_epi64(over, limit_v)));
+            const uint32_t ab_mask =
+                static_cast<uint32_t>(_mm256_movemask_pd(
+                    _mm256_castsi256_pd(abandon)));
+            if (ab_mask != 0) {
+                alignas(32) int64_t ov[WH];
+                _mm256_store_si256(reinterpret_cast<__m256i *>(ov),
+                                   over);
+                for (size_t l = 0; l < WH; ++l) {
+                    if (ab_mask & (1u << l)) {
+                        st.result[g * WH + l] =
+                            static_cast<uint64_t>(ov[l]);
+                        st.done[g * WH + l] = 1;
+                    }
+                }
+                done_v[g] = _mm256_or_si256(done_v[g], abandon);
+                done_bits |= ab_mask << (g * WH);
+            }
+            remaining_v[g] = _mm256_sub_epi64(remaining_v[g], one);
+        }
+    }
+
+    // Lanes whose text spans all max_n steps finish here.
+    if (done_bits != kAll) {
+        alignas(32) int64_t sc[NL];
+        for (size_t g = 0; g < G; ++g)
+            _mm256_store_si256(
+                reinterpret_cast<__m256i *>(sc + g * WH), score_v[g]);
+        for (size_t l = 0; l < NL; ++l) {
+            if (!(done_bits & (1u << l))) {
+                st.result[l] = static_cast<uint64_t>(sc[l]);
+                st.done[l] = 1;
+            }
+        }
+    }
+}
+
+template <size_t B>
+void
+dispatchHalves(const BatchState &st)
+{
+    // The upper half idles whenever the driver filled <= 4 lanes;
+    // the single-half instantiation skips its per-step work
+    // entirely.
+    const bool upper_idle =
+        st.done[4] && st.done[5] && st.done[6] && st.done[7];
+    if (upper_idle)
+        runBatch<B, 1>(st);
+    else
+        runBatch<B, 2>(st);
+}
+
+} // anonymous namespace
+
+void
+runBatchAvx2(const BatchState &st)
+{
+    switch (st.blocks) {
+    case 1: dispatchHalves<1>(st); return;
+    case 2: dispatchHalves<2>(st); return;
+    case 3: dispatchHalves<3>(st); return;
+    case 4: dispatchHalves<4>(st); return;
+    case 5: dispatchHalves<5>(st); return;
+    case 6: dispatchHalves<6>(st); return;
+    case 7: dispatchHalves<7>(st); return;
+    case 8: dispatchHalves<8>(st); return;
+    default: dispatchHalves<0>(st); return;
+    }
+}
+
+} // namespace align_detail
+} // namespace dnasim
+
+#endif // DNASIM_X86_SIMD_KERNELS

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * AVX-512 batch Myers kernel: 8 texts per invocation, one per
+ * 64-bit lane of a 512-bit vector.
+ *
+ * Compiled with -mavx512f -mavx512bw -mavx512dq (see
+ * src/align/CMakeLists.txt); only entered through the runtime
+ * dispatcher, which probes exactly that feature set. The recurrence
+ * is the same lane-wise image of the scalar kernel as the AVX2
+ * variant (align/myers_batch_avx2.cc) and shares its throughput
+ * tricks — register-resident pv/mv for small block counts,
+ * shift-derived horizontal deltas, a decrementing `remaining`
+ * register doubling as the text-end test, and that test skipped
+ * until the shortest live text can end. The differences are purely
+ * mechanical: predicate masks (__mmask8) replace the compare/
+ * movemask dance, and the 8-lane Peq fetch keeps vpgatherqq (one
+ * zmm gather amortizes better than eight scalar loads).
+ */
+
+#include "align/myers_batch_impl.hh"
+
+#ifdef DNASIM_X86_SIMD_KERNELS
+
+#include <immintrin.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstring>
+
+// GCC's _mm512_andnot_si512 expands through _mm512_undefined_epi32,
+// whose deliberate don't-care operand trips -Wmaybe-uninitialized
+// (a header artifact, not a real read of uninitialized data).
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
+namespace dnasim
+{
+namespace align_detail
+{
+
+namespace
+{
+
+/**
+ * One block advance for all eight lanes: the vector image of the
+ * scalar myersAdvanceBlock(). Updates pv/mv in place and chains the
+ * horizontal delta through hin_pos/hin_neg. kFinal selects the
+ * pattern's last block, whose out bit sits at final_shift instead of
+ * bit 63.
+ */
+template <bool kFinal>
+inline void
+advanceBlock(__m512i &pv, __m512i &mv, __m512i eq0, __m128i final_shift,
+             __m512i one, __m512i &hin_pos, __m512i &hin_neg,
+             __m512i all_ones)
+{
+    const __m512i xv = _mm512_or_si512(eq0, mv);
+    const __m512i eq = _mm512_or_si512(eq0, hin_neg);
+    const __m512i xh = _mm512_or_si512(
+        _mm512_xor_si512(
+            _mm512_add_epi64(_mm512_and_si512(eq, pv), pv), pv),
+        eq);
+    __m512i ph = _mm512_or_si512(
+        mv, _mm512_andnot_si512(_mm512_or_si512(xh, pv), all_ones));
+    __m512i mh = _mm512_and_si512(pv, xh);
+
+    // ph and mh are disjoint (see the AVX2 kernel), so both
+    // horizontal deltas can be extracted independently; the out
+    // mask is a single bit, so a right shift of that bit to
+    // position 0 IS the 0/1 delta.
+    __m512i hout_pos, hout_neg;
+    if constexpr (kFinal) {
+        hout_pos =
+            _mm512_and_si512(_mm512_srl_epi64(ph, final_shift), one);
+        hout_neg =
+            _mm512_and_si512(_mm512_srl_epi64(mh, final_shift), one);
+    } else {
+        hout_pos = _mm512_srli_epi64(ph, 63);
+        hout_neg = _mm512_srli_epi64(mh, 63);
+    }
+
+    ph = _mm512_or_si512(_mm512_slli_epi64(ph, 1), hin_pos);
+    mh = _mm512_or_si512(_mm512_slli_epi64(mh, 1), hin_neg);
+    pv = _mm512_or_si512(
+        mh, _mm512_andnot_si512(_mm512_or_si512(xv, ph), all_ones));
+    mv = _mm512_and_si512(ph, xv);
+    hin_pos = hout_pos;
+    hin_neg = hout_neg;
+}
+
+/**
+ * The full batch loop. B > 0 is a compile-time block count: pv/mv
+ * live in a local array the unrolled loop keeps in registers. B == 0
+ * is the dynamic fallback that round-trips pv/mv through the
+ * caller's scratch each step.
+ */
+template <size_t B>
+void
+runBatch(const BatchState &st)
+{
+    constexpr size_t W = 8;
+    constexpr bool kResident = B != 0;
+    constexpr size_t kB = kResident ? B : 1;
+    constexpr __mmask8 kAll = 0xff;
+    const size_t blocks = kResident ? B : st.blocks;
+    const __m512i zero = _mm512_setzero_si512();
+    const __m512i all_ones = _mm512_set1_epi64(-1);
+    const __m512i one = _mm512_set1_epi64(1);
+    const __m512i limit_v = _mm512_set1_epi64(st.limit);
+    const __m128i final_shift =
+        _mm_cvtsi32_si128(std::countr_zero(st.final_row));
+    const __m512i blocks_v =
+        _mm512_set1_epi64(static_cast<int64_t>(blocks));
+    const __m512i n_v = _mm512_loadu_si512(st.n);
+    __m512i score_v = _mm512_set1_epi64(st.m);
+    // remaining = n - t - 1, carried across steps; a lane's text
+    // ends exactly when it hits -1.
+    __m512i remaining_v = _mm512_sub_epi64(n_v, one);
+
+    __m512i pvr[kB];
+    __m512i mvr[kB];
+    if constexpr (kResident) {
+        for (size_t b = 0; b < B; ++b) {
+            pvr[b] = all_ones;
+            mvr[b] = zero;
+        }
+    } else {
+        for (size_t b = 0; b < blocks; ++b) {
+            _mm512_storeu_si512(st.pv + b * W, all_ones);
+            _mm512_storeu_si512(st.mv + b * W, zero);
+        }
+    }
+
+    __mmask8 done_m = 0;
+    for (size_t l = 0; l < W; ++l)
+        done_m |= st.done[l] ? static_cast<__mmask8>(1u << l) : 0;
+
+    // No lane can reach its text end before the shortest live text
+    // does; the end test is dead weight until then.
+    size_t min_end = st.max_n;
+    for (size_t l = 0; l < W; ++l)
+        if (!st.done[l])
+            min_end = std::min(
+                min_end, static_cast<size_t>(st.n[l]));
+
+    for (size_t t = 0; t < st.max_n && done_m != kAll; ++t) {
+        if (t >= min_end) {
+            // Lanes whose text ends at this step: the running score
+            // is the final distance.
+            const __mmask8 end_now = _mm512_mask_cmpeq_epi64_mask(
+                static_cast<__mmask8>(~done_m), remaining_v,
+                all_ones);
+            if (end_now != 0) {
+                alignas(64) int64_t sc[W];
+                _mm512_store_si512(sc, score_v);
+                for (size_t l = 0; l < W; ++l) {
+                    if (end_now & (1u << l)) {
+                        st.result[l] = static_cast<uint64_t>(sc[l]);
+                        st.done[l] = 1;
+                    }
+                }
+                done_m |= end_now;
+                if (done_m == kAll)
+                    break;
+            }
+        }
+
+        // eq[l] = peq[codes[l] * blocks + b]; the pad row keeps
+        // finished and non-ACGT lanes at eq = 0.
+        uint64_t packed_codes;
+        std::memcpy(&packed_codes, st.codes + t * W,
+                    sizeof(packed_codes));
+        const __m512i code_v = _mm512_cvtepu8_epi64(_mm_cvtsi64_si128(
+            static_cast<long long>(packed_codes)));
+        const __m512i row_v = _mm512_mullo_epi64(code_v, blocks_v);
+
+        __m512i hin_pos = one;
+        __m512i hin_neg = zero;
+        if constexpr (kResident) {
+            for (size_t b = 0; b + 1 < B; ++b) {
+                const __m512i eq0 =
+                    _mm512_i64gather_epi64(row_v, st.peq + b, 8);
+                advanceBlock<false>(pvr[b], mvr[b], eq0, final_shift,
+                                    one, hin_pos, hin_neg, all_ones);
+            }
+            const __m512i eq_last =
+                _mm512_i64gather_epi64(row_v, st.peq + (B - 1), 8);
+            advanceBlock<true>(pvr[B - 1], mvr[B - 1], eq_last,
+                               final_shift, one, hin_pos, hin_neg,
+                               all_ones);
+        } else {
+            for (size_t b = 0; b < blocks; ++b) {
+                const __m512i eq0 =
+                    _mm512_i64gather_epi64(row_v, st.peq + b, 8);
+                __m512i pv = _mm512_loadu_si512(st.pv + b * W);
+                __m512i mv = _mm512_loadu_si512(st.mv + b * W);
+                if (b + 1 == blocks) {
+                    advanceBlock<true>(pv, mv, eq0, final_shift, one,
+                                       hin_pos, hin_neg, all_ones);
+                } else {
+                    advanceBlock<false>(pv, mv, eq0, final_shift, one,
+                                        hin_pos, hin_neg, all_ones);
+                }
+                _mm512_storeu_si512(st.pv + b * W, pv);
+                _mm512_storeu_si512(st.mv + b * W, mv);
+            }
+        }
+        score_v = _mm512_add_epi64(
+            score_v, _mm512_sub_epi64(hin_pos, hin_neg));
+
+        // Lane-wise early abandon: the scalar kernel's certified
+        // bound, evaluated with the same operands in the same step.
+        const __m512i over = _mm512_sub_epi64(score_v, remaining_v);
+        __mmask8 abandon = _mm512_mask_cmpgt_epi64_mask(
+            static_cast<__mmask8>(~done_m), score_v, remaining_v);
+        abandon =
+            _mm512_mask_cmpgt_epi64_mask(abandon, over, limit_v);
+        if (abandon != 0) {
+            alignas(64) int64_t ov[W];
+            _mm512_store_si512(ov, over);
+            for (size_t l = 0; l < W; ++l) {
+                if (abandon & (1u << l)) {
+                    st.result[l] = static_cast<uint64_t>(ov[l]);
+                    st.done[l] = 1;
+                }
+            }
+            done_m |= abandon;
+        }
+        remaining_v = _mm512_sub_epi64(remaining_v, one);
+    }
+
+    // Lanes whose text spans all max_n steps finish here.
+    if (done_m != kAll) {
+        alignas(64) int64_t sc[W];
+        _mm512_store_si512(sc, score_v);
+        for (size_t l = 0; l < W; ++l) {
+            if (!(done_m & (1u << l))) {
+                st.result[l] = static_cast<uint64_t>(sc[l]);
+                st.done[l] = 1;
+            }
+        }
+    }
+}
+
+} // anonymous namespace
+
+void
+runBatchAvx512(const BatchState &st)
+{
+    switch (st.blocks) {
+    case 1: runBatch<1>(st); return;
+    case 2: runBatch<2>(st); return;
+    case 3: runBatch<3>(st); return;
+    case 4: runBatch<4>(st); return;
+    case 5: runBatch<5>(st); return;
+    case 6: runBatch<6>(st); return;
+    case 7: runBatch<7>(st); return;
+    case 8: runBatch<8>(st); return;
+    default: runBatch<0>(st); return;
+    }
+}
+
+} // namespace align_detail
+} // namespace dnasim
+
+#endif // DNASIM_X86_SIMD_KERNELS

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Internal interface between the batch-kernel driver
+ * (align/myers_batch.cc) and the per-ISA translation units.
+ *
+ * The wide kernels live in separate files built with per-file
+ * -mavx2 / -mavx512* options (see src/align/CMakeLists.txt); this
+ * header carries only the shared state struct and the kernel entry
+ * points, so it must stay free of intrinsics. Not part of the public
+ * align API.
+ */
+
+#ifndef DNASIM_ALIGN_MYERS_BATCH_IMPL_HH
+#define DNASIM_ALIGN_MYERS_BATCH_IMPL_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace dnasim
+{
+namespace align_detail
+{
+
+/**
+ * One batch-kernel invocation: a fixed pattern against `lanes` texts
+ * advanced in lockstep, one text per 64-bit SIMD lane.
+ *
+ * Layouts are structure-of-arrays with the lane index innermost:
+ * pv/mv hold blocks x lanes words at [b * lanes + l], codes holds
+ * max_n x lanes text codes at [t * lanes + l] (base/packed.hh
+ * packLaneMajorCodes). peq is a five-row padded copy of the
+ * pattern's match table — rows 0..3 at [code * blocks + b], row
+ * kLaneMajorPadCode all-zero — so a lane whose text is shorter than
+ * max_n (or contains a non-ACGT character) gathers eq = 0, exactly
+ * the scalar kernel's treatment.
+ *
+ * Per-lane protocol, replicating MyersPattern::run() bit-for-bit:
+ * a lane's score starts at m; at the top of step t every live lane
+ * with n[l] == t records score as its result and sets done[l];
+ * after advancing all blocks, every live lane failing the scalar
+ * early-abandon test (score > remaining && score - remaining >
+ * limit, remaining = n[l] - t - 1) records score - remaining. Lanes
+ * still live after max_n steps record their final score. done[l]
+ * set on entry marks a lane the driver resolved via the scalar
+ * prechecks (empty text, length-difference bound) or an idle lane
+ * of a partial batch; the kernel never touches its result.
+ *
+ * Lengths, limit and scores are signed so the lane-wise compares
+ * map onto signed SIMD compares; the driver clamps limit well below
+ * the overflow range.
+ */
+struct BatchState
+{
+    const uint64_t *peq = nullptr; ///< 5 x blocks padded Peq rows
+    size_t blocks = 0;             ///< 64-row column slices
+    uint64_t final_row = 0;        ///< out-mask of the last block
+    int64_t m = 0;                 ///< pattern length (initial score)
+    const uint8_t *codes = nullptr; ///< max_n x lanes lane-major codes
+    size_t max_n = 0;              ///< steps = longest live text
+    const int64_t *n = nullptr;    ///< per-lane text lengths
+    int64_t limit = 0;             ///< clamped early-abandon bound
+    uint64_t *result = nullptr;    ///< per-lane distances (out)
+    uint8_t *done = nullptr;       ///< per-lane resolved flags (in/out)
+    uint64_t *pv = nullptr;        ///< blocks x lanes scratch
+    uint64_t *mv = nullptr;        ///< blocks x lanes scratch
+};
+
+#ifdef DNASIM_X86_SIMD_KERNELS
+/**
+ * AVX2 batch kernel: 8 lanes as two interleaved 4-lane halves (the
+ * driver always packs with an 8-lane stride). Requires an
+ * AVX2-capable CPU.
+ */
+void runBatchAvx2(const BatchState &st);
+
+/**
+ * AVX-512 batch kernel: 8 lanes. Requires AVX-512 F+BW+DQ (the
+ * dispatcher probes exactly that set).
+ */
+void runBatchAvx512(const BatchState &st);
+#endif
+
+} // namespace align_detail
+} // namespace dnasim
+
+#endif // DNASIM_ALIGN_MYERS_BATCH_IMPL_HH

@@ -1,5 +1,7 @@
 #include "base/packed.hh"
 
+#include <algorithm>
+
 #include "base/logging.hh"
 
 namespace dnasim
@@ -28,6 +30,27 @@ packWordsInto(std::string_view s, size_t max_bases,
     if (packed_len != nullptr)
         *packed_len = len;
     return true;
+}
+
+void
+packLaneMajorCodes(std::span<const std::string_view> texts,
+                   size_t lanes, size_t max_t,
+                   std::vector<uint8_t> &out)
+{
+    out.resize(max_t * lanes);
+    std::fill(out.begin(), out.end(), kLaneMajorPadCode);
+    const size_t live = std::min(lanes, texts.size());
+    for (size_t l = 0; l < live; ++l) {
+        const std::string_view text = texts[l];
+        const size_t n = std::min(text.size(), max_t);
+        uint8_t *col = out.data() + l;
+        for (size_t t = 0; t < n; ++t) {
+            const uint8_t code =
+                kCharToCode[static_cast<unsigned char>(text[t])];
+            col[t * lanes] =
+                code == kInvalidCode ? kLaneMajorPadCode : code;
+        }
+    }
 }
 
 PackedStrand::PackedStrand(std::string_view s)

@@ -147,6 +147,29 @@ bool packWordsInto(std::string_view s, size_t max_bases,
                    std::vector<uint64_t> &out, size_t *packed_len);
 
 /**
+ * Pad/invalid code in lane-major batch code matrices. The batch
+ * alignment kernels (align/myers_batch.hh) index a five-row Peq
+ * table whose fifth row is all-zero, so this code makes ragged
+ * tails and non-ACGT characters gather a zero match mask — exactly
+ * the scalar kernel's treatment of an invalid text character.
+ */
+inline constexpr uint8_t kLaneMajorPadCode = 4;
+
+/**
+ * Transpose up to @p lanes texts into a lane-major code matrix for
+ * the batch alignment kernels: for t in [0, max_t), out[t * lanes
+ * + l] is the 2-bit base code of texts[l][t], or kLaneMajorPadCode
+ * for non-ACGT characters, for t >= texts[l].size() (ragged tails)
+ * and for lanes beyond texts.size(). Characters past @p max_t are
+ * ignored (the kernel never steps that far). @p out is resized to
+ * max_t * lanes; storage is reused, so a steady-state caller
+ * allocates nothing.
+ */
+void packLaneMajorCodes(std::span<const std::string_view> texts,
+                        size_t lanes, size_t max_t,
+                        std::vector<uint8_t> &out);
+
+/**
  * Invoke @p fn(code) for every k-mer of a packed strand, in position
  * order. The code of the k-mer starting at base i packs bases
  * i..i+k-1 at 2 bits each with the first base in the least

@@ -294,7 +294,8 @@ cmdCluster(const Args &args)
                      "[--cluster-index sketch|greedy] "
                      "[--distance-threshold D] [--anchor-length A] "
                      "[--max-probes P] [--sketch-kmer K] "
-                     "[--sketch-bands B] [--sketch-rows R]");
+                     "[--sketch-bands B] [--sketch-rows R] "
+                     "[--out clusters.txt]");
     }
     Dataset dataset = readEvyatFile(args.positional()[1]);
     ClusterOptions options = clusterOptionsFromArgs(args);
@@ -327,6 +328,24 @@ cmdCluster(const Args &args)
                       std::chrono::steady_clock::now() - start)
                       .count();
     ClusterPurity purity = scoreClustering(clusters, shuffled_origins);
+
+    // The stdout summary carries a wall-clock throughput column; the
+    // clustering itself — representative plus member read indices in
+    // placement order — goes to --out, which is the byte-comparable
+    // artifact the determinism checks diff across --threads and
+    // --simd settings.
+    if (args.has("out")) {
+        std::string out = args.get("out");
+        std::ofstream os(out, std::ios::binary);
+        if (!os)
+            DNASIM_FATAL("cannot write '", out, "'");
+        for (const auto &cluster : clusters) {
+            os << cluster.representative;
+            for (size_t member : cluster.members)
+                os << ' ' << member;
+            os << '\n';
+        }
+    }
 
     TextTable table("clustering");
     table.setHeader({"index", "reads", "clusters", "purity%",
@@ -425,6 +444,7 @@ printUsage()
         "               [--distance-threshold D] [--anchor-length A]\n"
         "               [--max-probes P] [--sketch-kmer K]\n"
         "               [--sketch-bands B] [--sketch-rows R]\n"
+        "               [--out clusters.txt]\n"
         "  roundtrip    store a file in simulated DNA and read it\n"
         "               back <file> [--coverage N] [--error-rate p]\n"
         "               [--algo iterative] [--recluster]\n"
@@ -456,7 +476,12 @@ printUsage()
         "  --threads N       worker threads for parallel loops\n"
         "                    (default: DNASIM_THREADS env var or\n"
         "                    hardware concurrency; output is\n"
-        "                    identical for every N)\n";
+        "                    identical for every N)\n"
+        "  --simd {auto,scalar,avx2,avx512}  batch alignment\n"
+        "                    kernel tier (default: DNASIM_SIMD env\n"
+        "                    var or the widest tier the CPU\n"
+        "                    supports; output is identical for\n"
+        "                    every tier)\n";
 }
 
 } // namespace dnasim

@@ -22,6 +22,10 @@
  *   --threads=N       worker threads for parallel loops (default:
  *                     DNASIM_THREADS or hardware concurrency);
  *                     results are identical for every N
+ *   --simd={auto,scalar,avx2,avx512}  batch alignment kernel tier
+ *                     (default: DNASIM_SIMD or the widest tier the
+ *                     CPU supports); results are identical for
+ *                     every tier
  *
  * Telemetry only ever writes to its own files and stderr; stdout and
  * all data outputs stay byte-identical whether or not it is enabled.
@@ -31,6 +35,7 @@
 #include <iostream>
 #include <memory>
 
+#include "align/simd_dispatch.hh"
 #include "base/logging.hh"
 #include "cli/args.hh"
 #include "cli/commands.hh"
@@ -114,6 +119,16 @@ main(int argc, char **argv)
 
     par::setThreads(
         static_cast<size_t>(args.getInt("threads", 0)));
+
+    // Resolve the SIMD tier up front: an invalid --simd fails fast,
+    // and the resolution logs the one-time startup line and
+    // publishes the align.simd.tier gauge before any work runs.
+    const std::string simd = args.get("simd", "auto");
+    if (!applySimdOverride(simd.empty() ? "auto" : simd)) {
+        DNASIM_FATAL("--simd must be auto, scalar, avx2 or avx512, "
+                     "got '", simd, "'");
+    }
+    activeSimdTier();
 
     if (progress_mode != "auto" && progress_mode != "always" &&
         progress_mode != "never") {

@@ -1,10 +1,12 @@
 #include "cluster/greedy_cluster.hh"
 
 #include <algorithm>
+#include <span>
 #include <string_view>
 #include <unordered_map>
 
 #include "align/edit_distance.hh"
+#include "align/myers_batch.hh"
 #include "base/logging.hh"
 #include "obs/progress.hh"
 #include "obs/stats.hh"
@@ -32,6 +34,20 @@ struct AnchorHash
         return std::hash<std::string_view>{}(s);
     }
 };
+
+/**
+ * Candidate-verification batch sizes. The first serial chunk is one
+ * AVX2 lane group, so the common accept-at-the-front probe stays
+ * nearly as cheap as the old one-at-a-time early exit; deeper scans
+ * switch to full 16-candidate chunks that keep 4- and 8-wide
+ * kernels saturated. The parallel path splits the candidate list
+ * into the same 16-candidate chunks, one work item each. Both
+ * schedules are fixed — independent of thread count and SIMD tier —
+ * so probe order, and therefore the clustering, never varies with
+ * either.
+ */
+constexpr size_t kFirstProbeChunk = 4;
+constexpr size_t kProbeChunk = 16;
 
 } // anonymous namespace
 
@@ -81,12 +97,16 @@ clusterReads(const std::vector<Strand> &reads,
     uint64_t sketch_verified = 0;
 
     std::vector<ReadCluster> clusters;
-    // One Myers pattern per cluster representative, built when the
-    // cluster opens and reused for every later probe. Probing used
-    // to call levenshtein(), which rebuilds the bit-vector match
-    // tables from the representative on every one of the thousands
-    // of probes against it; the cached pattern pays that cost once.
-    std::vector<MyersPattern> rep_patterns;
+    // One Myers pattern per *read*, probed against every candidate
+    // representative through the batch kernel (one representative
+    // per SIMD lane). Levenshtein is symmetric, so flipping the old
+    // representative-as-pattern orientation changes no accept/reject
+    // decision — and it lets a read's whole candidate list share one
+    // pattern, where per-representative patterns could only serve
+    // one text at a time. The pattern storage is reused across
+    // reads (assign()), so the swap also drops the old
+    // pattern-per-cluster cache and its O(clusters) memory.
+    MyersPattern read_pattern;
     // anchor -> cluster indices whose representative starts with it.
     // string_view-keyed heterogeneous lookup: probing never copies
     // the anchor; only bucket creation materializes the key.
@@ -107,59 +127,90 @@ clusterReads(const std::vector<Strand> &reads,
     std::vector<size_t> candidates;
     std::vector<size_t> sketch_candidates;
     std::vector<size_t> distances;
+    std::vector<std::string_view> rep_texts;
     // Epoch-stamped dedup across the probe tiers. The fallback tier
     // used to run std::find over the candidate list per scanned
     // cluster — O(candidates) each, quadratic across a probe window.
     EpochSeen seen;
 
     // Probe a candidate list in order; the first representative
-    // within the threshold wins. Returns the winning position (or
-    // the list size) and reports how many probes actually ran.
-    // The serial semantics — attach to the first candidate in probe
-    // order — survive parallelization because the winner is selected
-    // by candidate order, not by completion order. Probes use the
+    // within the threshold wins. Candidates are verified by the
+    // batch Myers kernel — the read's pattern against one
+    // representative per SIMD lane. The serial semantics — attach
+    // to the first candidate in probe order — survive both chunking
+    // and parallelization because the winner is selected by
+    // candidate order, not by completion order. Probes use the
     // thresholded kernel: a probe's exact distance above the
-    // threshold is irrelevant, so the kernel abandons the text as
-    // soon as the bound is certified. Placement decisions — and
-    // therefore the clustering — are byte-identical to the
-    // exact-distance code at any thread count.
+    // threshold is irrelevant, so each lane abandons its text as
+    // soon as the bound is certified, exactly like the scalar
+    // probes this replaces. Placement decisions — and therefore the
+    // clustering — are byte-identical to the scalar code at any
+    // thread count and on every SIMD tier. probed reports how many
+    // candidates were dispatched for verification (whole chunks).
     auto probe_list = [&](const std::vector<size_t> &cand,
-                          const Strand &read,
                           size_t &probed) -> size_t {
-        probed = cand.size();
+        const size_t count = cand.size();
+        probed = count;
+        if (count == 0)
+            return 0;
+        rep_texts.resize(count);
+        for (size_t k = 0; k < count; ++k)
+            rep_texts[k] = clusters[cand[k]].representative;
+        std::span<const std::string_view> texts{rep_texts};
+
         if (par::numThreads() > 1 &&
-            cand.size() >= options.parallel_probe_min) {
-            distances.assign(cand.size(), 0);
+            count >= options.parallel_probe_min) {
+            distances.assign(count, 0);
+            std::span<size_t> dists{distances};
+            const size_t chunks =
+                (count + kProbeChunk - 1) / kProbeChunk;
             par::parallelFor(
-                0, cand.size(),
-                [&](size_t k) {
-                    distances[k] =
-                        rep_patterns[cand[k]].distanceBounded(
-                            read, options.distance_threshold);
+                0, chunks,
+                [&](size_t ch) {
+                    const size_t lo = ch * kProbeChunk;
+                    const size_t len =
+                        std::min(kProbeChunk, count - lo);
+                    myersBatchDistanceBounded(
+                        read_pattern, texts.subspan(lo, len),
+                        options.distance_threshold,
+                        dists.subspan(lo, len));
                 },
-                /*grain=*/4);
-            comparisons += cand.size();
-            for (size_t k = 0; k < cand.size(); ++k)
+                /*grain=*/1);
+            comparisons += count;
+            for (size_t k = 0; k < count; ++k)
                 if (distances[k] <= options.distance_threshold)
                     return k;
-            return cand.size();
+            return count;
         }
-        for (size_t k = 0; k < cand.size(); ++k) {
-            ++comparisons;
-            if (rep_patterns[cand[k]].distanceBounded(
-                    read, options.distance_threshold) <=
-                options.distance_threshold) {
-                probed = k + 1;
-                return k;
+
+        distances.resize(count);
+        std::span<size_t> dists{distances};
+        size_t lo = 0;
+        size_t chunk = kFirstProbeChunk;
+        while (lo < count) {
+            const size_t len = std::min(chunk, count - lo);
+            myersBatchDistanceBounded(read_pattern,
+                                      texts.subspan(lo, len),
+                                      options.distance_threshold,
+                                      dists.subspan(lo, len));
+            comparisons += len;
+            for (size_t k = lo; k < lo + len; ++k) {
+                if (distances[k] <= options.distance_threshold) {
+                    probed = lo + len;
+                    return k;
+                }
             }
+            lo += len;
+            chunk = kProbeChunk;
         }
-        return cand.size();
+        return count;
     };
 
     obs::ProgressScope progress("cluster", reads.size());
     for (size_t i = 0; i < reads.size(); ++i) {
         const Strand &read = reads[i];
         progress.advance();
+        read_pattern.assign(read);
 
         // Tier 1: candidate clusters sharing the anchor prefix.
         seen.begin(clusters.size());
@@ -188,7 +239,7 @@ clusterReads(const std::vector<Strand> &reads,
             candidates.resize(options.max_probes);
 
         size_t probed = 0;
-        size_t pos = probe_list(candidates, read, probed);
+        size_t pos = probe_list(candidates, probed);
         size_t placed_in = pos < candidates.size() ? candidates[pos]
                                                    : clusters.size();
 
@@ -200,8 +251,7 @@ clusterReads(const std::vector<Strand> &reads,
             sketch->appendCandidates(i, seen, options.max_probes,
                                      sketch_candidates);
             size_t sprobed = 0;
-            size_t spos =
-                probe_list(sketch_candidates, read, sprobed);
+            size_t spos = probe_list(sketch_candidates, sprobed);
             sketch_probes += sprobed;
             if (spos < sketch_candidates.size()) {
                 placed_in = sketch_candidates[spos];
@@ -214,8 +264,6 @@ clusterReads(const std::vector<Strand> &reads,
             fresh.members.push_back(i);
             fresh.representative = read;
             clusters.push_back(std::move(fresh));
-            rep_patterns.emplace_back(
-                std::string_view(clusters.back().representative));
             auto bucket = buckets.find(anchor_of(read));
             if (bucket == buckets.end()) {
                 bucket = buckets

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "align/edit_distance.hh"
+#include "align/myers_batch.hh"
 #include "align/path_stats.hh"
 #include "base/logging.hh"
 #include "base/packed.hh"
@@ -215,13 +216,17 @@ size_t
 totalEditDistance(const Strand &estimate,
                   std::span<const Strand> copies)
 {
-    // One Myers pattern for the estimate, reused across every copy
-    // (levenshtein() would rebuild its match tables per copy).
-    MyersPattern pattern{std::string_view(estimate)};
-    size_t total = 0;
-    for (const auto &c : copies)
-        total += pattern.distance(c);
-    return total;
+    // One Myers pattern for the estimate, scored against every copy
+    // by the batch kernel — one copy per SIMD lane, exact distances
+    // (levenshtein() would rebuild the match tables per copy; the
+    // old scalar loop ran one copy at a time). Pattern and view
+    // scratch are thread-local so the candidate-scoring loop in
+    // enforceDesignLength() stays allocation-free in steady state.
+    thread_local MyersPattern pattern;
+    thread_local std::vector<std::string_view> views;
+    pattern.assign(estimate);
+    views.assign(copies.begin(), copies.end());
+    return myersBatchTotalDistance(pattern, views);
 }
 
 Strand
