@@ -15,6 +15,7 @@
 #include "base/logging.hh"
 #include "obs/json.hh"
 #include "obs/profile.hh"
+#include "obs/provenance.hh"
 #include "obs/report.hh"
 #include "obs/stats.hh"
 #include "obs/trace.hh"
@@ -142,6 +143,9 @@ BenchReport::write()
     w.value("schema", "dnasim.bench.v1");
     w.value("name", name_);
     w.value("git_rev", gitRevision());
+    // Shared provenance header (git_rev above stays for the
+    // ledger's existing ingestion key).
+    obs::writeProvenance(w);
     w.value("seed", seed_);
     w.value("wall_time_s", wall_s);
     std::string rss_source;
@@ -258,24 +262,10 @@ peakRssBytes(std::string *source)
 std::string
 gitRevision()
 {
-#ifdef DNASIM_SOURCE_DIR
-    const std::string cmd = std::string("git -C \"") +
-                            DNASIM_SOURCE_DIR +
-                            "\" rev-parse --short HEAD 2>/dev/null";
-    if (FILE *pipe = popen(cmd.c_str(), "r")) {
-        char buf[64] = {0};
-        std::string rev;
-        if (fgets(buf, sizeof(buf), pipe))
-            rev = buf;
-        pclose(pipe);
-        while (!rev.empty() &&
-               (rev.back() == '\n' || rev.back() == '\r'))
-            rev.pop_back();
-        if (!rev.empty())
-            return rev;
-    }
-#endif
-    return "unknown";
+    // The resolution moved to obs/provenance so every artifact
+    // writer shares one implementation; this forwarder keeps the
+    // bench harness API stable.
+    return obs::gitRevision();
 }
 
 } // namespace dnasim

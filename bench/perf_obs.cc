@@ -12,6 +12,9 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_report.hh"
+#include "core/ids_model.hh"
+#include "core/lineage_log.hh"
+#include "data/strand_factory.hh"
 #include "obs/hdr_histogram.hh"
 #include "obs/openmetrics.hh"
 #include "obs/snapshot.hh"
@@ -144,6 +147,36 @@ BM_TelemetryLineRender(benchmark::State &state)
     }
 }
 
+/**
+ * Channel transmit with lineage recording off (arg 0) and on
+ * (arg 1). The delta between the two rows is the whole cost of the
+ * ground-truth error log: one branch plus a push_back per injected
+ * event, amortized over the full per-base transmit loop.
+ */
+void
+BM_LineageRecord(benchmark::State &state)
+{
+    const bool record = state.range(0) != 0;
+    StrandFactory factory;
+    Rng make(1);
+    const Strand ref = factory.make(120, make);
+    ErrorProfile profile = ErrorProfile::uniform(0.08, 120);
+    IdsChannelModel model = IdsChannelModel::secondOrder(profile);
+    Rng rng(42);
+    std::vector<LineageEvent> events;
+    LineageRecorder rec(&events);
+    size_t bases = 0;
+    for (auto _ : state) {
+        events.clear();
+        Strand read = record ? model.transmit(ref, rng, rec)
+                             : model.transmit(ref, rng);
+        bases += read.size();
+        benchmark::DoNotOptimize(read.data());
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.SetBytesProcessed(static_cast<int64_t>(bases));
+}
+
 } // anonymous namespace
 
 BENCHMARK(BM_CounterInc);
@@ -153,3 +186,4 @@ BENCHMARK(BM_DistributionRecord);
 BENCHMARK(BM_SnapshotCycle)->Arg(16)->Arg(64);
 BENCHMARK(BM_OpenMetricsRender)->Arg(64);
 BENCHMARK(BM_TelemetryLineRender)->Arg(64);
+BENCHMARK(BM_LineageRecord)->Arg(0)->Arg(1);

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "base/logging.hh"
+#include "obs/provenance.hh"
 #include "obs/stats.hh"
 
 namespace dnasim
@@ -136,6 +137,7 @@ activeSimdTier()
                requested >= 0 ? ", overridden" : "", ")");
     }
     tierGauge().set(static_cast<int64_t>(tier));
+    obs::setProvenanceSimdTier(simdTierName(tier));
     return tier;
 }
 

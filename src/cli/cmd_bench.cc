@@ -58,7 +58,7 @@ benchIngest(const Args &args)
             std::string error;
             if (!obs::appendToLedger(ledger, run, &appended,
                                      &error)) {
-                std::cerr << "bench: " << error << "\n";
+                warn("bench: ", error);
                 return 1;
             }
             added += appended ? 1 : 0;
@@ -90,11 +90,11 @@ benchDiff(const Args &args)
     auto candidate = obs::loadBenchInput(pos[3], &errors);
     reportLoadErrors(errors);
     if (baseline.empty()) {
-        std::cerr << "bench: no baseline runs in " << pos[2] << "\n";
+        warn("bench: no baseline runs in ", pos[2]);
         return 1;
     }
     if (candidate.empty()) {
-        std::cerr << "bench: no candidate runs in " << pos[3] << "\n";
+        warn("bench: no candidate runs in ", pos[3]);
         return 1;
     }
 
@@ -117,7 +117,7 @@ benchList(const Args &args)
     auto runs = obs::readLedger(ledger, &errors);
     reportLoadErrors(errors);
     if (runs.empty()) {
-        std::cerr << "bench: no runs in ledger " << ledger << "\n";
+        warn("bench: no runs in ledger ", ledger);
         return 1;
     }
     std::cout << obs::ledgerSummary(runs);

@@ -9,6 +9,7 @@
 
 #include "analysis/accuracy.hh"
 #include "analysis/error_positions.hh"
+#include "analysis/lineage.hh"
 #include "analysis/second_order.hh"
 #include "base/logging.hh"
 #include "base/table.hh"
@@ -29,9 +30,6 @@
 #include "reconstruct/weighted_iterative.hh"
 
 namespace dnasim
-{
-
-namespace
 {
 
 std::unique_ptr<Reconstructor>
@@ -114,6 +112,25 @@ clusterOptionsFromArgs(const Args &args)
     return options;
 }
 
+ErrorProfile
+errorProfileFromArgs(const Args &args, const Dataset &dataset)
+{
+    // Use a previously saved profile when given; otherwise calibrate
+    // from the dataset itself. The canonical spelling is
+    // --error-profile FILE; a valued --profile FILE still works for
+    // compatibility (bare --profile is the global phase profiler).
+    std::string profile_path = args.get("error-profile");
+    if (profile_path.empty())
+        profile_path = args.get("profile");
+    if (!profile_path.empty())
+        return readProfileFile(profile_path);
+    ErrorProfiler profiler;
+    return profiler.calibrate(dataset);
+}
+
+namespace
+{
+
 void
 printProfileTable(const Histogram &profile, size_t positions,
                   const std::string &title, size_t buckets)
@@ -191,24 +208,29 @@ cmdSimulate(const Args &args)
     std::string out = args.get("out", "simulated.evyat");
     Rng rng(args.getSeed("seed", 0x51a70));
 
-    // Use a previously saved profile when given; otherwise
-    // calibrate from the dataset itself. The canonical spelling is
-    // --error-profile FILE; a valued --profile FILE still works for
-    // compatibility (bare --profile is the global phase profiler).
-    std::string profile_path = args.get("error-profile");
-    if (profile_path.empty())
-        profile_path = args.get("profile");
-    ErrorProfile profile;
-    if (!profile_path.empty()) {
-        profile = readProfileFile(profile_path);
-    } else {
-        ErrorProfiler profiler;
-        profile = profiler.calibrate(real);
-    }
+    ErrorProfile profile = errorProfileFromArgs(args, real);
     auto model = makeModel(model_name, profile);
     ChannelSimulator sim(*model);
-    Dataset simulated = sim.simulateLike(real, rng);
+    // Recording is observational: the simulated dataset is
+    // byte-identical with lineage on or off.
+    LineageLog lineage;
+    const bool want_lineage = args.has("lineage-out");
+    Dataset simulated = sim.simulateLike(
+        real, rng, want_lineage ? &lineage : nullptr);
     writeEvyatFile(simulated, out);
+
+    if (want_lineage) {
+        LineageInputs inputs;
+        inputs.truth = &simulated;
+        inputs.lineage = &lineage;
+        LineageReport report = attributeLineage(inputs);
+        const std::string lineage_out = args.get("lineage-out");
+        std::string error;
+        if (!writeLineageJsonl(lineage_out, inputs, report, &error))
+            DNASIM_FATAL("lineage: ", error);
+        inform("lineage: wrote ", lineage_out, " (",
+               report.injected.total(), " injected events)");
+    }
 
     auto stats = simulated.stats();
     std::cout << "wrote " << out << " (model " << model->name()
@@ -305,29 +327,54 @@ cmdCluster(const Args &args)
     // through one permutation: the clusterer sees a wetlab-shaped
     // unordered pool, the scorer still knows the ground truth.
     std::vector<Strand> pool;
-    std::vector<size_t> origins;
+    std::vector<ReadIdentity> ids;
     for (size_t i = 0; i < dataset.size(); ++i) {
-        for (const auto &copy : dataset[i].copies) {
-            pool.push_back(copy);
-            origins.push_back(i);
+        const auto &copies = dataset[i].copies;
+        for (size_t k = 0; k < copies.size(); ++k) {
+            pool.push_back(copies[k]);
+            ids.push_back({static_cast<uint32_t>(i),
+                           static_cast<uint32_t>(k)});
         }
     }
     std::vector<size_t> perm(pool.size());
     std::iota(perm.begin(), perm.end(), size_t{0});
     rng.shuffle(perm);
     std::vector<Strand> shuffled(pool.size());
+    std::vector<ReadIdentity> shuffled_ids(pool.size());
     std::vector<size_t> shuffled_origins(pool.size());
     for (size_t i = 0; i < perm.size(); ++i) {
         shuffled[i] = std::move(pool[perm[i]]);
-        shuffled_origins[i] = origins[perm[i]];
+        shuffled_ids[i] = ids[perm[i]];
+        shuffled_origins[i] = shuffled_ids[i].origin_cluster;
     }
 
+    // Assignment provenance is captured only on demand; placements
+    // are identical either way.
+    const bool want_lineage = args.has("lineage-out");
+    std::vector<ReadAssignment> assignments;
     auto start = std::chrono::steady_clock::now();
-    std::vector<ReadCluster> clusters = clusterReads(shuffled, options);
+    std::vector<ReadCluster> clusters = clusterReads(
+        shuffled, options, want_lineage ? &assignments : nullptr);
     double secs = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - start)
                       .count();
     ClusterPurity purity = scoreClustering(clusters, shuffled_origins);
+
+    if (want_lineage) {
+        LineageInputs inputs;
+        inputs.truth = &dataset;
+        inputs.clusters = &clusters;
+        inputs.pool = &shuffled;
+        inputs.identity = &shuffled_ids;
+        inputs.assignments = &assignments;
+        LineageReport report = attributeLineage(inputs);
+        const std::string lineage_out = args.get("lineage-out");
+        std::string error;
+        if (!writeLineageJsonl(lineage_out, inputs, report, &error))
+            DNASIM_FATAL("lineage: ", error);
+        inform("lineage: wrote ", lineage_out, " (",
+               report.misclustered.size(), " misclustered reads)");
+    }
 
     // The stdout summary carries a wall-clock throughput column; the
     // clustering itself — representative plus member read indices in
@@ -400,8 +447,25 @@ cmdRoundtrip(const Args &args)
     FixedCoverage coverage(coverage_n);
     auto algo = makeReconstructor(algo_name);
 
-    RetrievedObject result =
-        pipeline.roundTrip(file, channel, coverage, *algo, rng);
+    const bool want_lineage = args.has("lineage-out");
+    LineageLog lineage;
+    Dataset simulated;
+    RetrievedObject result = pipeline.roundTrip(
+        file, channel, coverage, *algo, rng,
+        want_lineage ? &lineage : nullptr,
+        want_lineage ? &simulated : nullptr);
+    if (want_lineage) {
+        LineageInputs inputs;
+        inputs.truth = &simulated;
+        inputs.lineage = &lineage;
+        LineageReport report = attributeLineage(inputs);
+        const std::string lineage_out = args.get("lineage-out");
+        std::string error;
+        if (!writeLineageJsonl(lineage_out, inputs, report, &error))
+            DNASIM_FATAL("lineage: ", error);
+        inform("lineage: wrote ", lineage_out, " (",
+               report.injected.total(), " injected events)");
+    }
     std::cout << "retrieval " << (result.success ? "OK" : "FAILED")
               << ": erasures=" << result.stats.erasure_clusters
               << " crc-rejects="
@@ -432,6 +496,13 @@ printUsage()
         "               <dataset.evyat> [--model naive|conditional|\n"
         "               skew|second-order|dnasimulator] [--out file]\n"
         "               [--error-profile profile.txt]\n"
+        "               [--lineage-out lineage.jsonl]\n"
+        "  explain      simulate with ground-truth lineage, "
+        "reconstruct,\n"
+        "               and attribute every residual error to its\n"
+        "               cause <dataset.evyat> [--model M] [--algo A]\n"
+        "               [--coverage N] [--recluster] [--json]\n"
+        "               [--buckets B] [--lineage-out lineage.jsonl]\n"
         "  reconstruct  run trace reconstruction and report accuracy\n"
         "               <dataset.evyat> [--algo bma|bma-oneway|divbma|\n"
         "               iterative|iterative-2way|iterative-weighted|\n"
@@ -445,10 +516,12 @@ printUsage()
         "               [--max-probes P] [--sketch-kmer K]\n"
         "               [--sketch-bands B] [--sketch-rows R]\n"
         "               [--out clusters.txt]\n"
+        "               [--lineage-out lineage.jsonl]\n"
         "  roundtrip    store a file in simulated DNA and read it\n"
         "               back <file> [--coverage N] [--error-rate p]\n"
         "               [--algo iterative] [--recluster]\n"
         "               [--cluster-index sketch|greedy]\n"
+        "               [--lineage-out lineage.jsonl]\n"
         "  bench        bench trajectory ledger and perf diffing\n"
         "               ingest <input>... [--ledger FILE]\n"
         "               diff <baseline> <candidate> [--threshold p]\n"

@@ -6,10 +6,36 @@
 #ifndef DNASIM_CLI_COMMANDS_HH
 #define DNASIM_CLI_COMMANDS_HH
 
+#include <memory>
+#include <string>
+
 #include "cli/args.hh"
+#include "cluster/greedy_cluster.hh"
+#include "core/error_model.hh"
+#include "core/error_profile.hh"
+#include "data/dataset.hh"
+#include "reconstruct/reconstructor.hh"
 
 namespace dnasim
 {
+
+/** CLI factory: reconstructor for an --algo name (fatal on unknown). */
+std::unique_ptr<Reconstructor>
+makeReconstructor(const std::string &name);
+
+/** CLI factory: channel model for a --model name (fatal on unknown). */
+std::unique_ptr<ErrorModel> makeModel(const std::string &name,
+                                      const ErrorProfile &profile);
+
+/** Shared --cluster-index/--distance-threshold/--sketch-* parsing. */
+ClusterOptions clusterOptionsFromArgs(const Args &args);
+
+/**
+ * The saved profile named by --error-profile (or valued --profile),
+ * or a fresh calibration from @p dataset when neither is given.
+ */
+ErrorProfile errorProfileFromArgs(const Args &args,
+                                  const Dataset &dataset);
 
 /** generate: synthesize a wetlab-like dataset into an evyat file. */
 int cmdGenerate(const Args &args);
@@ -28,6 +54,9 @@ int cmdAnalyze(const Args &args);
 
 /** cluster: re-cluster a shuffled read pool and score purity. */
 int cmdCluster(const Args &args);
+
+/** explain: ground-truth failure forensics over a simulated run. */
+int cmdExplain(const Args &args);
 
 /** roundtrip: store a file in simulated DNA and read it back. */
 int cmdRoundtrip(const Args &args);

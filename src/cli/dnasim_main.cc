@@ -69,6 +69,8 @@ dispatch(const std::string &command, const dnasim::Args &args)
         return cmdAnalyze(args);
     if (command == "cluster")
         return cmdCluster(args);
+    if (command == "explain")
+        return cmdExplain(args);
     if (command == "roundtrip")
         return cmdRoundtrip(args);
     if (command == "bench")
@@ -79,7 +81,7 @@ dispatch(const std::string &command, const dnasim::Args &args)
         printUsage();
         return command.empty() ? 1 : 0;
     }
-    std::cerr << "unknown command '" << command << "'\n\n";
+    warn("unknown command '", command, "'");
     printUsage();
     return 1;
 }
@@ -197,10 +199,10 @@ main(int argc, char **argv)
         // clears the heartbeat line and closes the sinks.
         sampler.stop();
         if (metrics_sink && metrics_sink->ok())
-            std::cerr << "metrics: wrote " << metrics_out << "\n";
+            inform("metrics: wrote ", metrics_out);
         if (telemetry_sink && telemetry_sink->ok()) {
-            std::cerr << "telemetry: wrote " << telemetry_out << " ("
-                      << sampler.samplesTaken() << " samples)\n";
+            inform("telemetry: wrote ", telemetry_out, " (",
+                   sampler.samplesTaken(), " samples)");
         }
     }
     if (profile)
@@ -220,21 +222,19 @@ main(int argc, char **argv)
             if (obs::writeStatsJson(stats_out, snap,
                                     obs::capturedLog(),
                                     profile ? &prof : nullptr)) {
-                std::cerr << "stats: wrote " << stats_out << "\n";
+                inform("stats: wrote ", stats_out);
             } else {
-                std::cerr << "stats: cannot write " << stats_out
-                          << "\n";
+                warn("stats: cannot write ", stats_out);
                 rc = rc ? rc : 1;
             }
         }
         if (!trace_out.empty()) {
             if (obs::Trace::global().flushExitFile()) {
-                std::cerr << "trace: wrote " << trace_out << " ("
-                          << obs::Trace::global().numEvents()
-                          << " events)\n";
+                inform("trace: wrote ", trace_out, " (",
+                       obs::Trace::global().numEvents(),
+                       " events)");
             } else {
-                std::cerr << "trace: cannot write " << trace_out
-                          << "\n";
+                warn("trace: cannot write ", trace_out);
                 rc = rc ? rc : 1;
             }
         }

@@ -51,9 +51,22 @@ constexpr size_t kProbeChunk = 16;
 
 } // anonymous namespace
 
+const char *
+assignmentTierName(AssignmentTier tier)
+{
+    switch (tier) {
+      case AssignmentTier::Fresh: return "fresh";
+      case AssignmentTier::Anchor: return "anchor";
+      case AssignmentTier::Sketch: return "sketch";
+      case AssignmentTier::Greedy: return "greedy";
+    }
+    return "?";
+}
+
 std::vector<ReadCluster>
 clusterReads(const std::vector<Strand> &reads,
-             const ClusterOptions &options)
+             const ClusterOptions &options,
+             std::vector<ReadAssignment> *assignments)
 {
     DNASIM_ASSERT(options.anchor_length > 0, "zero anchor length");
 
@@ -206,6 +219,9 @@ clusterReads(const std::vector<Strand> &reads,
         return count;
     };
 
+    if (assignments != nullptr)
+        assignments->assign(reads.size(), ReadAssignment{});
+
     obs::ProgressScope progress("cluster", reads.size());
     for (size_t i = 0; i < reads.size(); ++i) {
         const Strand &read = reads[i];
@@ -221,6 +237,9 @@ clusterReads(const std::vector<Strand> &reads,
             for (size_t c : candidates)
                 seen.set(c);
         }
+        // Provenance: candidates below this index came from the
+        // anchor bucket, at or above it from the greedy fallback.
+        const size_t anchor_count = candidates.size();
         if (!use_sketch) {
             // Greedy tier 2: the bounded newest-first scan over
             // existing clusters, dedup'd against the anchor tier by
@@ -242,6 +261,15 @@ clusterReads(const std::vector<Strand> &reads,
         size_t pos = probe_list(candidates, probed);
         size_t placed_in = pos < candidates.size() ? candidates[pos]
                                                    : clusters.size();
+        // Snapshot the winner's exact distance now: the distances
+        // buffer is reused by the next probe_list call.
+        AssignmentTier tier = AssignmentTier::Fresh;
+        size_t verified_distance = 0;
+        if (pos < candidates.size()) {
+            tier = pos < anchor_count ? AssignmentTier::Anchor
+                                      : AssignmentTier::Greedy;
+            verified_distance = distances[pos];
+        }
 
         // Sketch tier 2, only when the anchor tier rejected (the
         // common accept path never pays a band probe): MinHash band
@@ -253,10 +281,24 @@ clusterReads(const std::vector<Strand> &reads,
             size_t sprobed = 0;
             size_t spos = probe_list(sketch_candidates, sprobed);
             sketch_probes += sprobed;
+            probed += sprobed;
             if (spos < sketch_candidates.size()) {
                 placed_in = sketch_candidates[spos];
+                tier = AssignmentTier::Sketch;
+                verified_distance = distances[spos];
                 ++sketch_verified;
             }
+        }
+
+        if (assignments != nullptr) {
+            auto &a = (*assignments)[i];
+            a.cluster = static_cast<uint32_t>(
+                placed_in == clusters.size() ? clusters.size()
+                                             : placed_in);
+            a.tier = tier;
+            a.verified_distance =
+                static_cast<uint32_t>(verified_distance);
+            a.candidates_probed = static_cast<uint32_t>(probed);
         }
 
         if (placed_in == clusters.size()) {

@@ -63,12 +63,51 @@ struct ReadCluster
     Strand representative;
 };
 
+/** Which candidate tier placed a read (assignment provenance). */
+enum class AssignmentTier : uint8_t
+{
+    Fresh,  ///< no candidate accepted; the read opened a new cluster
+    Anchor, ///< admitted by a prefix-anchor bucket candidate
+    Sketch, ///< admitted by a MinHash band-collision candidate
+    Greedy, ///< admitted by the bounded recency-scan fallback
+};
+
+/** Short stable name ("fresh", "anchor", "sketch", "greedy"). */
+const char *assignmentTierName(AssignmentTier tier);
+
+/**
+ * Per-read placement provenance emitted by clusterReads: which tier
+ * admitted the read, the exact verified distance to the winning
+ * representative, and how many contending candidates were verified
+ * before the decision. Joined against ground-truth origins by the
+ * lineage attribution engine (src/analysis/lineage.hh) to explain
+ * *how* a misclustered read got in.
+ */
+struct ReadAssignment
+{
+    uint32_t cluster = 0; ///< index into the returned cluster list
+    AssignmentTier tier = AssignmentTier::Fresh;
+    /// Exact edit distance to the admitting representative (the
+    /// bounded kernel reports exact values at or below the
+    /// threshold); 0 for Fresh placements.
+    uint32_t verified_distance = 0;
+    /// Candidates dispatched for verification across both tiers
+    /// before the decision (whole probe chunks).
+    uint32_t candidates_probed = 0;
+};
+
 /**
  * Greedily cluster @p reads. Deterministic for a fixed input order;
  * shuffle the pool first for order-independence experiments.
+ *
+ * A non-null @p assignments receives one ReadAssignment per read
+ * (indexed like @p reads). Capturing provenance never changes probe
+ * order or placement — the clustering is identical either way.
  */
-std::vector<ReadCluster> clusterReads(const std::vector<Strand> &reads,
-                                      const ClusterOptions &options = {});
+std::vector<ReadCluster>
+clusterReads(const std::vector<Strand> &reads,
+             const ClusterOptions &options = {},
+             std::vector<ReadAssignment> *assignments = nullptr);
 
 /**
  * Purity metrics of a clustering against ground truth: each read

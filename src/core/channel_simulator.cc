@@ -15,7 +15,8 @@ ChannelSimulator::ChannelSimulator(const ErrorModel &model)
 
 Cluster
 ChannelSimulator::simulateCluster(const Strand &reference, size_t n,
-                                  Rng &rng) const
+                                  Rng &rng,
+                                  ClusterLineage *lineage) const
 {
     Cluster cluster;
     cluster.reference = reference;
@@ -24,8 +25,19 @@ ChannelSimulator::simulateCluster(const Strand &reference, size_t n,
     // per-transmit scratch (e.g. the contextual channel's
     // homopolymer mask) lives in thread_local buffers inside the
     // models, sized once per worker.
-    for (size_t k = 0; k < n; ++k)
-        cluster.copies.push_back(model_.transmit(reference, rng));
+    if (lineage == nullptr) {
+        for (size_t k = 0; k < n; ++k)
+            cluster.copies.push_back(model_.transmit(reference, rng));
+        return cluster;
+    }
+    lineage->read_event_end.reserve(n);
+    for (size_t k = 0; k < n; ++k) {
+        LineageRecorder recorder(&lineage->events);
+        cluster.copies.push_back(
+            model_.transmit(reference, rng, recorder));
+        lineage->read_event_end.push_back(
+            static_cast<uint32_t>(lineage->events.size()));
+    }
     return cluster;
 }
 
@@ -68,8 +80,8 @@ forkClusterStreams(Rng &rng, size_t n)
 
 Dataset
 ChannelSimulator::simulate(const std::vector<Strand> &references,
-                           const CoverageModel &coverage,
-                           Rng &rng) const
+                           const CoverageModel &coverage, Rng &rng,
+                           LineageLog *lineage) const
 {
     SimStats &ss = SimStats::get();
     obs::ScopedTimer timer(ss.time);
@@ -78,13 +90,20 @@ ChannelSimulator::simulate(const std::vector<Strand> &references,
     // Pre-forked per-cluster streams: cluster i draws from
     // rng.fork(i) regardless of which thread simulates it, so the
     // output is bit-identical to the serial run for any --threads.
+    // Lineage arenas are per cluster too, each touched only by the
+    // worker that owns that cluster — the log needs no merge step
+    // and no locks to come out identical at any thread count.
     std::vector<Rng> streams =
         forkClusterStreams(rng, references.size());
     std::vector<Cluster> clusters(references.size());
+    if (lineage != nullptr)
+        lineage->beginRun(references.size());
     obs::ProgressScope progress("simulate", references.size());
     par::parallelFor(0, references.size(), [&](size_t i) {
         size_t n = coverage.sample(i, streams[i]);
-        clusters[i] = simulateCluster(references[i], n, streams[i]);
+        clusters[i] = simulateCluster(
+            references[i], n, streams[i],
+            lineage != nullptr ? &lineage->cluster(i) : nullptr);
         ss.clusters.inc();
         ss.cluster_size.record(n);
         progress.advance();
@@ -93,7 +112,8 @@ ChannelSimulator::simulate(const std::vector<Strand> &references,
 }
 
 Dataset
-ChannelSimulator::simulateLike(const Dataset &shape, Rng &rng) const
+ChannelSimulator::simulateLike(const Dataset &shape, Rng &rng,
+                               LineageLog *lineage) const
 {
     SimStats &ss = SimStats::get();
     obs::ScopedTimer timer(ss.time);
@@ -101,10 +121,13 @@ ChannelSimulator::simulateLike(const Dataset &shape, Rng &rng) const
 
     std::vector<Rng> streams = forkClusterStreams(rng, shape.size());
     std::vector<Cluster> clusters(shape.size());
+    if (lineage != nullptr)
+        lineage->beginRun(shape.size());
     obs::ProgressScope progress("simulate", shape.size());
     par::parallelFor(0, shape.size(), [&](size_t i) {
         clusters[i] = simulateCluster(
-            shape[i].reference, shape[i].coverage(), streams[i]);
+            shape[i].reference, shape[i].coverage(), streams[i],
+            lineage != nullptr ? &lineage->cluster(i) : nullptr);
         ss.clusters.inc();
         ss.cluster_size.record(shape[i].coverage());
         progress.advance();

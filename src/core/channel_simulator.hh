@@ -12,6 +12,7 @@
 
 #include "core/coverage.hh"
 #include "core/error_model.hh"
+#include "core/lineage_log.hh"
 #include "data/dataset.hh"
 
 namespace dnasim
@@ -46,9 +47,17 @@ class ChannelSimulator
     /**
      * Transmit every strand of @p references through the channel,
      * with per-cluster coverage from @p coverage.
+     *
+     * A non-null @p lineage captures the ground-truth error events
+     * of every read (reset to references.size() clusters first).
+     * Cluster i's arena is filled by whichever worker simulates
+     * cluster i and by no one else, so the log — like the dataset —
+     * is identical at any --threads; the strands themselves are
+     * byte-identical with lineage on or off.
      */
     Dataset simulate(const std::vector<Strand> &references,
-                     const CoverageModel &coverage, Rng &rng) const;
+                     const CoverageModel &coverage, Rng &rng,
+                     LineageLog *lineage = nullptr) const;
 
     /**
      * Simulate with coverage copied cluster-for-cluster from
@@ -56,11 +65,16 @@ class ChannelSimulator
      * of the result has exactly as many copies as cluster i of
      * @p shape, and re-uses its reference strand.
      */
-    Dataset simulateLike(const Dataset &shape, Rng &rng) const;
+    Dataset simulateLike(const Dataset &shape, Rng &rng,
+                         LineageLog *lineage = nullptr) const;
 
-    /** One cluster: @p n transmissions of @p reference. */
+    /**
+     * One cluster: @p n transmissions of @p reference, with events
+     * appended to @p lineage when non-null.
+     */
     Cluster simulateCluster(const Strand &reference, size_t n,
-                            Rng &rng) const;
+                            Rng &rng,
+                            ClusterLineage *lineage = nullptr) const;
 
   private:
     const ErrorModel &model_;

@@ -70,6 +70,16 @@ DnaSimulatorModel::fromProfile(const ErrorProfile &profile)
 Strand
 DnaSimulatorModel::transmit(const Strand &ref, Rng &rng) const
 {
+    LineageRecorder none;
+    return transmit(ref, rng, none);
+}
+
+Strand
+DnaSimulatorModel::transmit(const Strand &ref, Rng &rng,
+                            LineageRecorder &lineage) const
+{
+    // The recorder never draws from the Rng, so both overloads emit
+    // identical strands for identical Rng state.
     Strand out;
     out.reserve(ref.size() + 8);
     size_t i = 0;
@@ -79,17 +89,25 @@ DnaSimulatorModel::transmit(const Strand &ref, Rng &rng) const
         double prob = rng.uniform();
         if (prob <= e.p_sub) {
             // Algorithm 1: replacement uniform over all four bases,
-            // including the original.
-            out.push_back(kBaseChars[rng.index(kNumBases)]);
+            // including the original — a silent substitution, which
+            // the lineage records faithfully (obs == ref).
+            const char repl = kBaseChars[rng.index(kNumBases)];
+            lineage.substitution(i, base, repl);
+            out.push_back(repl);
         } else if (prob <= e.p_sub + e.p_ins) {
             out.push_back(base);
-            out.push_back(kBaseChars[rng.index(kNumBases)]);
+            const char extra = kBaseChars[rng.index(kNumBases)];
+            lineage.insertion(i + 1, extra);
+            out.push_back(extra);
         } else if (prob <= e.p_sub + e.p_ins + e.p_del) {
             // single-base deletion
+            lineage.deletion(i, base);
         } else if (prob <=
                    e.p_sub + e.p_ins + e.p_del + e.p_long_del) {
             // The original tool's "long-deletion" removes a short
             // run; length 2 matches the dominant observed run length.
+            lineage.longDeletion(
+                i, i + 1 < ref.size() ? size_t{2} : size_t{1}, base);
             ++i; // skip one extra base beyond the loop increment
         } else {
             out.push_back(base);

@@ -80,6 +80,8 @@ class DnaSimulatorModel : public ErrorModel
     static DnaSimulatorModel fromProfile(const ErrorProfile &profile);
 
     Strand transmit(const Strand &ref, Rng &rng) const override;
+    Strand transmit(const Strand &ref, Rng &rng,
+                    LineageRecorder &lineage) const override;
     std::string name() const override { return name_; }
 
     const std::array<DnaSimulatorEntry, kNumBases> &

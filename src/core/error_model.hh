@@ -12,6 +12,7 @@
 
 #include "base/dna.hh"
 #include "base/rng.hh"
+#include "core/lineage_log.hh"
 
 namespace dnasim
 {
@@ -30,6 +31,21 @@ class ErrorModel
 
     /** Transmit @p ref once, returning a noisy copy. */
     virtual Strand transmit(const Strand &ref, Rng &rng) const = 0;
+
+    /**
+     * Transmit @p ref once, recording every injected error event
+     * into @p lineage. Recording must be purely observational: the
+     * same Rng draws in the same order, so the returned strand is
+     * byte-identical to the plain transmit(). The default
+     * implementation transmits without recording — models that
+     * predate lineage keep working, they just report no events.
+     */
+    virtual Strand
+    transmit(const Strand &ref, Rng &rng, LineageRecorder &lineage) const
+    {
+        (void)lineage;
+        return transmit(ref, rng);
+    }
 
     /** Short model name for reports (e.g. "naive", "skew"). */
     virtual std::string name() const = 0;

@@ -343,8 +343,16 @@ IdsChannelModel::transmit(const Strand &ref, Rng &rng) const
 }
 
 Strand
+IdsChannelModel::transmit(const Strand &ref, Rng &rng,
+                          LineageRecorder &lineage) const
+{
+    return transmitScaled(ref, 1.0, rng, &lineage);
+}
+
+Strand
 IdsChannelModel::transmitScaled(const Strand &ref, double rate_scale,
-                                Rng &rng) const
+                                Rng &rng,
+                                LineageRecorder *lineage) const
 {
     DNASIM_ASSERT(rate_scale >= 0.0, "negative rate scale");
     const size_t len = ref.size();
@@ -404,22 +412,35 @@ IdsChannelModel::transmitScaled(const Strand &ref, double rate_scale,
         }
 
         if (r.long_del > 0.0 && rng.bernoulli(r.long_del)) {
-            i += drawLongDeletionLength(rng);
+            const size_t run = drawLongDeletionLength(rng);
+            if (lineage != nullptr)
+                lineage->longDeletion(i, std::min(run, len - i),
+                                      base);
+            i += run;
             ++n_long_del;
             continue;
         }
 
         double u = rng.uniform();
         if (u < r.sub) {
-            out.push_back(
-                pickSubstitution(base, i, len, rng, &second_order));
+            const char repl =
+                pickSubstitution(base, i, len, rng, &second_order);
+            if (lineage != nullptr)
+                lineage->substitution(i, base, repl);
+            out.push_back(repl);
             ++n_sub;
         } else if (u < r.sub + r.ins) {
             out.push_back(base);
-            out.push_back(pickInsertion(i, len, rng, &second_order));
+            const char extra =
+                pickInsertion(i, len, rng, &second_order);
+            if (lineage != nullptr)
+                lineage->insertion(i + 1, extra);
+            out.push_back(extra);
             ++n_ins;
         } else if (u < r.sub + r.ins + r.del) {
             // single-base deletion: emit nothing
+            if (lineage != nullptr)
+                lineage->deletion(i, base);
             ++n_del;
         } else {
             out.push_back(base);

@@ -78,14 +78,22 @@ class IdsChannelModel : public ErrorModel
 
     Strand transmit(const Strand &ref, Rng &rng) const override;
 
+    Strand transmit(const Strand &ref, Rng &rng,
+                    LineageRecorder &lineage) const override;
+
     /**
      * Transmit with every error rate multiplied by @p rate_scale
      * (clamped so the per-position total stays below 0.9). Used by
      * the wetlab channel to model per-read quality dispersion; the
      * parametric simulators always transmit at scale 1.
+     *
+     * A non-null @p lineage records every injected event; the
+     * recording never touches the Rng, so the output is identical
+     * either way.
      */
     Strand transmitScaled(const Strand &ref, double rate_scale,
-                          Rng &rng) const;
+                          Rng &rng,
+                          LineageRecorder *lineage = nullptr) const;
 
     std::string name() const override { return name_; }
 

@@ -1,0 +1,43 @@
+#include "core/lineage_log.hh"
+
+namespace dnasim
+{
+
+const char *
+lineageErrorTypeName(LineageErrorType type)
+{
+    switch (type) {
+      case LineageErrorType::Substitution: return "sub";
+      case LineageErrorType::Insertion: return "ins";
+      case LineageErrorType::Deletion: return "del";
+      case LineageErrorType::LongDeletion: return "long_del";
+    }
+    return "?";
+}
+
+LineageCounts
+LineageLog::counts() const
+{
+    LineageCounts c;
+    for (const auto &cluster : clusters_) {
+        for (const auto &e : cluster.events) {
+            switch (e.type) {
+              case LineageErrorType::Substitution:
+                ++c.substitutions;
+                break;
+              case LineageErrorType::Insertion:
+                ++c.insertions;
+                break;
+              case LineageErrorType::Deletion:
+                ++c.deletions;
+                break;
+              case LineageErrorType::LongDeletion:
+                ++c.long_deletions;
+                break;
+            }
+        }
+    }
+    return c;
+}
+
+} // namespace dnasim

@@ -1,0 +1,240 @@
+/**
+ * @file
+ * Ground-truth error lineage: a compact, arena-backed record of the
+ * error events a channel model injected into each simulated read.
+ *
+ * The simulator is the one component that *knows* where every error
+ * came from, so it can attribute downstream failures (a wrong
+ * consensus base, a misclustered read) to their true cause — the
+ * introspection that separates analysis-grade simulators from read
+ * generators. Recording is strictly observational: a LineageRecorder
+ * never consumes randomness and never alters transmit logic, so the
+ * simulated strands are byte-identical whether or not lineage is
+ * enabled; a null recorder costs one branch per *event* (events are
+ * rare), not per base.
+ *
+ * Storage is one flat event arena per cluster (ClusterLineage), with
+ * reads delimited by a prefix-end offset array — no per-read
+ * allocation. ChannelSimulator fills cluster i's arena from the one
+ * worker that simulates cluster i, so a parallel run produces the
+ * exact log of the serial run without any locking or merge step.
+ * The joining of this log against clustering/reconstruction outcomes
+ * lives in src/analysis/lineage.hh.
+ */
+
+#ifndef DNASIM_CORE_LINEAGE_LOG_HH
+#define DNASIM_CORE_LINEAGE_LOG_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace dnasim
+{
+
+/** The kind of injected channel error a LineageEvent records. */
+enum class LineageErrorType : uint8_t
+{
+    Substitution, ///< ref base replaced (obs_base may equal ref_base
+                  ///< for models whose replacement draw is uniform
+                  ///< over all four bases — a silent substitution)
+    Insertion,    ///< extra base emitted after ref position
+                  ///< ref_pos - 1 (editOps convention: the insert
+                  ///< appears *before* reference index ref_pos)
+    Deletion,     ///< single reference base dropped
+    LongDeletion, ///< run of run_length reference bases dropped
+};
+
+/** Short stable name ("sub", "ins", "del", "long_del"). */
+const char *lineageErrorTypeName(LineageErrorType type);
+
+/** One injected error event, positioned on the reference strand. */
+struct LineageEvent
+{
+    uint32_t ref_pos = 0;   ///< affected reference position (see
+                            ///< LineageErrorType for Insertion)
+    uint16_t run_length = 1; ///< reference bases covered (>1 only
+                             ///< for LongDeletion)
+    LineageErrorType type = LineageErrorType::Substitution;
+    char ref_base = '\0'; ///< reference base at ref_pos (0 for
+                          ///< insertions)
+    char obs_base = '\0'; ///< base emitted into the read (0 for
+                          ///< deletions)
+
+    /** First reference position *after* the event's span. */
+    uint32_t
+    refEnd() const
+    {
+        switch (type) {
+          case LineageErrorType::Insertion:
+            return ref_pos;
+          case LineageErrorType::LongDeletion:
+            return ref_pos + run_length;
+          default:
+            return ref_pos + 1;
+        }
+    }
+};
+
+/**
+ * Null-safe per-read event sink handed to ErrorModel::transmit.
+ * A default-constructed (or nullptr-backed) recorder records
+ * nothing; models call the typed hooks only at event sites, so the
+ * disabled path costs one predictable branch per injected error.
+ */
+class LineageRecorder
+{
+  public:
+    LineageRecorder() = default;
+
+    /** Record into @p sink (nullptr disables recording). */
+    explicit LineageRecorder(std::vector<LineageEvent> *sink)
+        : sink_(sink)
+    {}
+
+    bool enabled() const { return sink_ != nullptr; }
+
+    void
+    substitution(size_t ref_pos, char ref_base, char obs_base)
+    {
+        if (sink_ != nullptr) {
+            sink_->push_back(
+                {static_cast<uint32_t>(ref_pos), 1,
+                 LineageErrorType::Substitution, ref_base, obs_base});
+        }
+    }
+
+    /**
+     * @p ref_pos is the reference index *before which* the inserted
+     * base appears in the read (editOps convention) — a channel that
+     * emits base i and then an extra base records ref_pos = i + 1.
+     */
+    void
+    insertion(size_t ref_pos, char obs_base)
+    {
+        if (sink_ != nullptr) {
+            sink_->push_back({static_cast<uint32_t>(ref_pos), 1,
+                              LineageErrorType::Insertion, '\0',
+                              obs_base});
+        }
+    }
+
+    void
+    deletion(size_t ref_pos, char ref_base)
+    {
+        if (sink_ != nullptr) {
+            sink_->push_back({static_cast<uint32_t>(ref_pos), 1,
+                              LineageErrorType::Deletion, ref_base,
+                              '\0'});
+        }
+    }
+
+    /** @p run_length reference bases dropped starting at ref_pos. */
+    void
+    longDeletion(size_t ref_pos, size_t run_length, char first_base)
+    {
+        if (sink_ != nullptr) {
+            sink_->push_back({static_cast<uint32_t>(ref_pos),
+                              static_cast<uint16_t>(run_length),
+                              LineageErrorType::LongDeletion,
+                              first_base, '\0'});
+        }
+    }
+
+  private:
+    std::vector<LineageEvent> *sink_ = nullptr;
+};
+
+/**
+ * Event arena of one simulated cluster: the events of all its reads
+ * concatenated, with read k's slice delimited by the prefix-end
+ * array ([read_event_end[k-1], read_event_end[k])).
+ */
+struct ClusterLineage
+{
+    std::vector<LineageEvent> events;
+    std::vector<uint32_t> read_event_end;
+
+    size_t numReads() const { return read_event_end.size(); }
+
+    std::span<const LineageEvent>
+    readEvents(size_t read) const
+    {
+        const uint32_t begin =
+            read == 0 ? 0 : read_event_end[read - 1];
+        const uint32_t end = read_event_end[read];
+        return std::span<const LineageEvent>(events.data() + begin,
+                                             end - begin);
+    }
+};
+
+/** Aggregate counts over a lineage log, by event type. */
+struct LineageCounts
+{
+    uint64_t substitutions = 0;
+    uint64_t insertions = 0;
+    uint64_t deletions = 0;      ///< single-base deletion events
+    uint64_t long_deletions = 0; ///< long-deletion runs
+
+    uint64_t
+    total() const
+    {
+        return substitutions + insertions + deletions +
+               long_deletions;
+    }
+};
+
+/**
+ * The full ground-truth lineage of one simulation run: one
+ * ClusterLineage per simulated cluster, indexed like the Dataset the
+ * run produced. Passed (as a pointer; nullptr disables recording)
+ * through ChannelSimulator::simulate/simulateLike.
+ */
+class LineageLog
+{
+  public:
+    /** Reset and size for @p num_clusters clusters. */
+    void
+    beginRun(size_t num_clusters)
+    {
+        clusters_.assign(num_clusters, {});
+    }
+
+    size_t numClusters() const { return clusters_.size(); }
+
+    /**
+     * Mutable per-cluster arena. During a parallel simulation only
+     * the worker that owns cluster @p i may touch it.
+     */
+    ClusterLineage &cluster(size_t i) { return clusters_[i]; }
+    const ClusterLineage &
+    cluster(size_t i) const
+    {
+        return clusters_[i];
+    }
+
+    /** Events of read @p copy of cluster @p cluster. */
+    std::span<const LineageEvent>
+    readEvents(size_t cluster, size_t copy) const
+    {
+        return clusters_[cluster].readEvents(copy);
+    }
+
+    LineageCounts counts() const;
+
+    uint64_t
+    totalEvents() const
+    {
+        uint64_t n = 0;
+        for (const auto &c : clusters_)
+            n += c.events.size();
+        return n;
+    }
+
+  private:
+    std::vector<ClusterLineage> clusters_;
+};
+
+} // namespace dnasim
+
+#endif // DNASIM_CORE_LINEAGE_LOG_HH

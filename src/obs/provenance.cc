@@ -1,0 +1,106 @@
+#include "obs/provenance.hh"
+
+#include <atomic>
+#include <cstdio>
+
+#include "obs/json.hh"
+
+namespace dnasim
+{
+namespace obs
+{
+
+namespace
+{
+
+// The publisher hands over a static string literal
+// (simdTierName()), so a relaxed pointer store suffices — the
+// setter sits on the batch-dispatch hot path and must cost no more
+// than the stats gauge next to it.
+std::atomic<const char *> g_simd_tier{nullptr};
+std::atomic<uint64_t> g_threads{0};
+
+} // anonymous namespace
+
+std::string
+gitRevision()
+{
+    static const std::string rev = []() -> std::string {
+#ifdef DNASIM_SOURCE_DIR
+        const std::string cmd = std::string("git -C \"") +
+                                DNASIM_SOURCE_DIR +
+                                "\" rev-parse --short HEAD "
+                                "2>/dev/null";
+        if (FILE *pipe = popen(cmd.c_str(), "r")) {
+            char buf[64] = {0};
+            std::string out;
+            if (fgets(buf, sizeof(buf), pipe))
+                out = buf;
+            pclose(pipe);
+            while (!out.empty() &&
+                   (out.back() == '\n' || out.back() == '\r'))
+                out.pop_back();
+            if (!out.empty())
+                return out;
+        }
+#endif
+        return "unknown";
+    }();
+    return rev;
+}
+
+std::string
+compilerVersion()
+{
+#if defined(__clang__)
+    return std::string("clang ") + std::to_string(__clang_major__) +
+           "." + std::to_string(__clang_minor__) + "." +
+           std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+    return std::string("gcc ") + std::to_string(__GNUC__) + "." +
+           std::to_string(__GNUC_MINOR__) + "." +
+           std::to_string(__GNUC_PATCHLEVEL__);
+#else
+    return "unknown";
+#endif
+}
+
+void
+setProvenanceSimdTier(const char *tier)
+{
+    g_simd_tier.store(tier, std::memory_order_relaxed);
+}
+
+void
+setProvenanceThreads(uint64_t threads)
+{
+    g_threads.store(threads, std::memory_order_relaxed);
+}
+
+BuildProvenance
+buildProvenance()
+{
+    BuildProvenance p;
+    p.git_rev = gitRevision();
+    p.compiler = compilerVersion();
+    const char *tier = g_simd_tier.load(std::memory_order_relaxed);
+    p.simd_tier = tier != nullptr && *tier != '\0' ? tier
+                                                   : "unknown";
+    p.threads = g_threads.load(std::memory_order_relaxed);
+    return p;
+}
+
+void
+writeProvenance(JsonWriter &w, const char *key)
+{
+    const BuildProvenance p = buildProvenance();
+    w.beginObject(key);
+    w.value("git_rev", p.git_rev);
+    w.value("compiler", p.compiler);
+    w.value("simd_tier", p.simd_tier);
+    w.value("threads", p.threads);
+    w.endObject();
+}
+
+} // namespace obs
+} // namespace dnasim

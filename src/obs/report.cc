@@ -12,6 +12,7 @@
 #include "obs/json.hh"
 #include "obs/outfile.hh"
 #include "obs/profile.hh"
+#include "obs/provenance.hh"
 
 namespace dnasim
 {
@@ -146,6 +147,7 @@ statsToJson(const Snapshot &snap, const std::vector<LogLine> &log,
     JsonWriter w(os, 2);
     w.beginObject();
     w.value("schema", "dnasim.stats.v1");
+    writeProvenance(w);
 
     w.beginObject("counters");
     for (const auto &c : snap.counters)

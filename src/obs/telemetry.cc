@@ -7,6 +7,7 @@
 #include "base/logging.hh"
 #include "obs/json.hh"
 #include "obs/outfile.hh"
+#include "obs/provenance.hh"
 
 namespace dnasim
 {
@@ -90,6 +91,19 @@ telemetryEventLine(const Event &event)
     return os.str();
 }
 
+std::string
+telemetryMetaLine()
+{
+    std::ostringstream os;
+    JsonWriter w(os, 0);
+    w.beginObject();
+    w.value("schema", "dnasim.telemetry.v1");
+    w.value("kind", "meta");
+    writeProvenance(w);
+    w.endObject();
+    return os.str();
+}
+
 JsonlTelemetrySink::JsonlTelemetrySink(std::string path)
     : path_(std::move(path))
 {
@@ -106,7 +120,11 @@ JsonlTelemetrySink::JsonlTelemetrySink(std::string path)
              "': ", std::strerror(errno));
         ok_ = false;
         warned_ = true;
+        return;
     }
+    // Consumers (watch, diff tooling) key on the provenance header
+    // before any sample arrives.
+    writeLine(telemetryMetaLine());
 }
 
 JsonlTelemetrySink::~JsonlTelemetrySink()

@@ -44,6 +44,13 @@ std::string telemetrySampleLine(const IntervalSample &sample);
 /** One "event" line (no trailing newline). */
 std::string telemetryEventLine(const Event &event);
 
+/**
+ * The "meta" line opening every stream: the shared build-provenance
+ * header (git rev, compiler, SIMD tier, thread count). No trailing
+ * newline.
+ */
+std::string telemetryMetaLine();
+
 /** Sink appending dnasim.telemetry.v1 lines to a file. */
 class JsonlTelemetrySink : public TelemetrySink
 {

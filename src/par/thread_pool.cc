@@ -6,6 +6,7 @@
 #include <exception>
 
 #include "base/logging.hh"
+#include "obs/provenance.hh"
 #include "obs/stats.hh"
 #include "obs/trace.hh"
 
@@ -150,6 +151,7 @@ setThreads(size_t n)
         n = defaultThreads();
     configured_threads.store(n, std::memory_order_relaxed);
     ParStats::get().threads.set(static_cast<int64_t>(n));
+    obs::setProvenanceThreads(n);
     // A pool that already exists was sized for the previous setting;
     // re-fit it (callers only change the count at quiescence).
     if (ThreadPool *pool = global_pool.load(std::memory_order_acquire))
@@ -165,6 +167,7 @@ numThreads()
         // Benign race: every loser computes the same value.
         configured_threads.store(n, std::memory_order_relaxed);
         ParStats::get().threads.set(static_cast<int64_t>(n));
+        obs::setProvenanceThreads(n);
     }
     return n;
 }

@@ -365,13 +365,17 @@ ArchivalPipeline::retrieve(const Dataset &clusters,
 RetrievedObject
 ArchivalPipeline::roundTrip(const Bytes &file, const ErrorModel &model,
                             const CoverageModel &coverage,
-                            const Reconstructor &algo, Rng &rng) const
+                            const Reconstructor &algo, Rng &rng,
+                            LineageLog *lineage,
+                            Dataset *simulated) const
 {
     StoredObject object = store(file);
     ChannelSimulator sim(model);
     Rng channel_rng = rng.fork(0xc4a);
     Dataset clusters =
-        sim.simulate(object.strands, coverage, channel_rng);
+        sim.simulate(object.strands, coverage, channel_rng, lineage);
+    if (simulated != nullptr)
+        *simulated = clusters;
     if (config_.recluster) {
         // Throw away the simulator's pseudo-clustering: pool the
         // reads, shuffle them into wetlab order, and re-group them by

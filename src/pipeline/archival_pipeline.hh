@@ -124,12 +124,19 @@ class ArchivalPipeline
     /**
      * Convenience: store, transmit through @p model at @p coverage,
      * reconstruct with @p algo, and decode.
+     *
+     * A non-null @p lineage records the channel's injected error
+     * events; a non-null @p simulated receives a copy of the
+     * pseudo-clustered dataset the channel produced (the ground
+     * truth the lineage log indexes). Neither affects the
+     * retrieval — the decoded bytes are identical either way.
      */
     RetrievedObject roundTrip(const Bytes &file,
                               const ErrorModel &model,
                               const CoverageModel &coverage,
-                              const Reconstructor &algo,
-                              Rng &rng) const;
+                              const Reconstructor &algo, Rng &rng,
+                              LineageLog *lineage = nullptr,
+                              Dataset *simulated = nullptr) const;
 
   private:
     const DnaCodec &codec() const;

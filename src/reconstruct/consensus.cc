@@ -339,4 +339,58 @@ enforceDesignLength(Strand estimate, std::span<const Strand> copies,
     return estimate;
 }
 
+uint32_t
+PositionVote::margin() const
+{
+    uint32_t best = 0, second = 0;
+    for (uint32_t v : base_votes) {
+        if (v > best) {
+            second = best;
+            best = v;
+        } else if (v > second) {
+            second = v;
+        }
+    }
+    return best - second;
+}
+
+std::vector<PositionVote>
+consensusVoteProfile(const Strand &estimate,
+                     std::span<const Strand> copies,
+                     std::vector<std::string> *per_copy)
+{
+    std::vector<PositionVote> votes(estimate.size());
+    if (per_copy != nullptr)
+        per_copy->assign(copies.size(),
+                         std::string(estimate.size(), '\0'));
+
+    thread_local std::vector<EditOp> ops;
+    for (size_t k = 0; k < copies.size(); ++k) {
+        // Null Rng: deterministic leftmost scripts, the same
+        // alignment alignedConsensus() collects votes from.
+        editOpsInto(estimate, copies[k], nullptr, ops);
+        for (const EditOp &op : ops) {
+            if (op.ref_pos >= estimate.size())
+                continue;
+            switch (op.type) {
+              case EditOpType::Equal:
+              case EditOpType::Substitute:
+                ++votes[op.ref_pos]
+                      .base_votes[baseIndex(op.copy_base)];
+                if (per_copy != nullptr)
+                    (*per_copy)[k][op.ref_pos] = op.copy_base;
+                break;
+              case EditOpType::Delete:
+                ++votes[op.ref_pos].deletion_votes;
+                if (per_copy != nullptr)
+                    (*per_copy)[k][op.ref_pos] = '-';
+                break;
+              case EditOpType::Insert:
+                break; // between-position votes: not positional
+            }
+        }
+    }
+    return votes;
+}
+
 } // namespace dnasim

@@ -80,6 +80,54 @@ Strand enforceDesignLength(Strand estimate,
 size_t totalEditDistance(const Strand &estimate,
                          std::span<const Strand> copies);
 
+/**
+ * Per-position voting summary of a consensus decision, captured for
+ * failure forensics (src/analysis/lineage.hh): how strongly each
+ * base was supported and by what margin the winner won.
+ */
+struct PositionVote
+{
+    std::array<uint32_t, kNumBases> base_votes{};
+    uint32_t deletion_votes = 0; ///< copies whose alignment deletes
+                                 ///< this position
+
+    uint32_t
+    votes(char base) const
+    {
+        return base_votes[baseIndex(base)];
+    }
+
+    uint32_t
+    totalBaseVotes() const
+    {
+        uint32_t t = 0;
+        for (uint32_t v : base_votes)
+            t += v;
+        return t;
+    }
+
+    /** Winner's votes minus runner-up's votes (0 on a tie). */
+    uint32_t margin() const;
+};
+
+/**
+ * Per-position vote profile of @p copies aligned against
+ * @p estimate — the same deterministic leftmost edit scripts
+ * alignedConsensus() votes with (editOpsInto with a null Rng), so
+ * the attribution engine can reconstruct each consensus decision
+ * after the fact. Element i summarizes the votes at estimate
+ * position i.
+ *
+ * A non-null @p per_copy additionally receives, per copy, a string
+ * of length estimate.size(): the base that copy's alignment votes at
+ * each position, '-' for a deletion vote, or '\0' when the copy
+ * casts no vote there.
+ */
+std::vector<PositionVote>
+consensusVoteProfile(const Strand &estimate,
+                     std::span<const Strand> copies,
+                     std::vector<std::string> *per_copy = nullptr);
+
 /** Accumulates weighted votes over the four bases. */
 class BaseVote
 {
