@@ -199,6 +199,8 @@ BenchReport::write()
         w.value("real_time_ns", row.real_time_ns);
         w.value("cpu_time_ns", row.cpu_time_ns);
         w.value("iterations", row.iterations);
+        if (row.rss_high_water_bytes > 0)
+            w.value("rss_high_water_bytes", row.rss_high_water_bytes);
         w.endObject();
     }
     w.endArray();
@@ -257,6 +259,18 @@ peakRssBytes(std::string *source)
     }
 #endif
     return 0;
+}
+
+bool
+clearPeakRss()
+{
+    std::ofstream clear("/proc/self/clear_refs");
+    if (!clear)
+        return false;
+    // "5" resets the peak-RSS (VmHWM) accounting for this process.
+    clear << "5";
+    clear.flush();
+    return clear.good();
 }
 
 std::string

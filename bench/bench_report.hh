@@ -29,6 +29,11 @@ struct BenchRow
     double real_time_ns = 0.0;
     double cpu_time_ns = 0.0;
     uint64_t iterations = 0;
+    /// RSS high-water mark attributed to this row (bytes; 0 when
+    /// unavailable). perf_main resets the kernel's VmHWM counter
+    /// between rows, so each value bounds that row's own footprint —
+    /// the statistic tools/benchdiff gates memory regressions on.
+    uint64_t rss_high_water_bytes = 0;
 };
 
 /** Process-wide collector behind the BENCH_<name>.json funnel. */
@@ -96,6 +101,16 @@ Rng benchRng(uint64_t salt);
  * numbers aren't compared blindly.
  */
 uint64_t peakRssBytes(std::string *source = nullptr);
+
+/**
+ * Reset the kernel's peak-RSS counter (VmHWM) by writing "5" to
+ * /proc/self/clear_refs, so the next peakRssBytes() reads the high
+ * water of only the work since this call. Returns false where the
+ * interface doesn't exist or the write is refused (non-Linux,
+ * restricted containers) — peaks then stay monotonic and per-row
+ * attribution degrades to "peak so far", never to a wrong number.
+ */
+bool clearPeakRss();
 
 /** Short git revision of the source tree, "unknown" on failure. */
 std::string gitRevision();

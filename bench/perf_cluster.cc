@@ -9,12 +9,17 @@
  * --threads values for the scaling curve.
  */
 
+#include <cstdlib>
+#include <filesystem>
+#include <sstream>
 #include <vector>
 
 #include <benchmark/benchmark.h>
 
+#include "base/strand_pool.hh"
 #include "bench_report.hh"
 #include "cluster/greedy_cluster.hh"
+#include "cluster/shard_cluster.hh"
 #include "core/channel_simulator.hh"
 #include "core/coverage.hh"
 #include "core/ids_model.hh"
@@ -149,6 +154,130 @@ BM_ClusterScaling(benchmark::State &state, ClusterIndexKind kind)
     BenchReport::global().addMetric("purity" + tag, purity);
     BenchReport::global().addMetric("clusters" + tag, found);
 }
+
+/**
+ * The out-of-core path end to end minus simulation: reads live in an
+ * mmap-backed pool file (built once per row through simulateToPool,
+ * exactly what `dnasim simulate --checkpoint-dir` ships, so read
+ * order is cluster order) and the sharded sketch index clusters
+ * through the StrandPoolView. range(0) is the reference count at
+ * coverage 8, range(1) the shard count. Rows carry
+ * rss_high_water_bytes in the report (perf_main resets VmHWM per
+ * row), which is the statistic the benchdiff memory gate consumes;
+ * the 1M/10M-read rows only register when DNASIM_BENCH_SCALE is set
+ * so default runs stay quick.
+ */
+void
+BM_ClusterScalingPool(benchmark::State &state)
+{
+    const auto clusters = static_cast<size_t>(state.range(0));
+    const auto shards = static_cast<size_t>(state.range(1));
+
+    Rng rng = benchRng(0xc5);
+    StrandFactory factory;
+    std::vector<Strand> refs;
+    refs.reserve(clusters);
+    for (size_t i = 0; i < clusters; ++i)
+        refs.push_back(factory.make(110, rng));
+    ErrorProfile profile = ErrorProfile::uniform(0.03, 110);
+    IdsChannelModel model = IdsChannelModel::naive(profile);
+    ChannelSimulator sim(model);
+    FixedCoverage cov(8);
+
+    const std::string path =
+        (std::filesystem::temp_directory_path() /
+         ("dnasim_perf_pool_" + std::to_string(clusters) +
+          ".dnapool"))
+            .string();
+    std::ostringstream origin_bytes;
+    {
+        PackedStrandPoolBuilder builder;
+        std::string error;
+        if (!builder.open(path, &error)) {
+            state.SkipWithError(error.c_str());
+            return;
+        }
+        sim.simulateToPool(StrandPoolView(refs), cov, rng, builder,
+                           &origin_bytes);
+        if (!builder.finish(&error)) {
+            state.SkipWithError(error.c_str());
+            return;
+        }
+    }
+    const std::string bytes = origin_bytes.str();
+    std::vector<size_t> origins(bytes.size() / 4);
+    for (size_t i = 0; i < origins.size(); ++i) {
+        const auto *p =
+            reinterpret_cast<const unsigned char *>(bytes.data()) +
+            i * 4;
+        origins[i] = static_cast<size_t>(p[0]) |
+                     static_cast<size_t>(p[1]) << 8 |
+                     static_cast<size_t>(p[2]) << 16 |
+                     static_cast<size_t>(p[3]) << 24;
+    }
+
+    PackedStrandPool pool;
+    std::string error;
+    if (!pool.open(path, &error)) {
+        state.SkipWithError(error.c_str());
+        return;
+    }
+    StrandPoolView view(pool);
+
+    ClusterOptions options;
+    options.index = ClusterIndexKind::Sketch;
+    options.max_probes = 256;
+    size_t reads = 0;
+    double purity = 0.0;
+    double found = 0.0;
+    for (auto _ : state) {
+        std::vector<ReadCluster> result =
+            clusterReadsSharded(view, options, shards);
+        benchmark::DoNotOptimize(result);
+        reads += view.size();
+        state.PauseTiming();
+        purity = scoreClustering(result, origins).purity();
+        found = static_cast<double>(result.size());
+        state.ResumeTiming();
+    }
+    state.SetItemsProcessed(static_cast<int64_t>(reads));
+    state.counters["purity"] = purity;
+    state.counters["clusters"] = found;
+    state.counters["shards"] = static_cast<double>(shards);
+    const size_t pool_reads = view.size();
+    pool.close();
+    std::filesystem::remove(path);
+    const std::string tag =
+        "_pool_" + std::to_string(pool_reads) + "_s" +
+        std::to_string(shards);
+    BenchReport::global().addMetric("purity" + tag, purity);
+    BenchReport::global().addMetric("clusters" + tag, found);
+}
+
+/** True when DNASIM_BENCH_SCALE asks for the 1M/10M-read rows. */
+bool
+benchScaleEnabled()
+{
+    const char *e = std::getenv("DNASIM_BENCH_SCALE");
+    return e != nullptr && *e != '\0' &&
+           std::string(e) != "0";
+}
+
+const bool scaling_pool_registered = [] {
+    auto *bench = benchmark::RegisterBenchmark(
+        "BM_ClusterScalingPool", BM_ClusterScalingPool);
+    // 1250/6250/25000 references at coverage 8 = 10k/50k/200k reads,
+    // mirroring the in-RAM BM_ClusterScaling rows for the parity
+    // comparison in EXPERIMENTS.md.
+    bench->Args({1250, 4})->Args({6250, 4})->Args({25000, 4});
+    if (benchScaleEnabled()) {
+        // 1M and 10M reads; only on request — the 10M row simulates
+        // ~1.1G bases into the pool file before the timed section.
+        bench->Args({125000, 8})->Args({1250000, 16});
+    }
+    bench->Unit(benchmark::kMillisecond)->UseRealTime();
+    return true;
+}();
 
 } // anonymous namespace
 

@@ -40,6 +40,12 @@ class ReportingReporter : public benchmark::ConsoleReporter
     void
     ReportRuns(const std::vector<Run> &reports) override
     {
+        // High water since the previous report batch: ReportRuns
+        // fires after each benchmark family finishes, so this bounds
+        // the footprint of the rows reported here. Where VmHWM can't
+        // be reset the value decays to "peak so far" (monotonic);
+        // rss_source in the report header says which.
+        const uint64_t rss_high_water = dnasim::peakRssBytes();
         for (const auto &run : reports) {
             if (run.error_occurred ||
                 run.run_type == Run::RT_Aggregate)
@@ -53,8 +59,10 @@ class ReportingReporter : public benchmark::ConsoleReporter
                     : 1.0;
             row.real_time_ns = run.real_accumulated_time / iters * 1e9;
             row.cpu_time_ns = run.cpu_accumulated_time / iters * 1e9;
+            row.rss_high_water_bytes = rss_high_water;
             dnasim::BenchReport::global().addRow(std::move(row));
         }
+        dnasim::clearPeakRss();
         ConsoleReporter::ReportRuns(reports);
     }
 };

@@ -12,8 +12,10 @@
 #ifndef DNASIM_ANALYSIS_ACCURACY_HH
 #define DNASIM_ANALYSIS_ACCURACY_HH
 
+#include <cstdint>
 #include <vector>
 
+#include "base/strand_pool.hh"
 #include "data/dataset.hh"
 #include "reconstruct/reconstructor.hh"
 
@@ -68,6 +70,23 @@ AccuracyResult scoreReconstructions(
 /** reconstructAll + scoreReconstructions in one step. */
 AccuracyResult evaluateAccuracy(const Dataset &data,
                                 const Reconstructor &algo, Rng &rng);
+
+/**
+ * The out-of-core counterpart of evaluateAccuracy(), over a
+ * checkpointed clustering: cluster c's copies are the reads with
+ * @p assignments[r] == c, its ground-truth reference is the
+ * majority true origin of those reads (ties to the smallest origin
+ * id, like scoreClustering), and the estimate is scored against
+ * that reference. Reads and references stream out of pool views;
+ * only one cluster's copies are materialized per worker at a time.
+ * Deterministic in @p rng's seed (one forked stream per cluster).
+ */
+AccuracyResult
+evaluatePoolAccuracy(const StrandPoolView &reads,
+                     const std::vector<uint32_t> &assignments,
+                     const std::vector<uint32_t> &origins,
+                     const StrandPoolView &references,
+                     const Reconstructor &algo, Rng &rng);
 
 } // namespace dnasim
 

@@ -677,16 +677,12 @@ writeLineageJsonl(const std::string &path, const LineageInputs &in,
 {
     DNASIM_ASSERT(in.truth != nullptr,
                   "lineage stream needs ground truth");
-    if (!obs::prepareOutputPath(path, error))
+    // Atomic temp-and-rename: a killed run leaves either the previous
+    // stream intact or nothing, never a truncated JSONL tail.
+    obs::AtomicFile file;
+    if (!file.open(path, error))
         return false;
-    std::ofstream os(path);
-    if (!os) {
-        if (error) {
-            *error = "cannot open '" + path +
-                     "': " + std::strerror(errno);
-        }
-        return false;
-    }
+    std::ostream &os = file.stream();
 
     {
         obs::JsonWriter w(os, 0);
@@ -810,12 +806,7 @@ writeLineageJsonl(const std::string &path, const LineageInputs &in,
         os << '\n';
     }
 
-    if (!os.good()) {
-        if (error)
-            *error = "write to '" + path + "' failed";
-        return false;
-    }
-    return true;
+    return file.commit(error);
 }
 
 } // namespace dnasim

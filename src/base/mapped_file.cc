@@ -1,0 +1,121 @@
+#include "base/mapped_file.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace dnasim
+{
+
+namespace
+{
+
+void
+setError(std::string *error, const std::string &path, const char *what)
+{
+    if (error != nullptr)
+        *error = path + ": " + what + ": " + std::strerror(errno);
+}
+
+} // anonymous namespace
+
+MappedFile::MappedFile(MappedFile &&other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      mapped_empty_(std::exchange(other.mapped_empty_, false))
+{
+}
+
+MappedFile &
+MappedFile::operator=(MappedFile &&other) noexcept
+{
+    if (this != &other) {
+        close();
+        data_ = std::exchange(other.data_, nullptr);
+        size_ = std::exchange(other.size_, 0);
+        mapped_empty_ = std::exchange(other.mapped_empty_, false);
+    }
+    return *this;
+}
+
+bool
+MappedFile::open(const std::string &path, std::string *error)
+{
+    close();
+
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+        setError(error, path, "open");
+        return false;
+    }
+
+    struct stat st = {};
+    if (::fstat(fd, &st) != 0) {
+        setError(error, path, "fstat");
+        ::close(fd);
+        return false;
+    }
+    if (!S_ISREG(st.st_mode)) {
+        errno = EINVAL;
+        setError(error, path, "not a regular file");
+        ::close(fd);
+        return false;
+    }
+
+    const auto size = static_cast<size_t>(st.st_size);
+    if (size == 0) {
+        // mmap rejects zero-length maps; model the empty file
+        // directly so open() still succeeds.
+        ::close(fd);
+        mapped_empty_ = true;
+        return true;
+    }
+
+    void *addr = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd); // the mapping keeps its own reference
+    if (addr == MAP_FAILED) {
+        setError(error, path, "mmap");
+        return false;
+    }
+
+    data_ = addr;
+    size_ = size;
+    return true;
+}
+
+void
+MappedFile::close()
+{
+    if (data_ != nullptr)
+        ::munmap(data_, size_);
+    data_ = nullptr;
+    size_ = 0;
+    mapped_empty_ = false;
+}
+
+void
+MappedFile::advise(MapAccess access) const
+{
+    if (data_ == nullptr)
+        return;
+    int advice = MADV_NORMAL;
+    switch (access) {
+    case MapAccess::Default:
+        advice = MADV_NORMAL;
+        break;
+    case MapAccess::Sequential:
+        advice = MADV_SEQUENTIAL;
+        break;
+    case MapAccess::Random:
+        advice = MADV_RANDOM;
+        break;
+    }
+    ::madvise(data_, size_, advice);
+}
+
+} // namespace dnasim

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Read-only memory-mapped files.
+ *
+ * MappedFile is the RAII substrate under the out-of-core data plane
+ * (base/strand_pool.hh): it maps a file read-only, exposes the bytes
+ * as a span, and forwards access-pattern hints to madvise so the
+ * kernel prefetches sequential scans and stops read-ahead thrash on
+ * random probes. Mapping failures are reported through an error
+ * string, never by aborting — callers surface them with the file
+ * name attached.
+ */
+
+#ifndef DNASIM_BASE_MAPPED_FILE_HH
+#define DNASIM_BASE_MAPPED_FILE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace dnasim
+{
+
+/** Access-pattern hint forwarded to madvise(2). */
+enum class MapAccess
+{
+    Default,    ///< no hint (kernel default read-ahead)
+    Sequential, ///< MADV_SEQUENTIAL: aggressive read-ahead
+    Random,     ///< MADV_RANDOM: disable read-ahead
+};
+
+/** A read-only memory-mapped file. */
+class MappedFile
+{
+  public:
+    MappedFile() = default;
+    ~MappedFile() { close(); }
+
+    MappedFile(MappedFile &&other) noexcept;
+    MappedFile &operator=(MappedFile &&other) noexcept;
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    /**
+     * Map @p path read-only. Returns false (and sets @p error when
+     * non-null) if the file cannot be opened, statted or mapped; the
+     * object stays unmapped. An empty file maps successfully with
+     * size() == 0.
+     */
+    bool open(const std::string &path, std::string *error = nullptr);
+
+    /** Unmap (no-op when not mapped). */
+    void close();
+
+    bool isOpen() const { return data_ != nullptr || mapped_empty_; }
+
+    /** The mapped bytes. */
+    std::span<const std::byte> bytes() const
+    {
+        return {static_cast<const std::byte *>(data_), size_};
+    }
+
+    const void *data() const { return data_; }
+    size_t size() const { return size_; }
+
+    /**
+     * Apply an access-pattern hint to the whole mapping. Advisory:
+     * failures (and unmapped files) are silently ignored — the data
+     * is identical either way, only paging behavior changes.
+     */
+    void advise(MapAccess access) const;
+
+  private:
+    void *data_ = nullptr;
+    size_t size_ = 0;
+    bool mapped_empty_ = false;
+};
+
+} // namespace dnasim
+
+#endif // DNASIM_BASE_MAPPED_FILE_HH

@@ -101,11 +101,18 @@ PackedStrand::toStrand() const
 void
 PackedStrand::unpackInto(Strand &out) const
 {
-    out.resize(len_);
+    unpackWords(words(), len_, out);
+}
+
+void
+unpackWords(std::span<const uint64_t> words, size_t len, Strand &out)
+{
+    out.resize(len);
     size_t i = 0;
-    for (size_t w = 0; w < numWords(len_); ++w) {
-        uint64_t word = words_[w];
-        const size_t stop = std::min(len_, (w + 1) * kBasesPerWord);
+    for (size_t w = 0; w < PackedStrand::numWords(len); ++w) {
+        uint64_t word = words[w];
+        const size_t stop =
+            std::min(len, (w + 1) * PackedStrand::kBasesPerWord);
         for (; i < stop; ++i, word >>= 2)
             out[i] = kBaseChars[word & 3u];
     }

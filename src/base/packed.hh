@@ -147,6 +147,17 @@ bool packWordsInto(std::string_view s, size_t max_bases,
                    std::vector<uint64_t> &out, size_t *packed_len);
 
 /**
+ * Unpack @p len bases of packed @p words into @p out (resized;
+ * storage reused). The inverse of packWordsInto(); also the unpack
+ * path for strands read straight out of an mmap-backed pool arena
+ * (base/strand_pool.hh), which hands word spans that never lived in
+ * a PackedStrand. @p words must hold PackedStrand::numWords(@p len)
+ * words.
+ */
+void unpackWords(std::span<const uint64_t> words, size_t len,
+                 Strand &out);
+
+/**
  * Pad/invalid code in lane-major batch code matrices. The batch
  * alignment kernels (align/myers_batch.hh) index a five-row Peq
  * table whose fifth row is all-zero, so this code makes ragged

@@ -7,8 +7,10 @@
  *       fold BENCH_*.json reports (files or directories) into the
  *       append-only JSONL ledger, deduplicating repeats
  *   bench diff <baseline> <candidate> [--threshold p] [--sigma k]
+ *              [--mem-threshold p] [--mem-gate]
  *       compare two run sets with the noise-aware verdict; exits 2
- *       when a benchmark regressed (CI perf-gate contract)
+ *       when a benchmark regressed (CI perf-gate contract). RSS
+ *       high-water deltas are advisory unless --mem-gate.
  *   bench list [--ledger FILE]
  *       print the per-key trajectory summary of a ledger
  *
@@ -78,12 +80,15 @@ benchDiff(const Args &args)
     if (pos.size() != 4) {
         std::cerr << "usage: dnasim bench diff <baseline> "
                      "<candidate> [--threshold p] [--sigma k] "
-                     "[--json]\n";
+                     "[--mem-threshold p] [--mem-gate] [--json]\n";
         return 1;
     }
     obs::DiffOptions options;
     options.threshold = args.getDouble("threshold", options.threshold);
     options.sigma = args.getDouble("sigma", options.sigma);
+    options.mem_threshold =
+        args.getDouble("mem-threshold", options.mem_threshold);
+    options.mem_gate = args.has("mem-gate");
 
     std::vector<std::string> errors;
     auto baseline = obs::loadBenchInput(pos[2], &errors);
@@ -142,7 +147,8 @@ cmdBench(const Args &args)
                  "into the ledger\n"
                  "  diff <baseline> <candidate>         noise-aware "
                  "perf comparison\n"
-                 "       [--threshold p] [--sigma k] [--json]\n"
+                 "       [--threshold p] [--sigma k] "
+                 "[--mem-threshold p] [--mem-gate] [--json]\n"
                  "  list [--ledger FILE]                trajectory "
                  "summary per run key\n";
     return verb.empty() ? 1 : (verb == "help" ? 0 : 1);

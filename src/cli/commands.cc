@@ -12,8 +12,10 @@
 #include "analysis/lineage.hh"
 #include "analysis/second_order.hh"
 #include "base/logging.hh"
+#include "base/strand_pool.hh"
 #include "base/table.hh"
 #include "cluster/greedy_cluster.hh"
+#include "cluster/shard_cluster.hh"
 #include "core/channel_simulator.hh"
 #include "core/dnasimulator_model.hh"
 #include "core/ids_model.hh"
@@ -21,7 +23,9 @@
 #include "core/profiler.hh"
 #include "core/wetlab.hh"
 #include "data/io.hh"
+#include "obs/outfile.hh"
 #include "pipeline/archival_pipeline.hh"
+#include "pipeline/checkpoint.hh"
 #include "reconstruct/bma.hh"
 #include "reconstruct/divider_bma.hh"
 #include "reconstruct/iterative.hh"
@@ -146,6 +150,274 @@ printProfileTable(const Histogram &profile, size_t positions,
     table.print(std::cout);
 }
 
+/**
+ * The out-of-core simulate stage: pack the references into
+ * <dir>/refs.dnapool, stream simulated reads straight into
+ * <dir>/reads.dnapool (origins to <dir>/origins.u32) in bounded
+ * memory, and commit the stage by writing the manifest last. If a
+ * manifest already exists the stage completed in an earlier process
+ * and the command is a no-op — the resume contract.
+ */
+int
+simulateToCheckpoint(const Args &args, const Dataset &real,
+                     const ChannelSimulator &sim, Rng &rng,
+                     size_t max_reads)
+{
+    if (args.has("lineage-out")) {
+        DNASIM_FATAL("--lineage-out is not supported with "
+                     "--checkpoint-dir (the pool path records no "
+                     "lineage)");
+    }
+    CheckpointDir ckpt(args.get("checkpoint-dir"));
+    std::string error;
+    if (ckpt.hasManifest()) {
+        CheckpointManifest done;
+        if (!ckpt.readManifest(done, &error))
+            DNASIM_FATAL("checkpoint: ", error);
+        std::cout << "checkpoint " << ckpt.dir()
+                  << " already at stage '" << done.stage << "' ("
+                  << done.num_reads << " reads); nothing to do\n";
+        return 0;
+    }
+
+    PackedStrandPoolBuilder refs_builder;
+    if (!refs_builder.open(ckpt.refsPath(), &error))
+        DNASIM_FATAL("checkpoint: ", error);
+    for (const auto &cluster : real) {
+        if (!refs_builder.append(cluster.reference))
+            DNASIM_FATAL("checkpoint: non-ACGT reference strand");
+    }
+    if (!refs_builder.finish(&error))
+        DNASIM_FATAL("checkpoint: ", error);
+
+    PackedStrandPool refs;
+    if (!refs.open(ckpt.refsPath(), &error))
+        DNASIM_FATAL("checkpoint: ", error);
+
+    PackedStrandPoolBuilder reads_builder;
+    if (!reads_builder.open(ckpt.readsPath(), &error))
+        DNASIM_FATAL("checkpoint: ", error);
+    obs::AtomicFile origins;
+    if (!origins.open(ckpt.originsPath(), &error))
+        DNASIM_FATAL("checkpoint: ", error);
+
+    CustomCoverage coverage(real.coverages());
+    PoolSimulateOptions pool_options;
+    pool_options.max_reads = max_reads;
+    PoolSimulateResult sim_result =
+        sim.simulateToPool(StrandPoolView(refs), coverage, rng,
+                           reads_builder, &origins.stream(),
+                           pool_options);
+
+    if (!reads_builder.finish(&error) || !origins.commit(&error))
+        DNASIM_FATAL("checkpoint: ", error);
+
+    CheckpointManifest manifest;
+    manifest.stage = "simulate";
+    manifest.seed = args.getSeed("seed", 0x51a70);
+    manifest.num_refs = refs.size();
+    manifest.num_reads = sim_result.reads;
+    manifest.config = {
+        {"model", sim.model().name()},
+        {"max_reads", std::to_string(max_reads)},
+    };
+    if (!ckpt.writeManifest(manifest, &error))
+        DNASIM_FATAL("checkpoint: ", error);
+
+    std::cout << "checkpoint " << ckpt.dir() << ": simulated "
+              << sim_result.reads << " reads from " << refs.size()
+              << " references (model " << sim.model().name() << ")"
+              << (sim_result.truncated ? ", truncated by --max-reads"
+                                       : "")
+              << "\n";
+    return 0;
+}
+
+/**
+ * Atomically publish the byte-comparable clustering artifact: one
+ * line per cluster, representative then member read indices in
+ * placement order — what the determinism checks diff across
+ * --threads, --simd and --shards settings.
+ */
+void
+writeClustersOut(const std::string &path,
+                 const std::vector<ReadCluster> &clusters)
+{
+    obs::AtomicFile out;
+    std::string error;
+    if (!out.open(path, &error))
+        DNASIM_FATAL("cluster: ", error);
+    std::ostream &os = out.stream();
+    for (const auto &cluster : clusters) {
+        os << cluster.representative;
+        for (size_t member : cluster.members)
+            os << ' ' << member;
+        os << '\n';
+    }
+    if (!out.commit(&error))
+        DNASIM_FATAL("cluster: ", error);
+}
+
+void
+printClusterTable(const ClusterOptions &options, size_t num_reads,
+                  size_t num_clusters, const ClusterPurity *purity,
+                  double secs)
+{
+    TextTable table("clustering");
+    table.setHeader(
+        {"index", "reads", "clusters", "purity%", "reads/s"});
+    table.addRow(
+        {clusterIndexName(options.index), std::to_string(num_reads),
+         std::to_string(num_clusters),
+         purity != nullptr ? fmtPercent(purity->purity())
+                           : std::string("-"),
+         std::to_string(static_cast<uint64_t>(
+             secs > 0.0
+                 ? static_cast<double>(num_reads) / secs
+                 : 0.0))});
+    table.print(std::cout);
+}
+
+/**
+ * The out-of-core cluster stage: shard-cluster an mmap'd pool (a
+ * .dnapool positional or a checkpoint's reads.dnapool), score purity
+ * when ground-truth origins exist, and — in checkpoint mode — commit
+ * assignments + representatives with the manifest written last. When
+ * the manifest already says "cluster" the stage completed in an
+ * earlier process; the clustering is rebuilt from the snapshot, so a
+ * resumed --out is byte-identical to an uninterrupted run.
+ */
+int
+clusterPool(const Args &args, const ClusterOptions &options,
+            size_t shards, size_t max_reads)
+{
+    if (args.has("lineage-out")) {
+        DNASIM_FATAL("--lineage-out needs an evyat dataset input "
+                     "(lineage attribution requires ground truth)");
+    }
+    std::string error;
+    const bool from_checkpoint = args.has("checkpoint-dir");
+    CheckpointDir ckpt(args.get("checkpoint-dir"));
+
+    std::string pool_path;
+    std::string origins_path = args.get("origins");
+    bool resume = false;
+    uint64_t prior_seed = 0;
+    uint64_t prior_refs = 0;
+    if (from_checkpoint) {
+        CheckpointManifest manifest;
+        if (!ckpt.readManifest(manifest, &error))
+            DNASIM_FATAL("checkpoint: ", error);
+        pool_path = ckpt.readsPath();
+        resume = manifest.stage == "cluster";
+        prior_seed = manifest.seed;
+        prior_refs = manifest.num_refs;
+        if (origins_path.empty() &&
+            std::ifstream(ckpt.originsPath()).good())
+            origins_path = ckpt.originsPath();
+    } else {
+        pool_path = args.positional()[1];
+    }
+
+    PackedStrandPool pool;
+    if (!pool.open(pool_path, &error))
+        DNASIM_FATAL("cluster: ", error);
+    StrandPoolView view(pool);
+    view.truncate(max_reads);
+    pool.advise(MapAccess::Random);
+
+    std::vector<ReadCluster> clusters;
+    double secs = 0.0;
+    size_t num_reads = view.size();
+    if (resume) {
+        std::vector<uint32_t> assignments;
+        if (!readU32File(ckpt.assignmentsPath(), assignments,
+                         &error))
+            DNASIM_FATAL("checkpoint: ", error);
+        PackedStrandPool reps;
+        if (!reps.open(ckpt.representativesPath(), &error))
+            DNASIM_FATAL("checkpoint: ", error);
+        // Members grouped by assignment in read order is exactly the
+        // order the clusterer appends them, so the rebuilt clustering
+        // matches the committed run byte for byte.
+        clusters.resize(reps.size());
+        for (size_t c = 0; c < reps.size(); ++c)
+            reps.unpackInto(c, clusters[c].representative);
+        for (size_t r = 0; r < assignments.size(); ++r) {
+            DNASIM_ASSERT(assignments[r] < clusters.size(),
+                          "assignment out of range");
+            clusters[assignments[r]].members.push_back(r);
+        }
+        num_reads = assignments.size();
+        inform("checkpoint ", ckpt.dir(),
+               ": cluster stage already complete; reusing snapshot");
+    } else {
+        auto start = std::chrono::steady_clock::now();
+        clusters = clusterReadsSharded(view, options, shards);
+        secs = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start)
+                   .count();
+        if (from_checkpoint) {
+            std::vector<uint32_t> assignments(view.size(), 0);
+            for (size_t c = 0; c < clusters.size(); ++c)
+                for (size_t m : clusters[c].members)
+                    assignments[m] = static_cast<uint32_t>(c);
+            PackedStrandPoolBuilder reps;
+            if (!reps.open(ckpt.representativesPath(), &error))
+                DNASIM_FATAL("checkpoint: ", error);
+            for (const auto &cluster : clusters) {
+                if (!reps.append(cluster.representative))
+                    DNASIM_FATAL(
+                        "checkpoint: non-ACGT representative");
+            }
+            if (!reps.finish(&error))
+                DNASIM_FATAL("checkpoint: ", error);
+            if (!writeU32File(ckpt.assignmentsPath(), assignments,
+                              &error))
+                DNASIM_FATAL("checkpoint: ", error);
+            CheckpointManifest manifest;
+            manifest.stage = "cluster";
+            manifest.seed = prior_seed;
+            manifest.num_refs = prior_refs;
+            manifest.num_reads = view.size();
+            manifest.num_clusters = clusters.size();
+            manifest.config = {
+                {"index", clusterIndexName(options.index)},
+                {"shards", std::to_string(shards)},
+                {"distance_threshold",
+                 std::to_string(options.distance_threshold)},
+                {"max_reads", std::to_string(max_reads)},
+            };
+            if (!ckpt.writeManifest(manifest, &error))
+                DNASIM_FATAL("checkpoint: ", error);
+        }
+    }
+
+    const ClusterPurity *purity_ptr = nullptr;
+    ClusterPurity purity;
+    if (!origins_path.empty()) {
+        std::vector<uint32_t> origins32;
+        if (!readU32File(origins_path, origins32, &error))
+            DNASIM_FATAL("cluster: ", error);
+        if (origins32.size() < num_reads) {
+            DNASIM_FATAL("cluster: ", origins_path, " has ",
+                         origins32.size(), " origins for ", num_reads,
+                         " reads");
+        }
+        std::vector<size_t> origins(origins32.begin(),
+                                    origins32.end());
+        purity = scoreClustering(clusters, origins);
+        purity_ptr = &purity;
+    }
+
+    if (args.has("out"))
+        writeClustersOut(args.get("out"), clusters);
+
+    printClusterTable(options, num_reads, clusters.size(), purity_ptr,
+                      secs);
+    return 0;
+}
+
 } // anonymous namespace
 
 int
@@ -201,22 +473,31 @@ cmdSimulate(const Args &args)
 {
     if (args.positional().size() < 2) {
         DNASIM_FATAL("usage: dnasim simulate <dataset.evyat> "
-                     "[--model skew] [--out sim.evyat]");
+                     "[--model skew] [--out sim.evyat] "
+                     "[--max-reads N] [--checkpoint-dir DIR]");
     }
     Dataset real = readEvyatFile(args.positional()[1]);
     std::string model_name = args.get("model", "second-order");
     std::string out = args.get("out", "simulated.evyat");
+    const auto max_reads =
+        static_cast<size_t>(args.getInt("max-reads", 0));
     Rng rng(args.getSeed("seed", 0x51a70));
 
     ErrorProfile profile = errorProfileFromArgs(args, real);
     auto model = makeModel(model_name, profile);
     ChannelSimulator sim(*model);
+
+    if (args.has("checkpoint-dir"))
+        return simulateToCheckpoint(args, real, sim, rng, max_reads);
+
     // Recording is observational: the simulated dataset is
     // byte-identical with lineage on or off.
     LineageLog lineage;
     const bool want_lineage = args.has("lineage-out");
     Dataset simulated = sim.simulateLike(
         real, rng, want_lineage ? &lineage : nullptr);
+    if (max_reads > 0)
+        simulated.truncateReads(max_reads);
     writeEvyatFile(simulated, out);
 
     if (want_lineage) {
@@ -243,21 +524,68 @@ cmdSimulate(const Args &args)
 int
 cmdReconstruct(const Args &args)
 {
-    if (args.positional().size() < 2) {
+    const bool from_checkpoint = args.has("checkpoint-dir");
+    if (args.positional().size() < 2 && !from_checkpoint) {
         DNASIM_FATAL("usage: dnasim reconstruct <dataset.evyat> "
-                     "[--algo bma] [--coverage N]");
+                     "[--algo bma] [--coverage N] "
+                     "[--checkpoint-dir DIR]");
     }
-    Dataset dataset = readEvyatFile(args.positional()[1]);
     std::string algo_name = args.get("algo", "bma");
-    int64_t coverage = args.getInt("coverage", 0);
     Rng rng(args.getSeed("seed", 0x4ec0));
-
-    if (coverage > 0) {
-        dataset.shuffleWithinClusters(rng);
-        dataset = dataset.fixedCoverage(static_cast<size_t>(coverage));
-    }
     auto algo = makeReconstructor(algo_name);
-    AccuracyResult result = evaluateAccuracy(dataset, *algo, rng);
+    AccuracyResult result;
+
+    if (from_checkpoint) {
+        // Out-of-core stage 3: reconstruct each assigned cluster from
+        // the mmap'd read pool against the true references, holding
+        // one cluster per worker in RAM.
+        CheckpointDir ckpt(args.get("checkpoint-dir"));
+        CheckpointManifest manifest;
+        std::string error;
+        if (!ckpt.readManifest(manifest, &error))
+            DNASIM_FATAL("checkpoint: ", error);
+        if (manifest.stage != "cluster") {
+            DNASIM_FATAL("checkpoint ", ckpt.dir(), " is at stage '",
+                         manifest.stage,
+                         "'; run dnasim cluster --checkpoint-dir "
+                         "first");
+        }
+        PackedStrandPool reads;
+        PackedStrandPool refs;
+        if (!reads.open(ckpt.readsPath(), &error))
+            DNASIM_FATAL("checkpoint: ", error);
+        if (!refs.open(ckpt.refsPath(), &error)) {
+            DNASIM_FATAL("checkpoint has no usable refs.dnapool "
+                         "(ingested rather than simulated?); "
+                         "reconstruction needs the references: ",
+                         error);
+        }
+        std::vector<uint32_t> assignments;
+        std::vector<uint32_t> origins;
+        if (!readU32File(ckpt.assignmentsPath(), assignments, &error))
+            DNASIM_FATAL("checkpoint: ", error);
+        if (!readU32File(ckpt.originsPath(), origins, &error))
+            DNASIM_FATAL("checkpoint: ", error);
+        // --max-reads at the cluster stage shrinks the clustered
+        // prefix; score against the same prefix of the origins.
+        if (origins.size() > assignments.size())
+            origins.resize(assignments.size());
+        StrandPoolView reads_view(reads);
+        reads_view.truncate(assignments.size());
+        reads.advise(MapAccess::Random);
+        result = evaluatePoolAccuracy(reads_view, assignments,
+                                      origins, StrandPoolView(refs),
+                                      *algo, rng);
+    } else {
+        Dataset dataset = readEvyatFile(args.positional()[1]);
+        int64_t coverage = args.getInt("coverage", 0);
+        if (coverage > 0) {
+            dataset.shuffleWithinClusters(rng);
+            dataset =
+                dataset.fixedCoverage(static_cast<size_t>(coverage));
+        }
+        result = evaluateAccuracy(dataset, *algo, rng);
+    }
 
     TextTable table("reconstruction accuracy");
     table.setHeader({"algorithm", "clusters", "per-strand%",
@@ -311,16 +639,33 @@ cmdAnalyze(const Args &args)
 int
 cmdCluster(const Args &args)
 {
-    if (args.positional().size() < 2) {
-        DNASIM_FATAL("usage: dnasim cluster <dataset.evyat> "
+    const bool from_checkpoint = args.has("checkpoint-dir");
+    if (args.positional().size() < 2 && !from_checkpoint) {
+        DNASIM_FATAL("usage: dnasim cluster "
+                     "<dataset.evyat|pool.dnapool> "
                      "[--cluster-index sketch|greedy] "
                      "[--distance-threshold D] [--anchor-length A] "
                      "[--max-probes P] [--sketch-kmer K] "
                      "[--sketch-bands B] [--sketch-rows R] "
-                     "[--out clusters.txt]");
+                     "[--shards S] [--max-reads N] "
+                     "[--origins origins.u32] "
+                     "[--checkpoint-dir DIR] [--out clusters.txt]");
     }
-    Dataset dataset = readEvyatFile(args.positional()[1]);
     ClusterOptions options = clusterOptionsFromArgs(args);
+    const auto shards =
+        static_cast<size_t>(args.getInt("shards", 1));
+    const auto max_reads =
+        static_cast<size_t>(args.getInt("max-reads", 0));
+
+    // Packed pools (and checkpoint directories) take the out-of-core
+    // path: mmap'd reads, sharded clustering, bounded RSS.
+    const std::string input = args.positional().size() >= 2
+                                  ? args.positional()[1]
+                                  : std::string();
+    if (from_checkpoint || input.ends_with(".dnapool"))
+        return clusterPool(args, options, shards, max_reads);
+
+    Dataset dataset = readEvyatFile(input);
     Rng rng(args.getSeed("seed", 0xc105));
 
     // Pool every copy with its true origin, then shuffle both
@@ -347,14 +692,21 @@ cmdCluster(const Args &args)
         shuffled_ids[i] = ids[perm[i]];
         shuffled_origins[i] = shuffled_ids[i].origin_cluster;
     }
+    if (max_reads > 0 && max_reads < shuffled.size()) {
+        shuffled.resize(max_reads);
+        shuffled_ids.resize(max_reads);
+        shuffled_origins.resize(max_reads);
+    }
 
     // Assignment provenance is captured only on demand; placements
-    // are identical either way.
+    // are identical either way. With --shards 1 (the default) the
+    // sharded clusterer is a pass-through of clusterReads.
     const bool want_lineage = args.has("lineage-out");
     std::vector<ReadAssignment> assignments;
     auto start = std::chrono::steady_clock::now();
-    std::vector<ReadCluster> clusters = clusterReads(
-        shuffled, options, want_lineage ? &assignments : nullptr);
+    std::vector<ReadCluster> clusters = clusterReadsSharded(
+        StrandPoolView(shuffled), options, shards,
+        want_lineage ? &assignments : nullptr);
     double secs = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - start)
                       .count();
@@ -376,36 +728,11 @@ cmdCluster(const Args &args)
                report.misclustered.size(), " misclustered reads)");
     }
 
-    // The stdout summary carries a wall-clock throughput column; the
-    // clustering itself — representative plus member read indices in
-    // placement order — goes to --out, which is the byte-comparable
-    // artifact the determinism checks diff across --threads and
-    // --simd settings.
-    if (args.has("out")) {
-        std::string out = args.get("out");
-        std::ofstream os(out, std::ios::binary);
-        if (!os)
-            DNASIM_FATAL("cannot write '", out, "'");
-        for (const auto &cluster : clusters) {
-            os << cluster.representative;
-            for (size_t member : cluster.members)
-                os << ' ' << member;
-            os << '\n';
-        }
-    }
+    if (args.has("out"))
+        writeClustersOut(args.get("out"), clusters);
 
-    TextTable table("clustering");
-    table.setHeader({"index", "reads", "clusters", "purity%",
-                     "reads/s"});
-    table.addRow({clusterIndexName(options.index),
-                  std::to_string(purity.num_reads),
-                  std::to_string(purity.num_clusters),
-                  fmtPercent(purity.purity()),
-                  std::to_string(static_cast<uint64_t>(
-                      secs > 0.0 ? static_cast<double>(purity.num_reads)
-                                       / secs
-                                 : 0.0))});
-    table.print(std::cout);
+    printClusterTable(options, purity.num_reads, purity.num_clusters,
+                      &purity, secs);
     return 0;
 }
 
@@ -415,7 +742,7 @@ cmdRoundtrip(const Args &args)
     if (args.positional().size() < 2) {
         DNASIM_FATAL("usage: dnasim roundtrip <file> "
                      "[--coverage N] [--error-rate p] "
-                     "[--algo iterative]");
+                     "[--algo iterative] [--max-reads N]");
     }
     const std::string &path = args.positional()[1];
     std::ifstream in(path, std::ios::binary);
@@ -431,6 +758,8 @@ cmdRoundtrip(const Args &args)
     Rng rng(args.getSeed("seed", 0x3071));
 
     PipelineConfig pipeline_config;
+    pipeline_config.max_reads =
+        static_cast<size_t>(args.getInt("max-reads", 0));
     pipeline_config.recluster = args.has("recluster");
     pipeline_config.cluster = clusterOptionsFromArgs(args);
     ArchivalPipeline pipeline(pipeline_config);
@@ -496,7 +825,14 @@ printUsage()
         "               <dataset.evyat> [--model naive|conditional|\n"
         "               skew|second-order|dnasimulator] [--out file]\n"
         "               [--error-profile profile.txt]\n"
+        "               [--max-reads N] [--checkpoint-dir DIR]\n"
         "               [--lineage-out lineage.jsonl]\n"
+        "  ingest       pack a text read set into an mmap-backed\n"
+        "               .dnapool file in bounded memory\n"
+        "               <reads.{txt,fasta,evyat}>\n"
+        "               [--format auto|lines|fasta|evyat]\n"
+        "               [--out pool.dnapool | --checkpoint-dir DIR]\n"
+        "               [--origins origins.u32] [--max-reads N]\n"
         "  explain      simulate with ground-truth lineage, "
         "reconstruct,\n"
         "               and attribute every residual error to its\n"
@@ -507,19 +843,23 @@ printUsage()
         "               <dataset.evyat> [--algo bma|bma-oneway|divbma|\n"
         "               iterative|iterative-2way|iterative-weighted|\n"
         "               majority] [--coverage N]\n"
+        "               [--checkpoint-dir DIR]\n"
         "  analyze      positional error profiles and second-order\n"
         "               census <dataset.evyat> [--buckets B]\n"
-        "  cluster      re-cluster a shuffled read pool and score\n"
-        "               purity <dataset.evyat>\n"
+        "  cluster      re-cluster a read pool and score purity\n"
+        "               <dataset.evyat|pool.dnapool>\n"
         "               [--cluster-index sketch|greedy]\n"
         "               [--distance-threshold D] [--anchor-length A]\n"
         "               [--max-probes P] [--sketch-kmer K]\n"
         "               [--sketch-bands B] [--sketch-rows R]\n"
-        "               [--out clusters.txt]\n"
+        "               [--shards S] [--max-reads N]\n"
+        "               [--origins origins.u32]\n"
+        "               [--checkpoint-dir DIR] [--out clusters.txt]\n"
         "               [--lineage-out lineage.jsonl]\n"
         "  roundtrip    store a file in simulated DNA and read it\n"
         "               back <file> [--coverage N] [--error-rate p]\n"
         "               [--algo iterative] [--recluster]\n"
+        "               [--max-reads N]\n"
         "               [--cluster-index sketch|greedy]\n"
         "               [--lineage-out lineage.jsonl]\n"
         "  bench        bench trajectory ledger and perf diffing\n"

@@ -52,6 +52,9 @@ int cmdReconstruct(const Args &args);
 /** analyze: positional profiles and second-order census. */
 int cmdAnalyze(const Args &args);
 
+/** ingest: pack a text read set into an mmap-backed pool file. */
+int cmdIngest(const Args &args);
+
 /** cluster: re-cluster a shuffled read pool and score purity. */
 int cmdCluster(const Args &args);
 

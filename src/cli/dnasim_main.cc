@@ -67,6 +67,8 @@ dispatch(const std::string &command, const dnasim::Args &args)
         return cmdReconstruct(args);
     if (command == "analyze")
         return cmdAnalyze(args);
+    if (command == "ingest")
+        return cmdIngest(args);
     if (command == "cluster")
         return cmdCluster(args);
     if (command == "explain")

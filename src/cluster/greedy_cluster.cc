@@ -68,7 +68,18 @@ clusterReads(const std::vector<Strand> &reads,
              const ClusterOptions &options,
              std::vector<ReadAssignment> *assignments)
 {
+    return clusterReadsRange(StrandPoolView(reads), 0, reads.size(),
+                             options, assignments);
+}
+
+std::vector<ReadCluster>
+clusterReadsRange(const StrandPoolView &view, size_t offset,
+                  size_t count, const ClusterOptions &options,
+                  std::vector<ReadAssignment> *assignments)
+{
     DNASIM_ASSERT(options.anchor_length > 0, "zero anchor length");
+    DNASIM_ASSERT(offset + count <= view.size(),
+                  "cluster range out of pool bounds");
 
     auto &reg = obs::Registry::global();
     static obs::Counter &stat_reads = reg.counter(
@@ -126,15 +137,14 @@ clusterReads(const std::vector<Strand> &reads,
     std::unordered_map<std::string, std::vector<size_t>, AnchorHash,
                        std::equal_to<>>
         buckets;
-    // Signatures for the whole pool up front (parallel, order
+    // Signatures for the whole range up front (parallel, order
     // preserving); the band index itself fills in as clusters open.
     std::optional<SketchIndex> sketch;
     if (use_sketch)
-        sketch.emplace(reads, options.sketch);
+        sketch.emplace(view, offset, count, options.sketch);
 
-    auto anchor_of = [&](const Strand &s) -> std::string_view {
-        return std::string_view(s).substr(
-            0, std::min(options.anchor_length, s.size()));
+    auto anchor_of = [&](std::string_view s) -> std::string_view {
+        return s.substr(0, std::min(options.anchor_length, s.size()));
     };
 
     std::vector<size_t> candidates;
@@ -220,11 +230,17 @@ clusterReads(const std::vector<Strand> &reads,
     };
 
     if (assignments != nullptr)
-        assignments->assign(reads.size(), ReadAssignment{});
+        assignments->assign(count, ReadAssignment{});
 
-    obs::ProgressScope progress("cluster", reads.size());
-    for (size_t i = 0; i < reads.size(); ++i) {
-        const Strand &read = reads[i];
+    // Strand materialization scratch: vector-backed views return
+    // zero-copy references into the backing store, pool-backed views
+    // unpack only the strand under the cursor into this buffer —
+    // which is what keeps clustering RSS independent of pool size.
+    Strand read_scratch;
+    obs::ProgressScope progress("cluster", count);
+    for (size_t i = 0; i < count; ++i) {
+        const std::string_view read =
+            view.chars(offset + i, read_scratch);
         progress.advance();
         read_pattern.assign(read);
 
@@ -303,8 +319,8 @@ clusterReads(const std::vector<Strand> &reads,
 
         if (placed_in == clusters.size()) {
             ReadCluster fresh;
-            fresh.members.push_back(i);
-            fresh.representative = read;
+            fresh.members.push_back(offset + i);
+            fresh.representative = Strand(read);
             clusters.push_back(std::move(fresh));
             auto bucket = buckets.find(anchor_of(read));
             if (bucket == buckets.end()) {
@@ -318,11 +334,11 @@ clusterReads(const std::vector<Strand> &reads,
                 sketch->addCluster(i, clusters.size() - 1);
             stat_created.inc();
         } else {
-            clusters[placed_in].members.push_back(i);
+            clusters[placed_in].members.push_back(offset + i);
             stat_merges.inc();
         }
     }
-    stat_reads.add(reads.size());
+    stat_reads.add(count);
     stat_comparisons.add(comparisons);
     if (use_sketch) {
         const SketchCounters &sc = sketch->counters();

@@ -21,6 +21,7 @@
 
 #include "base/dna.hh"
 #include "base/rng.hh"
+#include "base/strand_pool.hh"
 #include "cluster/sketch_index.hh"
 
 namespace dnasim
@@ -108,6 +109,20 @@ std::vector<ReadCluster>
 clusterReads(const std::vector<Strand> &reads,
              const ClusterOptions &options = {},
              std::vector<ReadAssignment> *assignments = nullptr);
+
+/**
+ * Cluster reads [offset, offset + count) of a pool view — the
+ * building block of the sharded out-of-core clusterer
+ * (cluster/shard_cluster.hh). Cluster members are *global* pool
+ * indices (offset + local position); a non-null @p assignments
+ * receives count entries indexed by local position. For a
+ * vector-backed view with offset 0 this is exactly clusterReads()
+ * — same probe order, same placements, byte-identical clusters.
+ */
+std::vector<ReadCluster>
+clusterReadsRange(const StrandPoolView &view, size_t offset,
+                  size_t count, const ClusterOptions &options = {},
+                  std::vector<ReadAssignment> *assignments = nullptr);
 
 /**
  * Purity metrics of a clustering against ground truth: each read

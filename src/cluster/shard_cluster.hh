@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Sharded out-of-core clustering over mmap-backed strand pools.
+ *
+ * The single-pass greedy clusterer keeps one MinHash signature per
+ * read in RAM — 128 bytes per read at the default 16 bands, the
+ * dominant memory term at millions of reads. The sharded driver
+ * bounds that: the pool is cut into contiguous segments, each
+ * segment is clustered independently (its signatures and sketch
+ * table die with the segment), and the per-shard cluster-id spaces
+ * are merged at the end by clustering the shard representatives —
+ * the greedy clusterer reused as its own merge step — and unioning
+ * each representative group into one final cluster. Peak RSS is one
+ * shard's working set plus the cluster table, independent of pool
+ * size.
+ *
+ * Determinism: every stage (per-shard clustering, representative
+ * clustering, union + canonicalization) is thread-count-invariant,
+ * so output is byte-identical at any --threads. The merged result is
+ * additionally *canonical* — members sorted ascending, clusters
+ * ordered by smallest member, the representative taken from the
+ * constituent shard-cluster holding that smallest member — a form
+ * the single-shard greedy output is already in, so on datasets whose
+ * clusters the channel keeps within the distance threshold (every
+ * test and CI config) the output is byte-identical across shard
+ * counts too.
+ */
+
+#ifndef DNASIM_CLUSTER_SHARD_CLUSTER_HH
+#define DNASIM_CLUSTER_SHARD_CLUSTER_HH
+
+#include <vector>
+
+#include "base/strand_pool.hh"
+#include "cluster/greedy_cluster.hh"
+
+namespace dnasim
+{
+
+/**
+ * Cluster all reads of @p view in @p shards contiguous segments
+ * (clamped to [1, view.size()]; 0 means 1). Cluster members are
+ * global pool indices. With one shard this is exactly
+ * clusterReadsRange() over the whole pool. A non-null
+ * @p assignments receives one entry per read: shard-local tier /
+ * distance / probe provenance with the cluster field remapped to
+ * the merged cluster list.
+ */
+std::vector<ReadCluster>
+clusterReadsSharded(const StrandPoolView &view,
+                    const ClusterOptions &options, size_t shards,
+                    std::vector<ReadAssignment> *assignments = nullptr);
+
+} // namespace dnasim
+
+#endif // DNASIM_CLUSTER_SHARD_CLUSTER_HH

@@ -57,6 +57,20 @@ SketchIndex::SketchIndex(const std::vector<Strand> &reads,
                          const SketchOptions &options)
     : opts_(options)
 {
+    build(StrandPoolView(reads), 0, reads.size());
+}
+
+SketchIndex::SketchIndex(const StrandPoolView &view, size_t offset,
+                         size_t count, const SketchOptions &options)
+    : opts_(options)
+{
+    build(view, offset, count);
+}
+
+void
+SketchIndex::build(const StrandPoolView &view, size_t offset,
+                   size_t count)
+{
     DNASIM_ASSERT(opts_.kmer_length >= 1 &&
                       opts_.kmer_length <= PackedStrand::kBasesPerWord,
                   "sketch k-mer length out of [1, 32]");
@@ -64,6 +78,8 @@ SketchIndex::SketchIndex(const std::vector<Strand> &reads,
                   "sketch needs at least one band and one row");
     DNASIM_ASSERT(opts_.num_bands * opts_.rows_per_band <= kMaxHashes,
                   "sketch signature wider than ", kMaxHashes);
+    DNASIM_ASSERT(offset + count <= view.size(),
+                  "sketch range out of pool bounds");
 
     {
         obs::ScopedTrace span("cluster.sketch.signatures", "cluster");
@@ -72,18 +88,25 @@ SketchIndex::SketchIndex(const std::vector<Strand> &reads,
         // the flat key array, so the result is byte-identical at any
         // thread count and the probe loop later touches one
         // contiguous stretch per read instead of a heap vector per
-        // signature.
-        flat_keys_.assign(reads.size() * opts_.num_bands, 0);
-        has_sig_.assign(reads.size(), 0);
+        // signature. Pool-backed views hand the mmap'd packed words
+        // to the sketcher directly; vector-backed reads pack into a
+        // reused per-thread arena first.
+        flat_keys_.assign(count * opts_.num_bands, 0);
+        has_sig_.assign(count, 0);
         par::parallelFor(
-            0, reads.size(),
+            0, count,
             [&](size_t i) {
-                if (signatureInto(reads[i], flat_keys_.data() +
-                                                i * opts_.num_bands))
+                thread_local std::vector<uint64_t> scratch;
+                std::span<const uint64_t> words;
+                size_t len = 0;
+                if (view.packed(offset + i, scratch, words, len) &&
+                    signatureFromWords(words, len,
+                                       flat_keys_.data() +
+                                           i * opts_.num_bands))
                     has_sig_[i] = 1;
             },
             /*grain=*/16);
-        for (size_t i = 0; i < reads.size(); ++i)
+        for (size_t i = 0; i < count; ++i)
             if (!has_sig_[i])
                 ++counters_.empty_signatures;
     }
@@ -104,6 +127,15 @@ SketchIndex::signatureInto(std::string_view read, uint64_t *out) const
     size_t len = 0;
     if (!packWordsInto(read, read.size(), words, &len))
         return false;
+    return signatureFromWords({words.data(),
+                               PackedStrand::numWords(len)},
+                              len, out);
+}
+
+bool
+SketchIndex::signatureFromWords(std::span<const uint64_t> words,
+                                size_t len, uint64_t *out) const
+{
     if (len < opts_.kmer_length)
         return false;
 
@@ -116,8 +148,7 @@ SketchIndex::signatureInto(std::string_view read, uint64_t *out) const
     std::array<uint64_t, kMaxHashes> minh;
     minh.fill(~uint64_t{0});
     forEachPackedKmer(
-        {words.data(), PackedStrand::numWords(len)}, len,
-        opts_.kmer_length, [&](uint64_t code) {
+        words, len, opts_.kmer_length, [&](uint64_t code) {
             const uint64_t g = mix64(code + opts_.seed);
             const size_t slot = static_cast<size_t>(
                 (static_cast<unsigned __int128>(g) * slots) >> 64);

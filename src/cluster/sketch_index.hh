@@ -48,10 +48,12 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string_view>
 #include <vector>
 
 #include "base/dna.hh"
+#include "base/strand_pool.hh"
 
 namespace dnasim
 {
@@ -151,6 +153,16 @@ class SketchIndex
     SketchIndex(const std::vector<Strand> &reads,
                 const SketchOptions &options);
 
+    /**
+     * Same, over reads [offset, offset + count) of a pool view —
+     * the shard-building path of the out-of-core clusterer. Read
+     * indices passed to the other members are *local* to the range
+     * (0 .. count). Pool-backed views sketch straight from the
+     * mmap'd packed words; the character form is never materialized.
+     */
+    SketchIndex(const StrandPoolView &view, size_t offset,
+                size_t count, const SketchOptions &options);
+
     const SketchOptions &options() const { return opts_; }
 
     /** False for reads with no k-mer (short or non-ACGT content). */
@@ -180,6 +192,15 @@ class SketchIndex
     /// Compute the num_bands band keys of @p read into @p out.
     /// False (out untouched) if the read has no sketchable k-mer.
     bool signatureInto(std::string_view read, uint64_t *out) const;
+
+    /// Same, from an already 2-bit packed strand of @p len bases.
+    bool signatureFromWords(std::span<const uint64_t> words,
+                            size_t len, uint64_t *out) const;
+
+    /// Shared ctor body: validate options, sketch the range, size
+    /// the bucket table.
+    void build(const StrandPoolView &view, size_t offset,
+               size_t count);
 
     /// Slot holding @p key, or the empty slot where it belongs.
     size_t findSlot(uint64_t key) const;

@@ -1,5 +1,7 @@
 #include "core/channel_simulator.hh"
 
+#include <ostream>
+
 #include "base/logging.hh"
 #include "obs/progress.hh"
 #include "obs/stats.hh"
@@ -109,6 +111,71 @@ ChannelSimulator::simulate(const std::vector<Strand> &references,
         progress.advance();
     });
     return Dataset(std::move(clusters));
+}
+
+PoolSimulateResult
+ChannelSimulator::simulateToPool(const StrandPoolView &references,
+                                 const CoverageModel &coverage,
+                                 Rng &rng,
+                                 PackedStrandPoolBuilder &reads_out,
+                                 std::ostream *origins_out,
+                                 const PoolSimulateOptions &options) const
+{
+    SimStats &ss = SimStats::get();
+    obs::ScopedTimer timer(ss.time);
+    obs::ScopedTrace span("channel.simulateToPool", "channel");
+    DNASIM_ASSERT(options.chunk_clusters > 0, "zero chunk size");
+
+    PoolSimulateResult result;
+    const size_t n = references.size();
+    std::vector<Rng> streams;
+    std::vector<Cluster> chunk;
+    obs::ProgressScope progress("simulate", n);
+    for (size_t lo = 0; lo < n && !result.truncated;
+         lo += options.chunk_clusters) {
+        const size_t len = std::min(options.chunk_clusters, n - lo);
+        // Streams are forked by *global* cluster index, so cluster i
+        // draws exactly the numbers simulate() would — chunking is
+        // invisible in the output.
+        streams.clear();
+        streams.reserve(len);
+        for (size_t k = 0; k < len; ++k)
+            streams.push_back(rng.fork(lo + k));
+        chunk.assign(len, Cluster{});
+        par::parallelFor(0, len, [&](size_t k) {
+            thread_local Strand ref;
+            references.materialize(lo + k, ref);
+            const size_t copies = coverage.sample(lo + k, streams[k]);
+            chunk[k] = simulateCluster(ref, copies, streams[k]);
+            ss.clusters.inc();
+            ss.cluster_size.record(copies);
+            progress.advance();
+        });
+        // Serial drain keeps builder appends in cluster order.
+        for (size_t k = 0; k < len && !result.truncated; ++k) {
+            const auto origin = static_cast<uint32_t>(lo + k);
+            bool contributed = false;
+            for (const Strand &copy : chunk[k].copies) {
+                if (options.max_reads != 0 &&
+                    result.reads >= options.max_reads) {
+                    result.truncated = true;
+                    break;
+                }
+                const bool ok = reads_out.append(copy);
+                DNASIM_ASSERT(ok, "channel emitted a non-ACGT read");
+                if (origins_out != nullptr) {
+                    origins_out->write(
+                        reinterpret_cast<const char *>(&origin),
+                        sizeof(origin));
+                }
+                ++result.reads;
+                contributed = true;
+            }
+            if (contributed || chunk[k].copies.empty())
+                ++result.clusters;
+        }
+    }
+    return result;
 }
 
 Dataset

@@ -8,8 +8,10 @@
 #ifndef DNASIM_CORE_CHANNEL_SIMULATOR_HH
 #define DNASIM_CORE_CHANNEL_SIMULATOR_HH
 
+#include <iosfwd>
 #include <vector>
 
+#include "base/strand_pool.hh"
 #include "core/coverage.hh"
 #include "core/error_model.hh"
 #include "core/lineage_log.hh"
@@ -27,6 +29,25 @@ namespace dnasim
  * "Deterministic parallelism").
  */
 std::vector<Rng> forkClusterStreams(Rng &rng, size_t n);
+
+/** Options for ChannelSimulator::simulateToPool(). */
+struct PoolSimulateOptions
+{
+    /// Clusters simulated per bounded-memory chunk: one chunk of
+    /// clusters (and its forked Rng streams) is the only simulated
+    /// data in RAM at a time.
+    size_t chunk_clusters = 4096;
+    /// Stop after this many reads (0 = unlimited); the last cluster
+    /// may be truncated mid-coverage.
+    size_t max_reads = 0;
+};
+
+struct PoolSimulateResult
+{
+    size_t clusters = 0; ///< clusters that contributed reads
+    size_t reads = 0;
+    bool truncated = false; ///< max_reads cut the run short
+};
 
 /**
  * Generates clustered noisy datasets from reference strands.
@@ -67,6 +88,25 @@ class ChannelSimulator
      */
     Dataset simulateLike(const Dataset &shape, Rng &rng,
                          LineageLog *lineage = nullptr) const;
+
+    /**
+     * Transmit every strand of @p references (pool- or vector-
+     * backed) straight into a pool builder, in bounded memory:
+     * clusters are simulated chunk by chunk (parallel inside a
+     * chunk, per-cluster streams forked by global index) and
+     * drained serially to @p reads_out in cluster order, so the
+     * reads — and their order — are byte-identical to flattening
+     * simulate() at any --threads and any chunk size. A non-null
+     * @p origins_out receives one little-endian u32 cluster index
+     * per read. Lineage capture is not available on this path; use
+     * simulate() when forensics are needed.
+     */
+    PoolSimulateResult
+    simulateToPool(const StrandPoolView &references,
+                   const CoverageModel &coverage, Rng &rng,
+                   PackedStrandPoolBuilder &reads_out,
+                   std::ostream *origins_out = nullptr,
+                   const PoolSimulateOptions &options = {}) const;
 
     /**
      * One cluster: @p n transmissions of @p reference, with events

@@ -100,4 +100,19 @@ Dataset::pooledReads() const
     return out;
 }
 
+void
+Dataset::truncateReads(size_t max_reads)
+{
+    if (max_reads == 0)
+        return;
+    size_t kept = 0;
+    for (auto &c : clusters_) {
+        const size_t take =
+            std::min(c.copies.size(), max_reads - kept);
+        if (take < c.copies.size())
+            c.copies.resize(take);
+        kept += take;
+    }
+}
+
 } // namespace dnasim

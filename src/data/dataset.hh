@@ -106,6 +106,14 @@ class Dataset
      *  imperfect-clustering experiments). */
     std::vector<Strand> pooledReads() const;
 
+    /**
+     * Keep only the first @p max_reads copies in cluster order
+     * (0 = no-op). Clusters are retained — ones past the cap become
+     * erasures — so cluster indices and references stay stable. The
+     * prefix-subsample behind --max-reads smoke runs.
+     */
+    void truncateReads(size_t max_reads);
+
   private:
     std::vector<Cluster> clusters_;
 };

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "base/logging.hh"
+#include "obs/outfile.hh"
 
 namespace dnasim
 {
@@ -48,12 +49,15 @@ writeEvyat(const Dataset &dataset, std::ostream &os)
 void
 writeEvyatFile(const Dataset &dataset, const std::string &path)
 {
-    std::ofstream out(path);
-    if (!out)
-        DNASIM_FATAL("cannot open '", path, "' for writing");
-    writeEvyat(dataset, out);
-    if (!out)
-        DNASIM_FATAL("I/O error while writing '", path, "'");
+    // Streamed through an atomic temp-and-rename so a killed run
+    // never leaves a torn dataset where a reader expects one.
+    obs::AtomicFile out;
+    std::string error;
+    if (!out.open(path, &error))
+        DNASIM_FATAL("cannot write dataset: ", error);
+    writeEvyat(dataset, out.stream());
+    if (!out.commit(&error))
+        DNASIM_FATAL("cannot write dataset: ", error);
 }
 
 Dataset

@@ -56,7 +56,19 @@ configValue(const JsonValue &v)
 struct Samples
 {
     std::vector<double> values;
+    std::vector<double> rss; ///< per-repeat RSS high water, bytes
 };
+
+double
+meanOf(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
 
 RowStats
 computeStats(const std::vector<double> &values)
@@ -79,6 +91,20 @@ computeStats(const std::vector<double> &values)
             ss / static_cast<double>(values.size() - 1));
     }
     return stats;
+}
+
+std::string
+fmtBytesShort(double bytes)
+{
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(1);
+    if (bytes >= static_cast<double>(1ull << 30))
+        os << bytes / static_cast<double>(1ull << 30) << "GiB";
+    else if (bytes >= static_cast<double>(1ull << 20))
+        os << bytes / static_cast<double>(1ull << 20) << "MiB";
+    else
+        os << bytes / 1024.0 << "KiB";
+    return os.str();
 }
 
 const char *
@@ -201,6 +227,8 @@ parseBenchReport(const std::string &json_text, BenchRun &out,
                 r.cpu_time_ns = finiteOr(v->asDouble(), 0.0);
             if (const JsonValue *v = row.find("iterations"))
                 r.iterations = v->asUint();
+            if (const JsonValue *v = row.find("rss_high_water_bytes"))
+                r.rss_high_water_bytes = v->asUint();
             out.rows.push_back(std::move(r));
         }
     }
@@ -307,6 +335,10 @@ benchRunToJsonLine(const BenchRun &run)
         w.value("real_time_ns", row.real_time_ns);
         w.value("cpu_time_ns", row.cpu_time_ns);
         w.value("iterations", row.iterations);
+        // Emitted only when measured so lines from pre-RSS reports
+        // round-trip byte-identically.
+        if (row.rss_high_water_bytes > 0)
+            w.value("rss_high_water_bytes", row.rss_high_water_bytes);
         w.endObject();
     }
     w.endArray();
@@ -390,13 +422,24 @@ DiffReport::improvements() const
     return n;
 }
 
+size_t
+DiffReport::memRegressions() const
+{
+    size_t n = 0;
+    for (const auto &row : rows)
+        n += row.mem_regressed ? 1 : 0;
+    return n;
+}
+
 DiffReport
 diffBenchRuns(const std::vector<BenchRun> &baseline,
               const std::vector<BenchRun> &candidate,
               const DiffOptions &options)
 {
     // Group repeats: (bench, row) -> real-time samples, dropping
-    // non-finite and non-positive values (NaN guards).
+    // non-finite and non-positive values (NaN guards). RSS samples
+    // ride along; zero means "not measured" and is dropped so old
+    // baselines without the field never produce a bogus delta.
     auto collect = [](const std::vector<BenchRun> &runs) {
         std::map<std::pair<std::string, std::string>, Samples> out;
         for (const auto &run : runs) {
@@ -404,8 +447,11 @@ diffBenchRuns(const std::vector<BenchRun> &baseline,
                 if (!std::isfinite(row.real_time_ns) ||
                     row.real_time_ns <= 0.0)
                     continue;
-                out[{run.name, row.name}].values.push_back(
-                    row.real_time_ns);
+                Samples &s = out[{run.name, row.name}];
+                s.values.push_back(row.real_time_ns);
+                if (row.rss_high_water_bytes > 0)
+                    s.rss.push_back(static_cast<double>(
+                        row.rss_high_water_bytes));
             }
         }
         return out;
@@ -461,8 +507,25 @@ diffBenchRuns(const std::vector<BenchRun> &baseline,
             delta.verdict = Verdict::kSlower;
         else if (delta.rel_delta < -delta.noise_rel)
             delta.verdict = Verdict::kFaster;
+
+        // Memory is compared only when both sides measured it. The
+        // verdict above stays a time verdict; mem_regressed is a
+        // parallel advisory flag that ok() consults when mem_gate is
+        // set.
+        delta.mem_a_bytes = meanOf(a_samples[key].rss);
+        delta.mem_b_bytes = meanOf(b_samples[key].rss);
+        delta.mem_measured =
+            delta.mem_a_bytes > 0.0 && delta.mem_b_bytes > 0.0;
+        if (delta.mem_measured) {
+            delta.mem_rel_delta =
+                (delta.mem_b_bytes - delta.mem_a_bytes) /
+                delta.mem_a_bytes;
+            delta.mem_regressed =
+                delta.mem_rel_delta > options.mem_threshold;
+        }
         report.rows.push_back(std::move(delta));
     }
+    report.mem_gate = options.mem_gate;
     return report;
 }
 
@@ -504,15 +567,29 @@ diffToText(const DiffReport &report, const DiffOptions &options)
           << row.noise_rel * 100.0 << "%";
         os << std::setw(16) << a.str() << std::setw(16) << b.str()
            << std::setw(10) << d.str() << std::setw(10) << n.str()
-           << "  " << verdictName(row.verdict) << "\n";
+           << "  " << verdictName(row.verdict);
+        if (row.mem_measured) {
+            os << "  [rss " << fmtBytesShort(row.mem_a_bytes)
+               << " -> " << fmtBytesShort(row.mem_b_bytes) << ", "
+               << std::showpos << std::fixed << std::setprecision(1)
+               << row.mem_rel_delta * 100.0 << "%" << std::noshowpos;
+            if (row.mem_regressed)
+                os << " MEM-REGRESSED";
+            os << "]";
+        }
+        os << "\n";
     }
     os << "summary: " << report.rows.size() << " rows, "
        << report.regressions() << " regressions, "
        << report.improvements() << " improvements, " << unmatched
-       << " unmatched (threshold " << std::fixed
+       << " unmatched, " << report.memRegressions()
+       << " mem regressions"
+       << (report.mem_gate ? " (gated)" : " (advisory)")
+       << " (threshold " << std::fixed
        << std::setprecision(1) << options.threshold * 100.0
        << "%, sigma " << std::setprecision(1) << options.sigma
-       << ")\n";
+       << ", mem threshold " << std::setprecision(1)
+       << options.mem_threshold * 100.0 << "%)\n";
     return os.str();
 }
 
@@ -525,10 +602,14 @@ diffToJson(const DiffReport &report, const DiffOptions &options)
     w.value("schema", "dnasim.benchdiff.v1");
     w.value("threshold", options.threshold);
     w.value("sigma", options.sigma);
+    w.value("mem_threshold", options.mem_threshold);
+    w.value("mem_gate", options.mem_gate);
     w.value("regressions", static_cast<uint64_t>(
                                report.regressions()));
     w.value("improvements", static_cast<uint64_t>(
                                 report.improvements()));
+    w.value("mem_regressions", static_cast<uint64_t>(
+                                   report.memRegressions()));
     w.value("ok", report.ok());
     w.beginArray("rows");
     for (const auto &row : report.rows) {
@@ -544,6 +625,12 @@ diffToJson(const DiffReport &report, const DiffOptions &options)
         w.value("rel_delta", row.rel_delta);
         w.value("noise_rel", row.noise_rel);
         w.value("verdict", verdictName(row.verdict));
+        if (row.mem_measured) {
+            w.value("mem_a_bytes", row.mem_a_bytes);
+            w.value("mem_b_bytes", row.mem_b_bytes);
+            w.value("mem_rel_delta", row.mem_rel_delta);
+            w.value("mem_regressed", row.mem_regressed);
+        }
         w.endObject();
     }
     w.endArray();

@@ -37,6 +37,9 @@ struct BenchRunRow
     double real_time_ns = 0.0;
     double cpu_time_ns = 0.0;
     uint64_t iterations = 0;
+    /// Per-row RSS high-water mark (bytes; 0 when the source report
+    /// predates the field or the platform can't measure it).
+    uint64_t rss_high_water_bytes = 0;
 };
 
 /** One ingested dnasim.bench.v1 report. */
@@ -110,6 +113,18 @@ struct DiffOptions
     double threshold = 0.05;
     /** Noise multiplier: flag only beyond sigma x pooled stddev. */
     double sigma = 3.0;
+    /**
+     * Minimum relative RSS high-water growth to flag. Memory is far
+     * less noisy than time, so there is no sigma term; rows missing
+     * the statistic on either side are never flagged.
+     */
+    double mem_threshold = 0.25;
+    /**
+     * When true, memory regressions fail the diff (exit 2) like time
+     * regressions; when false (default) they are advisory — printed
+     * and counted, but ok() ignores them.
+     */
+    bool mem_gate = false;
 };
 
 /** Mean/stddev of one row's repeats. */
@@ -139,17 +154,37 @@ struct RowDelta
     double rel_delta = 0.0; ///< (b.mean - a.mean) / a.mean
     double noise_rel = 0.0; ///< max(threshold, sigma*pooled/mean_a)
     Verdict verdict = Verdict::kOk;
+    /// Mean RSS high-water over repeats, bytes; 0 = not measured.
+    double mem_a_bytes = 0.0;
+    double mem_b_bytes = 0.0;
+    /// (mem_b - mem_a) / mem_a; only meaningful when both sides are
+    /// non-zero (mem_measured).
+    double mem_rel_delta = 0.0;
+    bool mem_measured = false;
+    /// mem_rel_delta exceeded DiffOptions::mem_threshold.
+    bool mem_regressed = false;
 };
 
 /** Full comparison of two run sets. */
 struct DiffReport
 {
     std::vector<RowDelta> rows;
+    /// Echo of DiffOptions::mem_gate at diff time.
+    bool mem_gate = false;
 
     size_t regressions() const;
     size_t improvements() const;
-    /** True when no row regressed (missing rows are advisory). */
-    bool ok() const { return regressions() == 0; }
+    /** Rows whose RSS high water grew beyond the mem threshold. */
+    size_t memRegressions() const;
+    /**
+     * True when no row regressed on time — nor, with mem_gate, on
+     * memory (missing rows are advisory either way).
+     */
+    bool ok() const
+    {
+        return regressions() == 0 &&
+               (!mem_gate || memRegressions() == 0);
+    }
 };
 
 /**

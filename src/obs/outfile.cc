@@ -89,5 +89,63 @@ writeFileAtomic(const std::string &path, const std::string &content,
     return true;
 }
 
+AtomicFile::~AtomicFile()
+{
+    if (isOpen())
+        abort();
+}
+
+bool
+AtomicFile::open(const std::string &path, std::string *error)
+{
+    if (isOpen())
+        abort();
+    if (!prepareOutputPath(path, error))
+        return false;
+    path_ = path;
+    tmp_ = path + ".tmp";
+    out_.open(tmp_, std::ios::binary | std::ios::trunc);
+    if (!out_) {
+        setError(error, "cannot open '" + tmp_ +
+                            "' for writing: " + std::strerror(errno));
+        return false;
+    }
+    return true;
+}
+
+bool
+AtomicFile::commit(std::string *error)
+{
+    if (!isOpen()) {
+        setError(error, "commit on a closed AtomicFile");
+        return false;
+    }
+    out_.flush();
+    const bool wrote_ok = out_.good();
+    out_.close();
+    if (!wrote_ok || out_.fail()) {
+        setError(error, "write to '" + tmp_ +
+                            "' failed: " + std::strerror(errno));
+        std::remove(tmp_.c_str());
+        return false;
+    }
+    if (std::rename(tmp_.c_str(), path_.c_str()) != 0) {
+        setError(error, "cannot rename '" + tmp_ + "' to '" + path_ +
+                            "': " + std::strerror(errno));
+        std::remove(tmp_.c_str());
+        return false;
+    }
+    return true;
+}
+
+void
+AtomicFile::abort()
+{
+    if (!isOpen())
+        return;
+    out_.close();
+    std::remove(tmp_.c_str());
+}
+
 } // namespace obs
 } // namespace dnasim

@@ -374,6 +374,8 @@ ArchivalPipeline::roundTrip(const Bytes &file, const ErrorModel &model,
     Rng channel_rng = rng.fork(0xc4a);
     Dataset clusters =
         sim.simulate(object.strands, coverage, channel_rng, lineage);
+    if (config_.max_reads > 0)
+        clusters.truncateReads(config_.max_reads);
     if (simulated != nullptr)
         *simulated = clusters;
     if (config_.recluster) {

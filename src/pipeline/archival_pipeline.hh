@@ -58,6 +58,11 @@ struct PipelineConfig
     /// Data frames per XOR group.
     size_t xor_group = 7;
 
+    /// Keep only the first max_reads simulated reads, in cluster
+    /// order (0 = all). Clusters past the cap become erasures — a
+    /// cheap prefix subsample for bounded smoke runs.
+    size_t max_reads = 0;
+
     /// Discard the simulator's pseudo-clustering (section 3.1): pool
     /// the reads, shuffle them, and re-cluster with clusterReads()
     /// before reconstruction — the full wetlab-shaped pipeline.

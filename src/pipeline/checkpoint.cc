@@ -1,0 +1,144 @@
+#include "pipeline/checkpoint.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hh"
+#include "obs/outfile.hh"
+#include "obs/provenance.hh"
+
+namespace dnasim
+{
+
+namespace
+{
+
+void
+setError(std::string *error, std::string msg)
+{
+    if (error != nullptr)
+        *error = std::move(msg);
+}
+
+} // anonymous namespace
+
+bool
+CheckpointDir::hasManifest() const
+{
+    std::error_code ec;
+    return std::filesystem::exists(manifestPath(), ec);
+}
+
+bool
+CheckpointDir::readManifest(CheckpointManifest &out,
+                            std::string *error) const
+{
+    const std::string path = manifestPath();
+    std::ifstream in(path);
+    if (!in) {
+        setError(error, "cannot open '" + path + "'");
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    obs::JsonValue doc;
+    if (!obs::parseJson(buf.str(), doc, error))
+        return false;
+    const obs::JsonValue *schema = doc.find("schema");
+    if (schema == nullptr ||
+        schema->asString() != "dnasim.checkpoint.v1") {
+        setError(error, "'" + path +
+                            "' is not a dnasim.checkpoint.v1 "
+                            "manifest");
+        return false;
+    }
+    out = CheckpointManifest{};
+    if (const auto *v = doc.find("stage"))
+        out.stage = v->asString();
+    if (const auto *v = doc.find("seed"))
+        out.seed = v->asUint();
+    if (const auto *v = doc.find("num_refs"))
+        out.num_refs = v->asUint();
+    if (const auto *v = doc.find("num_reads"))
+        out.num_reads = v->asUint();
+    if (const auto *v = doc.find("num_clusters"))
+        out.num_clusters = v->asUint();
+    if (const auto *cfg = doc.find("config"); cfg && cfg->isObject())
+        for (const auto &[key, val] : cfg->object())
+            out.config.emplace_back(key, val.asString());
+    return true;
+}
+
+bool
+CheckpointDir::writeManifest(const CheckpointManifest &manifest,
+                             std::string *error) const
+{
+    std::ostringstream os;
+    obs::JsonWriter w(os);
+    w.beginObject();
+    w.value("schema", "dnasim.checkpoint.v1");
+    w.value("stage", manifest.stage);
+    w.value("seed", manifest.seed);
+    w.value("num_refs", manifest.num_refs);
+    w.value("num_reads", manifest.num_reads);
+    w.value("num_clusters", manifest.num_clusters);
+    w.beginObject("config");
+    for (const auto &[key, value] : manifest.config)
+        w.value(key, value);
+    w.endObject();
+    obs::writeProvenance(w);
+    w.endObject();
+    os << "\n";
+    return obs::writeFileAtomic(manifestPath(), os.str(), error);
+}
+
+bool
+writeU32File(const std::string &path,
+             const std::vector<uint32_t> &values, std::string *error)
+{
+    obs::AtomicFile out;
+    if (!out.open(path, error))
+        return false;
+    if (!values.empty()) {
+        out.stream().write(
+            reinterpret_cast<const char *>(values.data()),
+            static_cast<std::streamsize>(values.size() *
+                                         sizeof(uint32_t)));
+    }
+    return out.commit(error);
+}
+
+bool
+readU32File(const std::string &path, std::vector<uint32_t> &out,
+            std::string *error)
+{
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    if (ec) {
+        setError(error, "cannot stat '" + path + "': " + ec.message());
+        return false;
+    }
+    if (size % sizeof(uint32_t) != 0) {
+        setError(error, "'" + path + "' is not a u32 array (size " +
+                            std::to_string(size) + ")");
+        return false;
+    }
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        setError(error, "cannot open '" + path + "'");
+        return false;
+    }
+    out.resize(static_cast<size_t>(size / sizeof(uint32_t)));
+    if (!out.empty()) {
+        in.read(reinterpret_cast<char *>(out.data()),
+                static_cast<std::streamsize>(size));
+        if (in.gcount() != static_cast<std::streamsize>(size)) {
+            setError(error, "short read on '" + path + "'");
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace dnasim

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Tests for stage checkpoints (dnasim.checkpoint.v1): manifest
+ * round-trip, the manifest-written-last commit contract, and the
+ * little-endian u32 sidecar files.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "pipeline/checkpoint.hh"
+
+namespace dnasim
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+std::string
+tempDir(const std::string &name)
+{
+    const std::string dir =
+        ::testing::TempDir() + "/dnasim_ckpt_" + name;
+    fs::remove_all(dir);
+    fs::create_directories(dir);
+    return dir;
+}
+
+TEST(Checkpoint, ManifestRoundTrips)
+{
+    CheckpointDir ckpt(tempDir("roundtrip"));
+    EXPECT_FALSE(ckpt.hasManifest());
+
+    CheckpointManifest manifest;
+    manifest.stage = "cluster";
+    manifest.seed = 0x51a70;
+    manifest.num_refs = 300;
+    manifest.num_reads = 8254;
+    manifest.num_clusters = 4315;
+    manifest.config = {{"index", "sketch"}, {"shards", "4"}};
+    std::string error;
+    ASSERT_TRUE(ckpt.writeManifest(manifest, &error)) << error;
+    EXPECT_TRUE(ckpt.hasManifest());
+
+    CheckpointManifest back;
+    ASSERT_TRUE(ckpt.readManifest(back, &error)) << error;
+    EXPECT_EQ(back.stage, "cluster");
+    EXPECT_EQ(back.seed, 0x51a70u);
+    EXPECT_EQ(back.num_refs, 300u);
+    EXPECT_EQ(back.num_reads, 8254u);
+    EXPECT_EQ(back.num_clusters, 4315u);
+    EXPECT_EQ(back.config, manifest.config);
+    fs::remove_all(ckpt.dir());
+}
+
+TEST(Checkpoint, MissingManifestReadFails)
+{
+    CheckpointDir ckpt(tempDir("missing"));
+    CheckpointManifest manifest;
+    std::string error;
+    EXPECT_FALSE(ckpt.readManifest(manifest, &error));
+    EXPECT_FALSE(error.empty());
+    fs::remove_all(ckpt.dir());
+}
+
+TEST(Checkpoint, MalformedManifestReadFails)
+{
+    CheckpointDir ckpt(tempDir("malformed"));
+    {
+        std::ofstream os(ckpt.manifestPath());
+        os << "{\"schema\": \"something.else.v1\"}\n";
+    }
+    CheckpointManifest manifest;
+    std::string error;
+    EXPECT_FALSE(ckpt.readManifest(manifest, &error));
+    EXPECT_FALSE(error.empty());
+    fs::remove_all(ckpt.dir());
+}
+
+TEST(Checkpoint, ManifestWriteIsAtomic)
+{
+    CheckpointDir ckpt(tempDir("atomic"));
+    CheckpointManifest manifest;
+    manifest.stage = "simulate";
+    ASSERT_TRUE(ckpt.writeManifest(manifest));
+    // No temp debris next to the committed file.
+    size_t entries = 0;
+    for (const auto &e : fs::directory_iterator(ckpt.dir())) {
+        (void)e;
+        ++entries;
+    }
+    EXPECT_EQ(entries, 1u);
+    fs::remove_all(ckpt.dir());
+}
+
+TEST(Checkpoint, PathLayoutIsStable)
+{
+    CheckpointDir ckpt("ck");
+    EXPECT_EQ(ckpt.refsPath(), "ck/refs.dnapool");
+    EXPECT_EQ(ckpt.readsPath(), "ck/reads.dnapool");
+    EXPECT_EQ(ckpt.originsPath(), "ck/origins.u32");
+    EXPECT_EQ(ckpt.assignmentsPath(), "ck/assignments.u32");
+    EXPECT_EQ(ckpt.representativesPath(),
+              "ck/representatives.dnapool");
+    EXPECT_EQ(ckpt.manifestPath(), "ck/manifest.json");
+}
+
+TEST(U32File, RoundTripsLittleEndian)
+{
+    const std::string path =
+        ::testing::TempDir() + "/dnasim_ckpt_u32.bin";
+    const std::vector<uint32_t> values = {0, 1, 0x01020304,
+                                          0xffffffffu};
+    std::string error;
+    ASSERT_TRUE(writeU32File(path, values, &error)) << error;
+
+    // On-disk bytes are little-endian regardless of host order.
+    std::ifstream is(path, std::ios::binary);
+    std::vector<unsigned char> bytes(16);
+    is.read(reinterpret_cast<char *>(bytes.data()), 16);
+    ASSERT_TRUE(is.good());
+    EXPECT_EQ(bytes[8], 0x04);
+    EXPECT_EQ(bytes[9], 0x03);
+    EXPECT_EQ(bytes[10], 0x02);
+    EXPECT_EQ(bytes[11], 0x01);
+
+    std::vector<uint32_t> back;
+    ASSERT_TRUE(readU32File(path, back, &error)) << error;
+    EXPECT_EQ(back, values);
+    fs::remove(path);
+}
+
+TEST(U32File, EmptyVectorRoundTrips)
+{
+    const std::string path =
+        ::testing::TempDir() + "/dnasim_ckpt_u32_empty.bin";
+    std::vector<uint32_t> back = {7};
+    ASSERT_TRUE(writeU32File(path, {}));
+    ASSERT_TRUE(readU32File(path, back));
+    EXPECT_TRUE(back.empty());
+    fs::remove(path);
+}
+
+TEST(U32File, MissingFileReadFails)
+{
+    std::vector<uint32_t> out;
+    std::string error;
+    EXPECT_FALSE(readU32File(::testing::TempDir() +
+                                 "/dnasim_ckpt_nope.bin",
+                             out, &error));
+    EXPECT_FALSE(error.empty());
+}
+
+} // anonymous namespace
+} // namespace dnasim

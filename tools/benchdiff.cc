@@ -6,7 +6,7 @@
  * building the full simulator.
  *
  *   benchdiff <baseline> <candidate> [--threshold p] [--sigma k]
- *             [--json] [--out FILE]
+ *             [--mem-threshold p] [--mem-gate] [--json] [--out FILE]
  *
  * Inputs are single .json reports, .jsonl ledgers, or directories
  * scanned recursively for BENCH_*.json (repeats in subdirectories
@@ -34,6 +34,10 @@ usage()
            "(default 0.05)\n"
            "  --sigma k       noise multiplier over the pooled "
            "stddev (default 3.0)\n"
+           "  --mem-threshold p  minimum relative RSS high-water "
+           "growth to flag (default 0.25)\n"
+           "  --mem-gate      fail (exit 2) on memory regressions "
+           "too, not just report them\n"
            "  --json          machine-readable dnasim.benchdiff.v1 "
            "output\n"
            "  --out FILE      also write the JSON report to FILE\n"
@@ -68,6 +72,13 @@ main(int argc, char **argv)
             options.sigma = std::strtod(argv[++i], nullptr);
         } else if (arg.rfind("--sigma=", 0) == 0) {
             options.sigma = std::strtod(arg.c_str() + 8, nullptr);
+        } else if (arg == "--mem-threshold" && i + 1 < argc) {
+            options.mem_threshold = std::strtod(argv[++i], nullptr);
+        } else if (arg.rfind("--mem-threshold=", 0) == 0) {
+            options.mem_threshold =
+                std::strtod(arg.c_str() + 16, nullptr);
+        } else if (arg == "--mem-gate") {
+            options.mem_gate = true;
         } else if (arg == "--out" && i + 1 < argc) {
             out_path = argv[++i];
         } else if (arg.rfind("--out=", 0) == 0) {
