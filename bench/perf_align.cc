@@ -12,6 +12,7 @@
 
 #include "bench_report.hh"
 #include "align/edit_distance.hh"
+#include "align/edit_script.hh"
 #include "align/gestalt.hh"
 #include "align/hamming.hh"
 #include "align/myers_batch.hh"
@@ -87,13 +88,67 @@ BM_LevenshteinScalarBanded(benchmark::State &state)
             scalarAdaptiveBanded(f.ref, f.copy));
 }
 
+/**
+ * Edit-script recovery across the engine's whole operating envelope:
+ * strand length x error rate x tie-break mode. rng_mode 0 is the
+ * deterministic consensus shape (Tier A bit-vectors), rng_mode 1 the
+ * profiler's random tie-break shape (Tier B banded). Each row also
+ * records its per-script cell-equivalent count (from
+ * align.editops.cells) as an `editops.cells/...` report metric, so
+ * ledger diffs see work-done changes even when time is noisy.
+ */
 void
 BM_EditOps(benchmark::State &state)
 {
-    Fixture f(static_cast<size_t>(state.range(0)), 0.06);
+    const auto len = static_cast<size_t>(state.range(0));
+    const auto err_pct = static_cast<int>(state.range(1));
+    const bool use_rng = state.range(2) != 0;
+    Fixture f(len, static_cast<double>(err_pct) / 100.0);
     Rng rng = benchRng(7);
-    for (auto _ : state)
-        benchmark::DoNotOptimize(editOps(f.ref, f.copy, &rng));
+    std::vector<EditOp> ops;
+    auto &cells = align_detail::EditOpsStats::get().cells;
+    const uint64_t cells_before = cells.value();
+    for (auto _ : state) {
+        editOpsInto(f.ref, f.copy, use_rng ? &rng : nullptr, ops);
+        benchmark::DoNotOptimize(ops.data());
+    }
+    if (state.iterations() > 0) {
+        BenchReport::global().addMetric(
+            "editops.cells/" + std::to_string(len) + "/" +
+                std::to_string(err_pct) +
+                (use_rng ? "/rng" : "/det"),
+            static_cast<double>(cells.value() - cells_before) /
+                static_cast<double>(state.iterations()));
+    }
+}
+
+/**
+ * The pinned flat-DP twin of BM_EditOps at the same inputs — the
+ * in-place denominator for the engine speedup ratio.
+ */
+void
+BM_EditOpsReference(benchmark::State &state)
+{
+    const auto len = static_cast<size_t>(state.range(0));
+    const auto err_pct = static_cast<int>(state.range(1));
+    const bool use_rng = state.range(2) != 0;
+    Fixture f(len, static_cast<double>(err_pct) / 100.0);
+    Rng rng = benchRng(7);
+    std::vector<EditOp> ops;
+    for (auto _ : state) {
+        align_detail::editOpsReference(
+            f.ref, f.copy, use_rng ? &rng : nullptr, ops);
+        benchmark::DoNotOptimize(ops.data());
+    }
+}
+
+void
+editOpsArgs(benchmark::internal::Benchmark *b)
+{
+    for (int64_t rng_mode : {0, 1})
+        for (int64_t len : {100, 150, 300})
+            for (int64_t err_pct : {1, 3, 10})
+                b->Args({len, err_pct, rng_mode});
 }
 
 void
@@ -258,7 +313,8 @@ batchVerifyArgs(benchmark::internal::Benchmark *b)
 BENCHMARK(BM_Levenshtein)->Arg(110)->Arg(220);
 BENCHMARK(BM_LevenshteinBitParallel)->Arg(64)->Arg(150)->Arg(1000);
 BENCHMARK(BM_LevenshteinScalarBanded)->Arg(64)->Arg(150)->Arg(1000);
-BENCHMARK(BM_EditOps)->Arg(110)->Arg(220);
+BENCHMARK(BM_EditOps)->Apply(editOpsArgs);
+BENCHMARK(BM_EditOpsReference)->Apply(editOpsArgs);
 BENCHMARK(BM_GestaltScore)->Arg(110)->Arg(220);
 BENCHMARK(BM_GestaltErrorPositions)->Arg(110);
 BENCHMARK(BM_HammingErrorPositions)->Arg(110);

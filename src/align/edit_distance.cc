@@ -379,97 +379,9 @@ levenshtein(std::string_view a, std::string_view b)
     }
 }
 
-void
-editOpsInto(std::string_view ref, std::string_view copy, Rng *rng,
-            std::vector<EditOp> &out)
-{
-    const size_t n = ref.size(), m = copy.size();
-    const size_t stride = m + 1;
-    const size_t cells = (n + 1) * stride;
-
-    // dist[i * stride + j]: edit distance between ref[:i] and
-    // copy[:j]. One flat reused buffer — the old row-of-rows layout
-    // allocated n + 2 vectors per call, which dominated consensus
-    // voting (one editOps per copy per refinement round).
-    thread_local std::vector<uint32_t> dist;
-    dist.resize(cells);
-    for (size_t i = 0; i <= n; ++i)
-        dist[i * stride] = static_cast<uint32_t>(i);
-    for (size_t j = 0; j <= m; ++j)
-        dist[j] = static_cast<uint32_t>(j);
-    for (size_t i = 1; i <= n; ++i) {
-        const uint32_t *prev = &dist[(i - 1) * stride];
-        uint32_t *cur = &dist[i * stride];
-        const char rc = ref[i - 1];
-        for (size_t j = 1; j <= m; ++j) {
-            uint32_t diag = prev[j - 1] + (rc == copy[j - 1] ? 0 : 1);
-            cur[j] = std::min({diag, prev[j] + 1, cur[j - 1] + 1});
-        }
-    }
-
-    // Backtrace from (n, m), choosing among minimum-cost predecessors
-    // either at random (Appendix B's ChooseRandomAndInsertOp) or with
-    // a fixed diagonal > delete > insert preference.
-    out.clear();
-    out.reserve(n + m);
-    size_t i = n, j = m;
-    while (i > 0 || j > 0) {
-        // Candidate moves encoded as 0 = diagonal, 1 = delete (up),
-        // 2 = insert (left).
-        uint8_t candidates[3];
-        size_t num = 0;
-        const uint32_t here = dist[i * stride + j];
-        if (i > 0 && j > 0) {
-            uint32_t cost = ref[i - 1] == copy[j - 1] ? 0 : 1;
-            if (here == dist[(i - 1) * stride + j - 1] + cost)
-                candidates[num++] = 0;
-        }
-        if (i > 0 && here == dist[(i - 1) * stride + j] + 1)
-            candidates[num++] = 1;
-        if (j > 0 && here == dist[i * stride + j - 1] + 1)
-            candidates[num++] = 2;
-        DNASIM_ASSERT(num > 0, "edit backtrace stuck at (", i, ",", j, ")");
-
-        uint8_t move = candidates[0];
-        if (rng && num > 1)
-            move = candidates[rng->index(num)];
-
-        switch (move) {
-          case 0:
-            --i;
-            --j;
-            out.push_back({ref[i] == copy[j] ? EditOpType::Equal
-                                             : EditOpType::Substitute,
-                           i, ref[i], copy[j]});
-            break;
-          case 1:
-            --i;
-            out.push_back({EditOpType::Delete, i, ref[i], '\0'});
-            break;
-          default:
-            --j;
-            out.push_back({EditOpType::Insert, i, '\0', copy[j]});
-            break;
-        }
-    }
-    std::reverse(out.begin(), out.end());
-
-    // Don't let one pair of unusually long strands pin a large DP
-    // matrix in every worker thread for the rest of the process.
-    constexpr size_t kKeepCells = size_t{1} << 22;
-    if (cells > kKeepCells) {
-        dist.clear();
-        dist.shrink_to_fit();
-    }
-}
-
-std::vector<EditOp>
-editOps(std::string_view ref, std::string_view copy, Rng *rng)
-{
-    std::vector<EditOp> out;
-    editOpsInto(ref, copy, rng, out);
-    return out;
-}
+// editOps()/editOpsInto() live in edit_script.cc: the flat DP this
+// file used to host survives there as editOpsReference(), behind the
+// two-tier bit-vector/banded engine.
 
 size_t
 numErrors(const std::vector<EditOp> &ops)

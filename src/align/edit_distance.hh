@@ -193,6 +193,17 @@ std::vector<EditOp> editOps(std::string_view ref, std::string_view copy,
 void editOpsInto(std::string_view ref, std::string_view copy, Rng *rng,
                  std::vector<EditOp> &out);
 
+/**
+ * editOpsInto() reusing a prebuilt MyersPattern over @p ref
+ * (pattern.size() must equal ref.size()). Clustered callers that
+ * align many copies against one estimate build the pattern's Peq
+ * tables once and amortize them across every copy; the engine also
+ * uses the pattern to seed the Tier-B band (see align/edit_script.hh).
+ */
+void editOpsInto(const MyersPattern &pattern, std::string_view ref,
+                 std::string_view copy, Rng *rng,
+                 std::vector<EditOp> &out);
+
 /** Number of non-Equal operations in a script. */
 size_t numErrors(const std::vector<EditOp> &ops);
 

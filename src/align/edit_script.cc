@@ -1,0 +1,572 @@
+#include "align/edit_script.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <limits>
+
+#include "align/pattern_access.hh"
+#include "base/dna.hh"
+#include "base/logging.hh"
+
+namespace dnasim
+{
+
+namespace align_detail
+{
+
+EditOpsStats &
+EditOpsStats::get()
+{
+    auto &reg = obs::Registry::global();
+    static EditOpsStats st{
+        reg.counter("align.editops.bitvec",
+                    "edit scripts served by the deterministic "
+                    "bit-vector tier"),
+        reg.counter("align.editops.banded",
+                    "edit scripts served by the banded "
+                    "random-tie-break tier"),
+        reg.counter("align.editops.band_retries",
+                    "banded edit-script refills after a band escape"),
+        reg.counter("align.editops.fallback",
+                    "edit scripts served by the reference flat DP"),
+        reg.counter("align.editops.cells",
+                    "edit-script work units: uint32 cells for the "
+                    "scalar tiers, 64-row delta words for the "
+                    "bit-vector tier"),
+        reg.counter("align.editops.shrinks",
+                    "oversized edit-script scratch buffers released "
+                    "back to the allocator"),
+    };
+    return st;
+}
+
+namespace
+{
+
+/**
+ * Per-thread scratch cap: one unusually long pair must not pin large
+ * backtrace buffers in every worker thread for the rest of the
+ * process. Accounting is in bytes because the tiers use different
+ * cell layouts (uint32 DP cells vs uint64 delta words); 16 MiB
+ * matches the old flat-DP kKeepCells (2^22 cells * 4 B).
+ */
+constexpr size_t kKeepScratchBytes = size_t{1} << 24;
+
+/** Release @p buf if this call grew it past the scratch cap. */
+template <typename T>
+void
+shrinkOversized(std::vector<T> &buf, size_t used_elems)
+{
+    if (used_elems * sizeof(T) > kKeepScratchBytes) {
+        buf.clear();
+        buf.shrink_to_fit();
+        EditOpsStats::get().shrinks.inc();
+    }
+}
+
+/** Sentinel for never-written banded cells; +1 must not overflow. */
+constexpr uint32_t kCellInvalid =
+    std::numeric_limits<uint32_t>::max() / 4;
+
+/**
+ * Scripts with an empty side are forced: all insertions or all
+ * deletions, exactly what the reference backtrace emits (no Rng
+ * draw ever happens — every cell has one candidate).
+ */
+void
+trivialScript(std::string_view ref, std::string_view copy,
+              std::vector<EditOp> &out)
+{
+    out.clear();
+    if (ref.empty()) {
+        out.reserve(copy.size());
+        for (size_t j = 0; j < copy.size(); ++j)
+            out.push_back({EditOpType::Insert, 0, '\0', copy[j]});
+        return;
+    }
+    out.reserve(ref.size());
+    for (size_t i = 0; i < ref.size(); ++i)
+        out.push_back({EditOpType::Delete, i, ref[i], '\0'});
+}
+
+} // anonymous namespace
+
+void
+editOpsReference(std::string_view ref, std::string_view copy,
+                 Rng *rng, std::vector<EditOp> &out)
+{
+    const size_t n = ref.size(), m = copy.size();
+    const size_t stride = m + 1;
+    const size_t cells = (n + 1) * stride;
+
+    // dist[i * stride + j]: edit distance between ref[:i] and
+    // copy[:j]. One flat reused buffer — a row-of-rows layout would
+    // allocate n + 2 vectors per call.
+    thread_local std::vector<uint32_t> dist;
+    dist.resize(cells);
+    EditOpsStats::get().cells.add(cells);
+    for (size_t i = 0; i <= n; ++i)
+        dist[i * stride] = static_cast<uint32_t>(i);
+    for (size_t j = 0; j <= m; ++j)
+        dist[j] = static_cast<uint32_t>(j);
+    for (size_t i = 1; i <= n; ++i) {
+        const uint32_t *prev = &dist[(i - 1) * stride];
+        uint32_t *cur = &dist[i * stride];
+        const char rc = ref[i - 1];
+        for (size_t j = 1; j <= m; ++j) {
+            uint32_t diag = prev[j - 1] + (rc == copy[j - 1] ? 0 : 1);
+            cur[j] = std::min({diag, prev[j] + 1, cur[j - 1] + 1});
+        }
+    }
+
+    // Backtrace from (n, m), choosing among minimum-cost predecessors
+    // either at random (Appendix B's ChooseRandomAndInsertOp) or with
+    // a fixed diagonal > delete > insert preference.
+    out.clear();
+    out.reserve(n + m);
+    size_t i = n, j = m;
+    while (i > 0 || j > 0) {
+        // Candidate moves encoded as 0 = diagonal, 1 = delete (up),
+        // 2 = insert (left).
+        uint8_t candidates[3];
+        size_t num = 0;
+        const uint32_t here = dist[i * stride + j];
+        if (i > 0 && j > 0) {
+            uint32_t cost = ref[i - 1] == copy[j - 1] ? 0 : 1;
+            if (here == dist[(i - 1) * stride + j - 1] + cost)
+                candidates[num++] = 0;
+        }
+        if (i > 0 && here == dist[(i - 1) * stride + j] + 1)
+            candidates[num++] = 1;
+        if (j > 0 && here == dist[i * stride + j - 1] + 1)
+            candidates[num++] = 2;
+        DNASIM_ASSERT(num > 0, "edit backtrace stuck at (", i, ",", j,
+                      ")");
+
+        uint8_t move = candidates[0];
+        if (rng && num > 1)
+            move = candidates[rng->index(num)];
+
+        switch (move) {
+          case 0:
+            --i;
+            --j;
+            out.push_back({ref[i] == copy[j] ? EditOpType::Equal
+                                             : EditOpType::Substitute,
+                           i, ref[i], copy[j]});
+            break;
+          case 1:
+            --i;
+            out.push_back({EditOpType::Delete, i, ref[i], '\0'});
+            break;
+          default:
+            --j;
+            out.push_back({EditOpType::Insert, i, '\0', copy[j]});
+            break;
+        }
+    }
+    std::reverse(out.begin(), out.end());
+
+    shrinkOversized(dist, cells);
+}
+
+void
+editOpsBitVector(const MyersPattern &pattern, std::string_view ref,
+                 std::string_view copy, std::vector<EditOp> &out)
+{
+    const size_t n = ref.size(), m = copy.size();
+    DNASIM_ASSERT(pattern.packed() && pattern.size() == n,
+                  "bit-vector tier needs a packed pattern over ref");
+    DNASIM_ASSERT(n > 0 && m > 0, "empty strands are trivial scripts");
+
+    const size_t blocks = PatternAccess::blocks(pattern);
+    const auto peq = PatternAccess::peq(pattern);
+
+    // Stored delta words, one group of four bit-vectors per copy
+    // position j (1-based): HP/HN are the horizontal deltas
+    // D[i][j] - D[i][j-1] of rows 1..n (pre-shift, Hyyro's backtrace
+    // form), VP/VN the vertical deltas D[i][j] - D[i-1][j] after the
+    // column update. Column j = 0 is implicit: every vertical delta
+    // on the left border is +1.
+    const size_t stride = 4 * blocks;
+    const size_t words = stride * m;
+    thread_local std::vector<uint64_t> store;
+    store.resize(words);
+    EditOpsStats::get().cells.add(blocks * m);
+
+    thread_local std::vector<uint64_t> pv, mv;
+    pv.assign(blocks, ~uint64_t{0});
+    mv.assign(blocks, 0);
+
+    for (size_t j = 1; j <= m; ++j) {
+        const uint8_t code =
+            kCharToCode[static_cast<unsigned char>(copy[j - 1])];
+        const uint64_t *eq_row =
+            code != kInvalidCode ? &peq[code * blocks] : nullptr;
+        uint64_t *hp = &store[(j - 1) * stride];
+        uint64_t *hn = hp + blocks;
+        uint64_t *vp_out = hp + 2 * blocks;
+        uint64_t *vn_out = hp + 3 * blocks;
+        int hin = 1; // top border: D[0][j] - D[0][j-1] = +1
+        for (size_t b = 0; b < blocks; ++b) {
+            // One Myers block step (cf. myersAdvanceBlock in
+            // edit_distance.cc), keeping the pre-shift horizontal
+            // words instead of only the carry bit.
+            uint64_t pvb = pv[b], mvb = mv[b];
+            uint64_t eq = eq_row != nullptr ? eq_row[b] : 0;
+            const uint64_t hin_neg = hin < 0 ? 1u : 0u;
+            const uint64_t xv = eq | mvb;
+            eq |= hin_neg;
+            const uint64_t xh = (((eq & pvb) + pvb) ^ pvb) | eq;
+            uint64_t ph = mvb | ~(xh | pvb);
+            uint64_t mh = pvb & xh;
+            hp[b] = ph;
+            hn[b] = mh;
+            const int hout =
+                (ph >> 63) ? 1 : ((mh >> 63) ? -1 : 0);
+            ph = (ph << 1) | (hin > 0 ? 1u : 0u);
+            mh = (mh << 1) | hin_neg;
+            pv[b] = mh | ~(xv | ph);
+            mv[b] = ph & xv;
+            vp_out[b] = pv[b];
+            vn_out[b] = mv[b];
+            hin = hout;
+        }
+    }
+
+    // Backtrace straight off the stored delta words. All index
+    // arithmetic is over 1-based row i / column j; bits above row n
+    // in the last block are junk the loop never reads.
+    auto bit = [](const uint64_t *vec, size_t i) {
+        return (vec[(i - 1) >> 6] >> ((i - 1) & 63)) & 1u;
+    };
+    // D[i][j] - D[i-1][j]; the j = 0 border is always +1.
+    auto vdelta = [&](size_t j, size_t i) -> int {
+        if (j == 0)
+            return 1;
+        const uint64_t *sp = &store[(j - 1) * stride];
+        if (bit(sp + 2 * blocks, i))
+            return 1;
+        if (bit(sp + 3 * blocks, i))
+            return -1;
+        return 0;
+    };
+    // D[i][j] - D[i][j-1]; the i = 0 border is always +1.
+    auto hdelta = [&](size_t j, size_t i) -> int {
+        if (i == 0)
+            return 1;
+        const uint64_t *sp = &store[(j - 1) * stride];
+        if (bit(sp, i))
+            return 1;
+        if (bit(sp + blocks, i))
+            return -1;
+        return 0;
+    };
+
+    out.clear();
+    out.reserve(n + m);
+    size_t i = n, j = m;
+    while (i > 0 || j > 0) {
+        // The reference backtrace's candidate order is diagonal >
+        // delete > insert and the deterministic rule takes the first
+        // valid one, so testing in that order is equivalent. A move
+        // is minimum-cost exactly when the stored deltas say the
+        // predecessor's value plus the step cost equals this cell's:
+        //   diag: D[i][j] - D[i-1][j-1] = V(j,i) + H(j,i-1) == cost
+        //   del:  D[i][j] - D[i-1][j]   = V(j,i)            == +1
+        //   ins:  D[i][j] - D[i][j-1]   = H(j,i)            == +1
+        if (i > 0 && j > 0) {
+            const int cost = ref[i - 1] == copy[j - 1] ? 0 : 1;
+            if (vdelta(j, i) + hdelta(j, i - 1) == cost) {
+                --i;
+                --j;
+                out.push_back({cost == 0 ? EditOpType::Equal
+                                         : EditOpType::Substitute,
+                               i, ref[i], copy[j]});
+                continue;
+            }
+        }
+        if (i > 0 && vdelta(j, i) == 1) {
+            --i;
+            out.push_back({EditOpType::Delete, i, ref[i], '\0'});
+            continue;
+        }
+        DNASIM_ASSERT(j > 0 && hdelta(j, i) == 1,
+                      "bit-vector backtrace stuck at (", i, ",", j,
+                      ")");
+        --j;
+        out.push_back({EditOpType::Insert, i, '\0', copy[j]});
+    }
+    std::reverse(out.begin(), out.end());
+
+    shrinkOversized(store, words);
+}
+
+bool
+editOpsBandedWithBand(std::string_view ref, std::string_view copy,
+                      size_t band, Rng &rng,
+                      std::vector<EditOp> &out)
+{
+    const size_t n = ref.size(), m = copy.size();
+    DNASIM_ASSERT(n > 0 && m > 0, "empty strands are trivial scripts");
+    const size_t diff = n > m ? n - m : m - n;
+    if (band < diff)
+        return false; // (n, m) itself lies outside the band
+
+    // Diagonal-banded layout: cell (i, j) lives at row i, offset
+    // j - i + band + 1, so the three DP neighbours are (prev row,
+    // same offset) = diagonal, (prev row, offset + 1) = up and
+    // (same row, offset - 1) = left. Offsets 0 and 2*band + 2 are
+    // permanent kCellInvalid sentinels, which lets both the fill and
+    // the backtrace read "one past the band" without bounds checks.
+    const size_t width = 2 * band + 3;
+    const size_t cells = (n + 1) * width;
+    thread_local std::vector<uint32_t> buf;
+    buf.assign(cells, kCellInvalid);
+    EditOpsStats::get().cells.add(cells);
+    auto at = [&](size_t i, size_t j) -> uint32_t & {
+        return buf[i * width + (j + band + 1 - i)];
+    };
+
+    for (size_t j = 0; j <= std::min(m, band); ++j)
+        at(0, j) = static_cast<uint32_t>(j);
+    for (size_t i = 1; i <= n; ++i) {
+        size_t lo = i > band ? i - band : 0;
+        const size_t hi = std::min(m, i + band);
+        if (lo == 0) {
+            at(i, 0) = static_cast<uint32_t>(i);
+            lo = 1;
+        }
+        const char rc = ref[i - 1];
+        const uint32_t *prev = &buf[(i - 1) * width];
+        uint32_t *cur = &buf[i * width];
+        size_t off = lo + band + 1 - i;
+        for (size_t j = lo; j <= hi; ++j, ++off) {
+            const uint32_t diag =
+                prev[off] + (rc == copy[j - 1] ? 0 : 1);
+            const uint32_t up = prev[off + 1] + 1;
+            const uint32_t left = cur[off - 1] + 1;
+            cur[off] = std::min({diag, up, left});
+        }
+    }
+
+    // A banded value <= band is certified exact, and distance <= band
+    // is precisely the premise under which every minimum-cost path —
+    // hence every cell the backtrace can visit and every candidate
+    // test it performs — stays exact inside the band (DESIGN.md).
+    // Escape means the caller seeded the band below the true
+    // distance; report it before any Rng draw so the retry replays
+    // the same stream.
+    if (at(n, m) > band)
+        return false;
+
+    // Checked read for the backtrace's candidate probing: cells
+    // outside the band (or never filled) read as kCellInvalid, which
+    // can never equal a real value plus one.
+    auto val = [&](size_t i, size_t j) -> uint32_t {
+        if (j + band < i || j > i + band)
+            return kCellInvalid;
+        return at(i, j);
+    };
+
+    out.clear();
+    out.reserve(n + m);
+    size_t i = n, j = m;
+    while (i > 0 || j > 0) {
+        // Mirrors editOpsReference() move for move: same candidate
+        // encoding, same order, a draw if and only if the full
+        // matrix would draw.
+        uint8_t candidates[3];
+        size_t num = 0;
+        const uint32_t here = at(i, j);
+        if (i > 0 && j > 0) {
+            const uint32_t cost = ref[i - 1] == copy[j - 1] ? 0 : 1;
+            if (here == val(i - 1, j - 1) + cost)
+                candidates[num++] = 0;
+        }
+        if (i > 0 && here == val(i - 1, j) + 1)
+            candidates[num++] = 1;
+        if (j > 0 && here == val(i, j - 1) + 1)
+            candidates[num++] = 2;
+        DNASIM_ASSERT(num > 0, "banded backtrace stuck at (", i, ",",
+                      j, ")");
+
+        uint8_t move = candidates[0];
+        if (num > 1)
+            move = candidates[rng.index(num)];
+
+        switch (move) {
+          case 0:
+            --i;
+            --j;
+            out.push_back({ref[i] == copy[j] ? EditOpType::Equal
+                                             : EditOpType::Substitute,
+                           i, ref[i], copy[j]});
+            break;
+          case 1:
+            --i;
+            out.push_back({EditOpType::Delete, i, ref[i], '\0'});
+            break;
+          default:
+            --j;
+            out.push_back({EditOpType::Insert, i, '\0', copy[j]});
+            break;
+        }
+    }
+    std::reverse(out.begin(), out.end());
+
+    shrinkOversized(buf, cells);
+    return true;
+}
+
+} // namespace align_detail
+
+namespace
+{
+
+using align_detail::EditOpsStats;
+
+std::atomic<int> g_engine_override{-1};
+
+EditOpsEngine
+engineFromEnv()
+{
+    static const EditOpsEngine cached = [] {
+        const char *env = std::getenv("DNASIM_EDITOPS");
+        if (env == nullptr || *env == '\0')
+            return EditOpsEngine::Auto;
+        if (auto parsed = parseEditOpsEngine(env))
+            return *parsed;
+        warn_once("ignoring unknown DNASIM_EDITOPS value '", env,
+                  "' (expected auto or reference)");
+        return EditOpsEngine::Auto;
+    }();
+    return cached;
+}
+
+/**
+ * Tier selection shared by both editOpsInto() overloads. @p pattern
+ * may be null (the one-shot path, which then builds or skips the
+ * Peq tables as the tier requires).
+ */
+void
+editOpsDispatch(const MyersPattern *pattern, std::string_view ref,
+                std::string_view copy, Rng *rng,
+                std::vector<EditOp> &out)
+{
+    auto &st = EditOpsStats::get();
+    if (editOpsEngine() == EditOpsEngine::Reference) {
+        st.fallback.inc();
+        align_detail::editOpsReference(ref, copy, rng, out);
+        return;
+    }
+
+    const size_t n = ref.size(), m = copy.size();
+    if (n == 0 || m == 0) {
+        align_detail::trivialScript(ref, copy, out);
+        return;
+    }
+
+    if (rng == nullptr) {
+        // Tier A. Non-ACGT references cannot feed the 4-row Peq
+        // tables; those pairs keep the flat DP.
+        if (pattern == nullptr) {
+            thread_local MyersPattern local;
+            local.assign(ref);
+            pattern = &local;
+        }
+        if (!pattern->packed()) {
+            st.fallback.inc();
+            align_detail::editOpsReference(ref, copy, nullptr, out);
+            return;
+        }
+        st.bitvec.inc();
+        align_detail::editOpsBitVector(*pattern, ref, copy, out);
+        return;
+    }
+
+    // Tier B: seed the band with the exact distance — reuse the
+    // caller's Peq tables when it has them; levenshtein() also
+    // serves non-ACGT content, which the banded fill compares
+    // bytewise just like the reference DP.
+    const size_t d = pattern != nullptr && pattern->packed()
+                         ? pattern->distance(copy)
+                         : levenshtein(ref, copy);
+    size_t band = d;
+    for (;;) {
+        // Once the band row is as wide as a full row the flat DP is
+        // strictly cheaper (no sentinel columns, no escape risk) and
+        // identically distributed, so hand distant pairs to it.
+        if (2 * band + 3 >= m + 1) {
+            st.fallback.inc();
+            align_detail::editOpsReference(ref, copy, rng, out);
+            return;
+        }
+        if (align_detail::editOpsBandedWithBand(ref, copy, band,
+                                                *rng, out)) {
+            st.banded.inc();
+            return;
+        }
+        // Defensive only: band >= exact distance cannot escape. A
+        // retry is still byte-safe because a failed fill consumes no
+        // Rng draws.
+        st.band_retries.inc();
+        band = band * 2 + 1;
+    }
+}
+
+} // anonymous namespace
+
+EditOpsEngine
+editOpsEngine()
+{
+    const int ov = g_engine_override.load(std::memory_order_relaxed);
+    if (ov >= 0)
+        return static_cast<EditOpsEngine>(ov);
+    return engineFromEnv();
+}
+
+void
+setEditOpsEngineOverride(std::optional<EditOpsEngine> engine)
+{
+    g_engine_override.store(
+        engine ? static_cast<int>(*engine) : -1,
+        std::memory_order_relaxed);
+}
+
+std::optional<EditOpsEngine>
+parseEditOpsEngine(std::string_view name)
+{
+    if (name == "auto")
+        return EditOpsEngine::Auto;
+    if (name == "reference")
+        return EditOpsEngine::Reference;
+    return std::nullopt;
+}
+
+void
+editOpsInto(std::string_view ref, std::string_view copy, Rng *rng,
+            std::vector<EditOp> &out)
+{
+    editOpsDispatch(nullptr, ref, copy, rng, out);
+}
+
+void
+editOpsInto(const MyersPattern &pattern, std::string_view ref,
+            std::string_view copy, Rng *rng, std::vector<EditOp> &out)
+{
+    DNASIM_ASSERT(pattern.size() == ref.size(),
+                  "pattern/ref length mismatch");
+    editOpsDispatch(&pattern, ref, copy, rng, out);
+}
+
+std::vector<EditOp>
+editOps(std::string_view ref, std::string_view copy, Rng *rng)
+{
+    std::vector<EditOp> out;
+    editOpsInto(ref, copy, rng, out);
+    return out;
+}
+
+} // namespace dnasim

@@ -6,6 +6,7 @@
 
 #include "align/myers_batch_impl.hh"
 #include "align/path_stats.hh"
+#include "align/pattern_access.hh"
 #include "align/simd_dispatch.hh"
 #include "base/logging.hh"
 #include "base/packed.hh"
@@ -13,28 +14,6 @@
 
 namespace dnasim
 {
-
-namespace align_detail
-{
-
-/// Friend-of-MyersPattern accessor: the batch driver shares the
-/// pattern's Peq rows across SIMD lanes instead of rebuilding them.
-struct PatternAccess
-{
-    static std::span<const uint64_t>
-    peq(const MyersPattern &p)
-    {
-        return p.peq_;
-    }
-
-    static size_t
-    blocks(const MyersPattern &p)
-    {
-        return p.blocks_;
-    }
-};
-
-} // namespace align_detail
 
 namespace
 {

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Friend-of-MyersPattern accessor shared by the kernels that reuse a
+ * pattern's precomputed Peq match tables instead of rebuilding them:
+ * the batched SIMD drivers (myers_batch) and the bit-vector
+ * edit-script tier (edit_script). Internal to src/align.
+ */
+
+#ifndef DNASIM_ALIGN_PATTERN_ACCESS_HH
+#define DNASIM_ALIGN_PATTERN_ACCESS_HH
+
+#include <cstdint>
+#include <span>
+
+#include "align/edit_distance.hh"
+
+namespace dnasim
+{
+namespace align_detail
+{
+
+struct PatternAccess
+{
+    static std::span<const uint64_t>
+    peq(const MyersPattern &p)
+    {
+        return p.peq_;
+    }
+
+    static size_t
+    blocks(const MyersPattern &p)
+    {
+        return p.blocks_;
+    }
+};
+
+} // namespace align_detail
+} // namespace dnasim
+
+#endif // DNASIM_ALIGN_PATTERN_ACCESS_HH

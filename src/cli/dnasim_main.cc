@@ -26,6 +26,10 @@
  *                     (default: DNASIM_SIMD or the widest tier the
  *                     CPU supports); results are identical for
  *                     every tier
+ *   --editops={auto,reference}  edit-script engine (default:
+ *                     DNASIM_EDITOPS or auto); reference forces the
+ *                     flat DP the bit-vector/banded tiers are pinned
+ *                     to; results are identical for every engine
  *
  * Telemetry only ever writes to its own files and stderr; stdout and
  * all data outputs stay byte-identical whether or not it is enabled.
@@ -35,6 +39,7 @@
 #include <iostream>
 #include <memory>
 
+#include "align/edit_script.hh"
 #include "align/simd_dispatch.hh"
 #include "base/logging.hh"
 #include "cli/args.hh"
@@ -133,6 +138,18 @@ main(int argc, char **argv)
                      "got '", simd, "'");
     }
     activeSimdTier();
+
+    // Same fail-fast treatment for the edit-script engine escape
+    // hatch; an explicit flag outranks DNASIM_EDITOPS.
+    const std::string editops = args.get("editops", "");
+    if (!editops.empty()) {
+        auto parsed = parseEditOpsEngine(editops);
+        if (!parsed) {
+            DNASIM_FATAL("--editops must be auto or reference, got '",
+                         editops, "'");
+        }
+        setEditOpsEngineOverride(*parsed);
+    }
 
     if (progress_mode != "auto" && progress_mode != "always" &&
         progress_mode != "never") {

@@ -43,7 +43,6 @@ struct ProfilerStats
     obs::Timer &calibrate_time;
     obs::Counter &pairs_profiled;
     obs::Counter &pairs_skipped;
-    obs::Counter &cells_computed;
 
     static ProfilerStats &
     get()
@@ -56,9 +55,6 @@ struct ProfilerStats
                         "(reference, copy) pairs profiled"),
             reg.counter("profiler.pairs_skipped",
                         "pairs dropped as clustering artifacts"),
-            reg.counter("profiler.edit_cells",
-                        "edit-distance DP cells computed during "
-                        "calibration"),
         };
         return ps;
     }
@@ -117,13 +113,17 @@ CalibrationAccum::absorbCluster(const Cluster &cluster,
     size_t n_copies = cluster.copies.size();
     if (options.max_copies_per_cluster > 0)
         n_copies = std::min(n_copies, options.max_copies_per_cluster);
+
+    // One Peq table build for the cluster reference: the edit-script
+    // engine seeds its Tier-B band from pattern.distance(copy), so
+    // the tables are hit once per copy.
+    thread_local MyersPattern pattern;
+    thread_local std::vector<EditOp> ops;
+    pattern.assign(ref);
     for (size_t c = 0; c < n_copies; ++c) {
         const Strand &copy = cluster.copies[c];
 
-        auto ops = editOps(ref, copy, &rng);
-        ps.cells_computed.add(
-            static_cast<uint64_t>(ref.size() + 1) *
-            static_cast<uint64_t>(copy.size() + 1));
+        editOpsInto(pattern, ref, copy, &rng, ops);
         if (options.max_copy_error_frac > 0.0 &&
             static_cast<double>(numErrors(ops)) >
                 options.max_copy_error_frac *

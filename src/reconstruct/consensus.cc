@@ -164,6 +164,11 @@ alignedConsensus(const Strand &estimate,
     ins_votes.assign(len + 1, std::array<double, kNumBases>{});
     double total_weight = 0.0;
 
+    // One Peq table build for the estimate serves the edit-script
+    // engine across every copy in the cluster.
+    thread_local MyersPattern pattern;
+    pattern.assign(estimate);
+
     for (size_t c = 0; c < copies.size(); ++c) {
         double w = weights.empty() ? 1.0 : weights[c];
         if (w <= 0.0)
@@ -172,7 +177,7 @@ alignedConsensus(const Strand &estimate,
         // Deterministic (leftmost) alignments keep equally-minimal
         // edit scripts attributed to the same positions across
         // copies, so their votes reinforce instead of spreading.
-        editOpsInto(estimate, copies[c], nullptr, ops);
+        editOpsInto(pattern, estimate, copies[c], nullptr, ops);
         for (const auto &op : ops) {
             switch (op.type) {
               case EditOpType::Equal:
@@ -236,16 +241,26 @@ enforceDesignLength(Strand estimate, std::span<const Strand> copies,
     constexpr size_t max_candidates = 8;
     size_t guard = 8;
 
+    // Per-iteration voting and candidate scratch, hoisted out of the
+    // loop (and the function) to match the allocation discipline of
+    // alignedConsensus(): this runs for every length-mismatched
+    // cluster, up to eight rounds each.
+    thread_local std::vector<double> del_votes;
+    thread_local std::vector<std::array<double, kNumBases>> ins_votes;
+    thread_local std::vector<EditOp> ops;
+    thread_local std::vector<Strand> candidates;
+    thread_local std::vector<size_t> order;
+    thread_local MyersPattern pattern;
+
     while (estimate.size() != design_len && guard-- > 0) {
         const size_t len = estimate.size();
 
         // Vote over indel attributions against the current estimate.
-        std::vector<double> del_votes(len, 0.0);
-        std::vector<std::array<double, kNumBases>> ins_votes(
-            len + 1, std::array<double, kNumBases>{});
-        thread_local std::vector<EditOp> ops;
+        del_votes.assign(len, 0.0);
+        ins_votes.assign(len + 1, std::array<double, kNumBases>{});
+        pattern.assign(estimate);
         for (const auto &copy : copies) {
-            editOpsInto(estimate, copy, nullptr, ops);
+            editOpsInto(pattern, estimate, copy, nullptr, ops);
             for (const auto &op : ops) {
                 if (op.type == EditOpType::Delete)
                     del_votes[op.ref_pos] += 1.0;
@@ -255,11 +270,11 @@ enforceDesignLength(Strand estimate, std::span<const Strand> copies,
             }
         }
 
-        std::vector<Strand> candidates;
+        candidates.clear();
         if (len > design_len) {
             // Rank positions by deletion votes; always include the
             // last position as a fallback.
-            std::vector<size_t> order(len);
+            order.resize(len);
             for (size_t i = 0; i < len; ++i)
                 order[i] = i;
             std::sort(order.begin(), order.end(),
@@ -285,7 +300,8 @@ enforceDesignLength(Strand estimate, std::span<const Strand> copies,
                 size_t base;
                 double votes;
             };
-            std::vector<GapCand> gaps;
+            thread_local std::vector<GapCand> gaps;
+            gaps.clear();
             for (size_t g = 0; g <= len; ++g)
                 for (size_t b = 0; b < kNumBases; ++b)
                     if (ins_votes[g][b] > 0.0)
@@ -365,10 +381,12 @@ consensusVoteProfile(const Strand &estimate,
                          std::string(estimate.size(), '\0'));
 
     thread_local std::vector<EditOp> ops;
+    thread_local MyersPattern pattern;
+    pattern.assign(estimate);
     for (size_t k = 0; k < copies.size(); ++k) {
         // Null Rng: deterministic leftmost scripts, the same
         // alignment alignedConsensus() collects votes from.
-        editOpsInto(estimate, copies[k], nullptr, ops);
+        editOpsInto(pattern, estimate, copies[k], nullptr, ops);
         for (const EditOp &op : ops) {
             if (op.ref_pos >= estimate.size())
                 continue;

@@ -1,0 +1,320 @@
+/**
+ * @file
+ * Equivalence suite for the two-tier edit-script engine
+ * (align/edit_script.hh): both tiers are pinned byte-for-byte to the
+ * reference flat DP — identical scripts in deterministic mode,
+ * identical scripts AND identical Rng consumption in random
+ * tie-break mode — plus the edge cases the tiers special-case
+ * (empty strands, word-boundary lengths, band escapes, non-ACGT
+ * fallbacks, engine selection).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "align/edit_distance.hh"
+#include "align/edit_script.hh"
+#include "base/rng.hh"
+#include "core/ids_model.hh"
+#include "data/strand_factory.hh"
+
+namespace dnasim
+{
+namespace
+{
+
+using align_detail::editOpsBandedWithBand;
+using align_detail::editOpsBitVector;
+using align_detail::editOpsReference;
+using align_detail::EditOpsStats;
+
+/** Reference script via the pinned flat DP. */
+std::vector<EditOp>
+refScript(std::string_view ref, std::string_view copy, Rng *rng)
+{
+    std::vector<EditOp> out;
+    editOpsReference(ref, copy, rng, out);
+    return out;
+}
+
+/** Engine script through the public dispatch. */
+std::vector<EditOp>
+engineScript(std::string_view ref, std::string_view copy, Rng *rng)
+{
+    std::vector<EditOp> out;
+    editOpsInto(ref, copy, rng, out);
+    return out;
+}
+
+struct ScriptCase
+{
+    size_t len;
+    double error_rate;
+};
+
+class EditScriptEquivalence
+    : public ::testing::TestWithParam<ScriptCase>
+{};
+
+/**
+ * Deterministic mode: the bit-vector tier must reproduce the flat
+ * DP's diagonal > delete > insert backtrace exactly, op for op.
+ */
+TEST_P(EditScriptEquivalence, DeterministicScriptsIdentical)
+{
+    auto [len, rate] = GetParam();
+    StrandFactory factory;
+    Rng rng(101 + len);
+    ErrorProfile profile = ErrorProfile::uniform(rate, len);
+    IdsChannelModel channel = IdsChannelModel::naive(profile);
+    for (int trial = 0; trial < 25; ++trial) {
+        Strand ref = factory.make(len, rng);
+        Strand copy = channel.transmit(ref, rng);
+        EXPECT_EQ(engineScript(ref, copy, nullptr),
+                  refScript(ref, copy, nullptr))
+            << ref << " vs " << copy;
+    }
+}
+
+/**
+ * Random tie-break mode: given the same Rng stream the banded tier
+ * must produce the identical script AND leave the engine in the
+ * identical state (same candidate sets at every backtrace step means
+ * the same draws in the same order).
+ */
+TEST_P(EditScriptEquivalence, TieBreakScriptsAndDrawsIdentical)
+{
+    auto [len, rate] = GetParam();
+    StrandFactory factory;
+    Rng rng(211 + len);
+    ErrorProfile profile = ErrorProfile::uniform(rate, len);
+    IdsChannelModel channel = IdsChannelModel::naive(profile);
+    for (int trial = 0; trial < 25; ++trial) {
+        Strand ref = factory.make(len, rng);
+        Strand copy = channel.transmit(ref, rng);
+        const uint64_t seed = 7'000 + trial;
+        Rng ref_rng(seed), new_rng(seed);
+        EXPECT_EQ(engineScript(ref, copy, &new_rng),
+                  refScript(ref, copy, &ref_rng))
+            << ref << " vs " << copy;
+        EXPECT_TRUE(ref_rng.engine() == new_rng.engine())
+            << "Rng consumption diverged for " << ref << " vs "
+            << copy;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EditScriptEquivalence,
+    ::testing::Values(ScriptCase{10, 0.30}, ScriptCase{63, 0.03},
+                      ScriptCase{64, 0.03}, ScriptCase{65, 0.03},
+                      ScriptCase{100, 0.01}, ScriptCase{100, 0.10},
+                      ScriptCase{150, 0.03}, ScriptCase{300, 0.10},
+                      ScriptCase{300, 0.01}));
+
+TEST(EditScript, EmptyStrands)
+{
+    // Both orders of emptiness, both modes; no Rng draw may happen
+    // (scripts with an empty side are forced).
+    const std::pair<std::string, std::string> cases[] = {
+        {"", ""}, {"ACGT", ""}, {"", "ACGT"}};
+    for (const auto &[ref, copy] : cases) {
+        EXPECT_EQ(engineScript(ref, copy, nullptr),
+                  refScript(ref, copy, nullptr));
+        Rng a(5), b(5);
+        EXPECT_EQ(engineScript(ref, copy, &a),
+                  refScript(ref, copy, &b));
+        EXPECT_TRUE(a.engine() == b.engine());
+    }
+}
+
+TEST(EditScript, EqualStrands)
+{
+    const std::string s(137, 'G');
+    auto ops = engineScript(s, s, nullptr);
+    EXPECT_EQ(ops, refScript(s, s, nullptr));
+    EXPECT_EQ(ops.size(), s.size());
+    EXPECT_EQ(numErrors(ops), 0u);
+}
+
+TEST(EditScript, AllMismatch)
+{
+    // Every position substituted: distance == length, the widest
+    // band the profiler path can see relative to strand length.
+    const std::string ref(90, 'A');
+    const std::string copy(90, 'C');
+    EXPECT_EQ(engineScript(ref, copy, nullptr),
+              refScript(ref, copy, nullptr));
+    Rng a(9), b(9);
+    EXPECT_EQ(engineScript(ref, copy, &a), refScript(ref, copy, &b));
+    EXPECT_TRUE(a.engine() == b.engine());
+}
+
+TEST(EditScript, LongHomopolymerRuns)
+{
+    // Homopolymer indels maximize tie-heavy backtraces: every slide
+    // of the run is minimal, so candidate sets are fat and any
+    // candidate-order or draw-count drift shows up immediately.
+    const std::string ref =
+        "ACG" + std::string(40, 'T') + "CGA" + std::string(30, 'A') +
+        "GTC";
+    std::string copy = ref;
+    copy.erase(10, 3);   // shrink the T run
+    copy.insert(50, "AAAA"); // grow the A run
+    EXPECT_EQ(engineScript(ref, copy, nullptr),
+              refScript(ref, copy, nullptr));
+    for (uint64_t seed = 0; seed < 20; ++seed) {
+        Rng a(seed), b(seed);
+        EXPECT_EQ(engineScript(ref, copy, &a),
+                  refScript(ref, copy, &b));
+        EXPECT_TRUE(a.engine() == b.engine());
+    }
+}
+
+TEST(EditScript, RoundTripsThroughApply)
+{
+    StrandFactory factory;
+    Rng rng(77);
+    ErrorProfile profile = ErrorProfile::uniform(0.08, 120);
+    IdsChannelModel channel = IdsChannelModel::naive(profile);
+    for (int trial = 0; trial < 30; ++trial) {
+        Strand ref = factory.make(120, rng);
+        Strand copy = channel.transmit(ref, rng);
+        auto det = engineScript(ref, copy, nullptr);
+        EXPECT_EQ(applyEditOps(ref, det), copy);
+        EXPECT_EQ(numErrors(det), levenshtein(ref, copy));
+        auto rnd = engineScript(ref, copy, &rng);
+        EXPECT_EQ(applyEditOps(ref, rnd), copy);
+        EXPECT_EQ(numErrors(rnd), levenshtein(ref, copy));
+    }
+}
+
+TEST(EditScript, BitVectorTierDirect)
+{
+    // Drive Tier A below the dispatch to pin the pattern-reuse
+    // entry point: one pattern, many copies.
+    StrandFactory factory;
+    Rng rng(55);
+    ErrorProfile profile = ErrorProfile::uniform(0.05, 150);
+    IdsChannelModel channel = IdsChannelModel::naive(profile);
+    Strand ref = factory.make(150, rng);
+    MyersPattern pattern(ref);
+    std::vector<EditOp> out;
+    for (int trial = 0; trial < 20; ++trial) {
+        Strand copy = channel.transmit(ref, rng);
+        editOpsBitVector(pattern, ref, copy, out);
+        EXPECT_EQ(out, refScript(ref, copy, nullptr));
+    }
+}
+
+TEST(EditScript, BandEscapeLeavesRngUntouchedAndRetrySucceeds)
+{
+    // Distance here is 4 (one 4-base deletion); a band of 1 cannot
+    // contain the optimal path, so the fill must escape WITHOUT
+    // consuming any Rng draws — the retry then replays the same
+    // stream and must match the reference exactly.
+    const std::string ref = "ACGTACGTACGTACGTACGT";
+    std::string copy = ref;
+    copy.erase(8, 4);
+    ASSERT_EQ(levenshtein(ref, copy), 4u);
+
+    Rng rng(31);
+    Rng untouched(31);
+    std::vector<EditOp> out;
+    EXPECT_FALSE(editOpsBandedWithBand(ref, copy, 1, rng, out));
+    EXPECT_TRUE(rng.engine() == untouched.engine())
+        << "band escape consumed Rng draws";
+
+    Rng ref_rng(31);
+    ASSERT_TRUE(editOpsBandedWithBand(ref, copy, 4, rng, out));
+    EXPECT_EQ(out, refScript(ref, copy, &ref_rng));
+    EXPECT_TRUE(rng.engine() == ref_rng.engine());
+}
+
+TEST(EditScript, BandWiderThanDistanceStillExact)
+{
+    // Over-wide bands must not change candidate sets: run the same
+    // pair at every band from the exact distance up to full width.
+    const std::string ref = "TTGACCAGTACGTTGACAGTTACGAT";
+    std::string copy = ref;
+    copy[3] = 'T';
+    copy.erase(11, 1);
+    copy.insert(17, "G");
+    const size_t d = levenshtein(ref, copy);
+    for (size_t band = d; band <= ref.size(); ++band) {
+        Rng a(99), b(99);
+        std::vector<EditOp> out;
+        ASSERT_TRUE(editOpsBandedWithBand(ref, copy, band, a, out))
+            << "band " << band;
+        EXPECT_EQ(out, refScript(ref, copy, &b)) << "band " << band;
+        EXPECT_TRUE(a.engine() == b.engine()) << "band " << band;
+    }
+}
+
+TEST(EditScript, NonAcgtFallsBackToReference)
+{
+    // 'N's in either strand must not break equivalence: the engine
+    // routes non-ACGT references to the flat DP and lets Tier A
+    // handle non-ACGT copies via all-zero Peq rows.
+    const std::string ref = "ACGTNNACGTACGT";
+    const std::string copy = "ACGTNACGTACGGT";
+    EXPECT_EQ(engineScript(ref, copy, nullptr),
+              refScript(ref, copy, nullptr));
+    Rng a(3), b(3);
+    EXPECT_EQ(engineScript(ref, copy, &a), refScript(ref, copy, &b));
+    EXPECT_TRUE(a.engine() == b.engine());
+
+    const std::string clean_ref = "ACGTACGTACGTAC";
+    EXPECT_EQ(engineScript(clean_ref, copy, nullptr),
+              refScript(clean_ref, copy, nullptr));
+}
+
+TEST(EditScript, EngineSelection)
+{
+    EXPECT_EQ(parseEditOpsEngine("auto"), EditOpsEngine::Auto);
+    EXPECT_EQ(parseEditOpsEngine("reference"),
+              EditOpsEngine::Reference);
+    EXPECT_EQ(parseEditOpsEngine("bogus"), std::nullopt);
+    EXPECT_EQ(parseEditOpsEngine(""), std::nullopt);
+
+    // Forcing the reference engine must route dispatch to the flat
+    // DP (visible through the fallback counter) and produce the
+    // same script.
+    const std::string ref = "ACGTTGCAACGTTGCA";
+    const std::string copy = "ACGTGCAACGTTGGCA";
+    auto auto_script = engineScript(ref, copy, nullptr);
+
+    setEditOpsEngineOverride(EditOpsEngine::Reference);
+    const uint64_t fallback_before =
+        EditOpsStats::get().fallback.value();
+    auto forced = engineScript(ref, copy, nullptr);
+    const uint64_t fallback_after =
+        EditOpsStats::get().fallback.value();
+    setEditOpsEngineOverride(std::nullopt);
+
+    EXPECT_EQ(forced, auto_script);
+    EXPECT_GT(fallback_after, fallback_before);
+}
+
+TEST(EditScript, StatsCountTierUsage)
+{
+    auto &st = EditOpsStats::get();
+    const std::string ref = "ACGTACGTACGTACGTACGTACGTACGT";
+    std::string copy = ref;
+    copy[5] = 'A';
+
+    const uint64_t bitvec_before = st.bitvec.value();
+    (void)engineScript(ref, copy, nullptr);
+    EXPECT_GT(st.bitvec.value(), bitvec_before);
+
+    const uint64_t banded_before = st.banded.value();
+    const uint64_t cells_before = st.cells.value();
+    Rng rng(13);
+    (void)engineScript(ref, copy, &rng);
+    EXPECT_GT(st.banded.value(), banded_before);
+    EXPECT_GT(st.cells.value(), cells_before);
+}
+
+} // anonymous namespace
+} // namespace dnasim
